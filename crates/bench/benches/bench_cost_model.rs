@@ -1,0 +1,36 @@
+//! Criterion micro-benchmarks for the cost model and the end-to-end latency
+//! simulator (these run once per candidate / every N steps respectively, so
+//! their throughput bounds the whole optimisation loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xrlflow_cost::{CostModel, DeviceProfile, InferenceSimulator};
+use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+
+fn bench_cost_model(c: &mut Criterion) {
+    let cm = CostModel::new(DeviceProfile::gtx1080());
+    let mut group = c.benchmark_group("cost_model");
+    group.sample_size(20);
+    for kind in [ModelKind::SqueezeNet, ModelKind::Bert] {
+        let graph = build_model(kind, ModelScale::Bench).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &graph, |b, g| {
+            b.iter(|| cm.graph_cost_ms(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_e2e_simulator(c: &mut Criterion) {
+    let sim = InferenceSimulator::new(DeviceProfile::gtx1080());
+    let mut group = c.benchmark_group("e2e_simulator");
+    group.sample_size(20);
+    for kind in [ModelKind::SqueezeNet, ModelKind::Bert] {
+        let graph = build_model(kind, ModelScale::Bench).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &graph, |b, g| {
+            b.iter(|| sim.measure_ms(g, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_model, bench_e2e_simulator);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion micro-benchmarks for the substitution engine: pattern matching
+//! and candidate generation throughput on the evaluated workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+use xrlflow_rewrite::RuleSet;
+
+fn bench_candidate_generation(c: &mut Criterion) {
+    let rules = RuleSet::standard();
+    let mut group = c.benchmark_group("candidate_generation");
+    group.sample_size(10);
+    for kind in [ModelKind::SqueezeNet, ModelKind::Bert, ModelKind::InceptionV3] {
+        let graph = build_model(kind, ModelScale::Bench).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &graph, |b, g| {
+            b.iter(|| rules.generate_candidates(g, 64).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_match_counting(c: &mut Criterion) {
+    let rules = RuleSet::standard();
+    let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+    c.bench_function("count_matches/squeezenet", |b| b.iter(|| rules.count_matches(&graph)));
+}
+
+criterion_group!(benches, bench_candidate_generation, bench_match_counting);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table 1: discrepancy between the cost-model estimate and the simulated
+//! end-to-end inference latency on unoptimised DNNs.
+
+use xrlflow_bench::{render_table, scale_from_env};
+use xrlflow_cost::{discrepancy, CostModel, DeviceProfile, InferenceSimulator};
+use xrlflow_graph::models::{build_model, ModelKind};
+
+fn main() {
+    let scale = scale_from_env();
+    let cost_model = CostModel::new(DeviceProfile::gtx1080());
+    let simulator = InferenceSimulator::new(DeviceProfile::gtx1080());
+    let workloads = [
+        ModelKind::DallE,
+        ModelKind::InceptionV3,
+        ModelKind::Bert,
+        ModelKind::SqueezeNet,
+        ModelKind::ResNext50,
+        ModelKind::TransformerTransducer,
+    ];
+    let mut rows = Vec::new();
+    for kind in workloads {
+        let graph = build_model(kind, scale).expect("model builds");
+        let d = discrepancy(kind.name(), &graph, &cost_model, &simulator);
+        rows.push(vec![
+            kind.name().to_string(),
+            format!("{:.4}", d.cost_model_ms),
+            format!("{:.4}", d.e2e_ms),
+            format!("{:.1}%", d.diff_percent()),
+        ]);
+    }
+    println!("Table 1: cost model vs end-to-end latency (scale = {:?})\n", scale);
+    println!("{}", render_table(&["DNN", "Cost model (ms)", "E2E (ms)", "Diff"], &rows));
+}

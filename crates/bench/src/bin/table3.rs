@@ -1,0 +1,33 @@
+//! Table 3: properties of the evaluated DNNs (type and "complexity" — the
+//! average number of rewrite candidates per transformation step).
+
+use xrlflow_bench::{render_table, scale_from_env};
+use xrlflow_cost::{DeviceProfile, InferenceSimulator};
+use xrlflow_env::{EnvConfig, Environment};
+use xrlflow_graph::models::{build_model, ModelKind};
+use xrlflow_rewrite::RuleSet;
+
+fn main() {
+    let scale = scale_from_env();
+    let mut rows = Vec::new();
+    for &kind in ModelKind::EVALUATED {
+        let graph = build_model(kind, scale).expect("model builds");
+        let nodes = graph.num_nodes();
+        let mut env = Environment::new(
+            graph,
+            RuleSet::standard(),
+            InferenceSimulator::new(DeviceProfile::gtx1080()),
+            EnvConfig { max_candidates: 128, ..EnvConfig::default() },
+        );
+        let complexity = env.measure_complexity(8, 0);
+        let kind_str = if kind.is_transformer() { "Transformer" } else { "Convolutional" };
+        rows.push(vec![
+            kind.name().to_string(),
+            kind_str.to_string(),
+            format!("{nodes}"),
+            format!("{complexity:.0}"),
+        ]);
+    }
+    println!("Table 3: properties of evaluated DNNs (scale = {:?})\n", scale);
+    println!("{}", render_table(&["DNN", "Type", "Nodes", "Complexity"], &rows));
+}

@@ -1,0 +1,21 @@
+//! Table 4: hyper-parameter values used by X-RLflow.
+
+use xrlflow_bench::render_table;
+use xrlflow_core::{HyperParameterTable, XrlflowConfig};
+
+fn main() {
+    let table = HyperParameterTable::from(&XrlflowConfig::paper());
+    let rows = vec![
+        vec!["Learning rate".into(), format!("{}", table.learning_rate)],
+        vec!["Value loss coefficient (c1)".into(), format!("{}", table.value_loss_coefficient)],
+        vec!["Entropy loss coefficient (c2)".into(), format!("{}", table.entropy_coefficient)],
+        vec!["Edge attribute constant (M)".into(), format!("{}", table.edge_attribute_constant)],
+        vec!["Number of GAT layers (k)".into(), format!("{}", table.num_gat_layers)],
+        vec!["Update frequency".into(), format!("{}", table.update_frequency)],
+        vec!["Feedback frequency (N)".into(), format!("{}", table.feedback_frequency)],
+        vec!["MLP heads".into(), format!("{:?}", table.mlp_heads)],
+        vec!["Batch size".into(), format!("{}", table.batch_size)],
+    ];
+    println!("Table 4: hyper-parameter values\n");
+    println!("{}", render_table(&["Name", "Value"], &rows));
+}

@@ -1,0 +1,144 @@
+//! # xrlflow-bench
+//!
+//! The benchmark harness regenerating every table and figure of the paper's
+//! evaluation. Each table/figure has a dedicated binary (`table1`, `table2`,
+//! `table3`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `table4`) that prints
+//! the same rows/series the paper reports; Criterion micro-benchmarks cover
+//! the substrates (rewrite engine, cost model, GNN, e-graph, optimisers).
+//!
+//! All binaries honour two environment variables:
+//!
+//! * `XRLFLOW_SCALE` — `bench` (default) or `paper`, selecting the model-zoo
+//!   depth preset;
+//! * `XRLFLOW_EPISODES` — RL training episodes per model for the figures that
+//!   train an agent (default: a CPU-friendly handful).
+
+use std::collections::HashMap;
+
+use xrlflow_graph::models::ModelScale;
+
+/// Reads the model-scale preset from `XRLFLOW_SCALE` (default: bench).
+pub fn scale_from_env() -> ModelScale {
+    match std::env::var("XRLFLOW_SCALE").as_deref() {
+        Ok("paper") | Ok("Paper") | Ok("PAPER") => ModelScale::Paper,
+        _ => ModelScale::Bench,
+    }
+}
+
+/// Reads the per-model training-episode budget from `XRLFLOW_EPISODES`.
+pub fn episodes_from_env(default: usize) -> usize {
+    std::env::var("XRLFLOW_EPISODES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Formats a simple aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a rule-application heatmap (rule name x workload counts) as text,
+/// in the style of Figure 5.
+pub fn render_heatmap(counts: &HashMap<String, HashMap<&'static str, usize>>) -> String {
+    // Collect the union of rules applied at least once, as the paper does.
+    let mut rules: Vec<&'static str> = counts
+        .values()
+        .flat_map(|per_rule| per_rule.keys().copied())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    rules.sort_unstable();
+    let headers: Vec<&str> = std::iter::once("DNN").chain(rules.iter().copied()).collect();
+    let mut workloads: Vec<&String> = counts.keys().collect();
+    workloads.sort();
+    let rows: Vec<Vec<String>> = workloads
+        .into_iter()
+        .map(|w| {
+            let per_rule = &counts[w];
+            std::iter::once(w.clone())
+                .chain(rules.iter().map(|r| {
+                    per_rule.get(r).map(|c| c.to_string()).unwrap_or_else(|| "-".to_string())
+                }))
+                .collect()
+        })
+        .collect();
+    render_table(&headers, &rows)
+}
+
+/// Mean and sample standard deviation of a slice.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let t = render_table(
+            &["DNN", "Speedup"],
+            &[vec!["BERT".into(), "8.3%".into()], vec!["InceptionV3".into(), "4.1%".into()]],
+        );
+        assert!(t.contains("BERT"));
+        assert!(t.contains("InceptionV3"));
+        assert!(t.lines().count() >= 4);
+    }
+
+    #[test]
+    fn mean_std_of_constant_is_zero_std() {
+        let (m, s) = mean_std(&[2.0, 2.0, 2.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 0.0);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn heatmap_renders_union_of_rules() {
+        let mut counts = HashMap::new();
+        let mut bert = HashMap::new();
+        bert.insert("fuse-matmul-bias", 3usize);
+        counts.insert("BERT".to_string(), bert);
+        let mut incep = HashMap::new();
+        incep.insert("fuse-conv-relu", 5usize);
+        counts.insert("InceptionV3".to_string(), incep);
+        let rendered = render_heatmap(&counts);
+        assert!(rendered.contains("fuse-matmul-bias"));
+        assert!(rendered.contains("fuse-conv-relu"));
+        assert!(rendered.contains("-"));
+    }
+
+    #[test]
+    fn env_defaults() {
+        assert_eq!(episodes_from_env(6), 6);
+    }
+}

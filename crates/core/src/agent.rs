@@ -1,0 +1,238 @@
+//! The X-RLflow agent: GNN encoder plus policy and value heads
+//! (Figure 3 of the paper).
+//!
+//! The encoder embeds the current graph and every candidate graph; the
+//! policy head scores each candidate against the current graph (plus a
+//! dedicated No-Op score) to form a masked categorical distribution over the
+//! padded action space, and the value head estimates the state value from
+//! the current graph's embedding.
+
+use xrlflow_env::Observation;
+use xrlflow_gnn::{GnnEncoder, GraphFeatures};
+use xrlflow_rl::MaskedCategorical;
+use xrlflow_tensor::{Mlp, ParamStore, Tape, Tensor, VarId, XorShiftRng};
+
+use crate::config::XrlflowConfig;
+
+/// Differentiable outputs of one policy evaluation, used by the PPO update.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyEvaluation {
+    /// Log-probability of the chosen action.
+    pub log_prob: VarId,
+    /// Entropy of the action distribution.
+    pub entropy: VarId,
+    /// State-value estimate.
+    pub value: VarId,
+}
+
+/// The decision the agent took for one observation (inference path).
+#[derive(Debug, Clone)]
+pub struct AgentDecision {
+    /// Index into the padded action space.
+    pub action: usize,
+    /// Log-probability of the action under the current policy.
+    pub log_prob: f32,
+    /// Value estimate of the observation.
+    pub value: f32,
+    /// The full masked distribution (useful for analysis).
+    pub distribution: MaskedCategorical,
+}
+
+/// The X-RLflow actor-critic agent.
+#[derive(Debug)]
+pub struct XrlflowAgent {
+    /// Persistent parameter storage for every learnable component.
+    pub store: ParamStore,
+    encoder: GnnEncoder,
+    policy_head: Mlp,
+    value_head: Mlp,
+}
+
+impl XrlflowAgent {
+    /// Creates an agent with freshly initialised parameters.
+    pub fn new(config: &XrlflowConfig, seed: u64) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = XorShiftRng::new(seed);
+        let encoder = GnnEncoder::new(&mut store, config.encoder, &mut rng);
+        let hidden = config.encoder.hidden_dim;
+        let mut policy_dims = vec![2 * hidden];
+        policy_dims.extend_from_slice(&config.head_dims);
+        policy_dims.push(1);
+        let policy_head = Mlp::new(&mut store, "policy_head", &policy_dims, &mut rng);
+        let mut value_dims = vec![hidden];
+        value_dims.extend_from_slice(&config.head_dims);
+        value_dims.push(1);
+        let value_head = Mlp::new(&mut store, "value_head", &value_dims, &mut rng);
+        Self { store, encoder, policy_head, value_head }
+    }
+
+    /// Number of scalar parameters in the agent.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// The graph encoder.
+    pub fn encoder(&self) -> &GnnEncoder {
+        &self.encoder
+    }
+
+    /// Builds the differentiable logits (one per valid action: candidates in
+    /// order followed by No-Op) and the value estimate for an observation.
+    fn forward(&self, tape: &mut Tape, observation: &Observation) -> (VarId, VarId) {
+        let current = GraphFeatures::from_graph(&observation.graph);
+        let current_emb = self.encoder.encode(tape, &self.store, &current);
+
+        let mut logits: Vec<VarId> = Vec::with_capacity(observation.candidates.len() + 1);
+        for candidate in &observation.candidates {
+            let features = GraphFeatures::from_graph(&candidate.graph);
+            let emb = self.encoder.encode(tape, &self.store, &features);
+            let pair = tape.concat_cols(current_emb, emb);
+            let score = self.policy_head.forward(tape, &self.store, pair);
+            logits.push(score);
+        }
+        // No-Op: score the current graph against itself.
+        let self_pair = tape.concat_cols(current_emb, current_emb);
+        let noop_score = self.policy_head.forward(tape, &self.store, self_pair);
+        logits.push(noop_score);
+
+        // Build a [1, K+1] logit row by concatenating the scalar scores.
+        let mut row = logits[0];
+        for &l in &logits[1..] {
+            row = tape.concat_cols(row, l);
+        }
+        let value = self.value_head.forward(tape, &self.store, current_emb);
+        (row, value)
+    }
+
+    /// Chooses an action for an observation.
+    ///
+    /// With `greedy = true` the most probable action is returned
+    /// (deployment); otherwise the action is sampled (training).
+    pub fn act(&self, observation: &Observation, rng: &mut XorShiftRng, greedy: bool) -> AgentDecision {
+        let mut tape = Tape::new();
+        let (logits_var, value_var) = self.forward(&mut tape, observation);
+        let logits = tape.value(logits_var).data().to_vec();
+        let value = tape.value(value_var).item();
+
+        // Scatter the per-valid-action logits into the padded action space.
+        let padded = observation.action_mask.len();
+        let mut padded_logits = vec![0.0f32; padded];
+        let num_candidates = observation.candidates.len();
+        padded_logits[..num_candidates].copy_from_slice(&logits[..num_candidates]);
+        padded_logits[padded - 1] = logits[num_candidates];
+        let distribution = MaskedCategorical::new(padded_logits, observation.action_mask.clone());
+        let action = if greedy { distribution.argmax() } else { distribution.sample(rng) };
+        let log_prob = distribution.log_prob(action);
+        AgentDecision { action, log_prob, value, distribution }
+    }
+
+    /// Differentiable evaluation of a stored transition for the PPO update:
+    /// returns the log-probability of `action`, the policy entropy and the
+    /// value estimate, all as tape variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is invalid for the observation.
+    pub fn evaluate(
+        &self,
+        tape: &mut Tape,
+        observation: &Observation,
+        action: usize,
+    ) -> PolicyEvaluation {
+        let (logits, value) = self.forward(tape, observation);
+        let log_probs = tape.log_softmax(logits);
+        let num_candidates = observation.candidates.len();
+        let index = if action == observation.noop_action() {
+            num_candidates
+        } else {
+            assert!(action < num_candidates, "action {action} is invalid for this observation");
+            action
+        };
+        let log_prob = tape.pick(log_probs, index);
+        // entropy = -sum(p * log p) over the valid actions.
+        let probs = tape.exp(log_probs);
+        let p_logp = tape.mul(probs, log_probs);
+        let neg_entropy = tape.sum_all(p_logp);
+        let entropy = tape.neg(neg_entropy);
+        // The value head outputs [1, 1]; reduce to a scalar.
+        let value = tape.pick(value, 0);
+        PolicyEvaluation { log_prob, entropy, value }
+    }
+
+    /// Embeds a graph with the current encoder parameters (used by analysis
+    /// tooling and tests).
+    pub fn embed_graph(&self, graph: &xrlflow_graph::Graph) -> Tensor {
+        self.encoder.encode_value(&self.store, &GraphFeatures::from_graph(graph))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrlflow_cost::{DeviceProfile, InferenceSimulator};
+    use xrlflow_env::Environment;
+    use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+    use xrlflow_rewrite::RuleSet;
+
+    fn observation() -> Observation {
+        let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+        let config = XrlflowConfig::smoke_test();
+        let mut env = Environment::new(
+            graph,
+            RuleSet::standard(),
+            InferenceSimulator::new(DeviceProfile::gtx1080()),
+            config.env.clone(),
+        );
+        env.reset(0)
+    }
+
+    #[test]
+    fn act_returns_valid_actions() {
+        let agent = XrlflowAgent::new(&XrlflowConfig::smoke_test(), 0);
+        let obs = observation();
+        let mut rng = XorShiftRng::new(1);
+        for _ in 0..10 {
+            let decision = agent.act(&obs, &mut rng, false);
+            assert!(obs.action_mask[decision.action], "sampled an invalid action");
+            assert!(decision.log_prob <= 0.0);
+            assert!(decision.value.is_finite());
+        }
+        let greedy = agent.act(&obs, &mut rng, true);
+        assert_eq!(greedy.action, greedy.distribution.argmax());
+    }
+
+    #[test]
+    fn evaluate_matches_act_log_prob() {
+        let agent = XrlflowAgent::new(&XrlflowConfig::smoke_test(), 3);
+        let obs = observation();
+        let mut rng = XorShiftRng::new(5);
+        let decision = agent.act(&obs, &mut rng, false);
+        let mut tape = Tape::new();
+        let eval = agent.evaluate(&mut tape, &obs, decision.action);
+        let lp = tape.value(eval.log_prob).item();
+        assert!(
+            (lp - decision.log_prob).abs() < 1e-3,
+            "evaluate log-prob {lp} differs from act log-prob {}",
+            decision.log_prob
+        );
+        let entropy = tape.value(eval.entropy).item();
+        assert!(entropy >= 0.0);
+    }
+
+    #[test]
+    fn agent_has_a_reasonable_parameter_count() {
+        let agent = XrlflowAgent::new(&XrlflowConfig::smoke_test(), 0);
+        assert!(agent.num_parameters() > 1000);
+        let paper_agent = XrlflowAgent::new(&XrlflowConfig::paper(), 0);
+        assert!(paper_agent.num_parameters() > agent.num_parameters());
+    }
+
+    #[test]
+    fn embeddings_distinguish_models() {
+        let agent = XrlflowAgent::new(&XrlflowConfig::smoke_test(), 0);
+        let a = agent.embed_graph(&build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap());
+        let b = agent.embed_graph(&build_model(ModelKind::Bert, ModelScale::Bench).unwrap());
+        let diff: f32 = a.data().iter().zip(b.data()).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-4);
+    }
+}

@@ -1,0 +1,112 @@
+//! Tensor-shape generalisation (Figure 7 of the paper).
+//!
+//! X-RLflow is trained against one fixed input tensor shape and then reused,
+//! without retraining, on the same architecture instantiated with different
+//! input shapes (e.g. InceptionV3 at 225/250/299-pixel inputs or DALL-E at
+//! different sequence lengths). The graph *structure* is unchanged, so the
+//! GNN policy transfers; this module runs exactly that protocol.
+
+use xrlflow_graph::models::{ModelConfig, ModelKind, ModelScale};
+use xrlflow_graph::GraphError;
+
+use crate::optimizer::{XrlflowResult, XrlflowSystem};
+
+/// Result of evaluating a trained agent on one input shape.
+#[derive(Debug, Clone)]
+pub struct GeneralizationPoint {
+    /// The input size (image side length or sequence length).
+    pub input_size: usize,
+    /// Whether this is the shape the agent was trained on.
+    pub trained_on: bool,
+    /// The optimisation result at this shape.
+    pub result: XrlflowResult,
+}
+
+/// Report of a tensor-shape generalisation experiment.
+#[derive(Debug, Clone)]
+pub struct GeneralizationReport {
+    /// The architecture evaluated.
+    pub kind: ModelKind,
+    /// One entry per evaluated input size.
+    pub points: Vec<GeneralizationPoint>,
+}
+
+impl GeneralizationReport {
+    /// Speedup (percent) at the training shape.
+    pub fn trained_speedup(&self) -> f64 {
+        self.points
+            .iter()
+            .find(|p| p.trained_on)
+            .map(|p| p.result.speedup_percent())
+            .unwrap_or(0.0)
+    }
+
+    /// Mean speedup (percent) over the unseen shapes.
+    pub fn unseen_mean_speedup(&self) -> f64 {
+        let unseen: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| !p.trained_on)
+            .map(|p| p.result.speedup_percent())
+            .collect();
+        if unseen.is_empty() {
+            0.0
+        } else {
+            unseen.iter().sum::<f64>() / unseen.len() as f64
+        }
+    }
+}
+
+/// Trains an agent on `kind` at `train_size`, then evaluates it (without any
+/// further training) on every size in `eval_sizes`.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors for invalid input sizes.
+pub fn run_generalization(
+    system: &mut XrlflowSystem,
+    kind: ModelKind,
+    scale: ModelScale,
+    train_size: usize,
+    eval_sizes: &[usize],
+    training_episodes: usize,
+) -> Result<GeneralizationReport, GraphError> {
+    let train_graph = ModelConfig::new(kind, scale).with_input_size(train_size).build()?;
+    let _ = system.train_on(&train_graph, training_episodes);
+
+    let mut points = Vec::new();
+    for &size in eval_sizes {
+        let graph = ModelConfig::new(kind, scale).with_input_size(size).build()?;
+        let result = system.optimize(&graph);
+        points.push(GeneralizationPoint { input_size: size, trained_on: size == train_size, result });
+    }
+    Ok(GeneralizationReport { kind, points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::XrlflowConfig;
+
+    #[test]
+    fn generalization_across_bert_sequence_lengths() {
+        let mut system = XrlflowSystem::new(XrlflowConfig::smoke_test(), 0);
+        let report = run_generalization(
+            &mut system,
+            ModelKind::Bert,
+            ModelScale::Bench,
+            64,
+            &[32, 64, 96],
+            2,
+        )
+        .unwrap();
+        assert_eq!(report.points.len(), 3);
+        assert_eq!(report.points.iter().filter(|p| p.trained_on).count(), 1);
+        for p in &report.points {
+            assert!(p.result.graph.validate().is_ok(), "size {} produced an invalid graph", p.input_size);
+        }
+        // The report helpers are well-defined even for an untrained-ish agent.
+        let _ = report.trained_speedup();
+        let _ = report.unseen_mean_speedup();
+    }
+}

@@ -1,0 +1,37 @@
+//! # xrlflow-core
+//!
+//! The X-RLflow system itself: the actor-critic agent (GNN encoder + policy
+//! and value heads), the PPO trainer, the deployment-time optimiser and the
+//! tensor-shape generalisation harness, as described in Sections 3.3–3.4 of
+//! the MLSys 2023 paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xrlflow_core::{XrlflowConfig, XrlflowSystem};
+//! use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+//!
+//! let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+//! let mut system = XrlflowSystem::new(XrlflowConfig::smoke_test(), 0);
+//! let (report, result) = system.train_and_optimize(&graph, 2);
+//! println!(
+//!     "trained for {} episodes; optimised graph runs at {:.3} ms ({:+.1}% speedup)",
+//!     report.episodes.len(),
+//!     result.final_latency_ms,
+//!     result.speedup_percent(),
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+mod agent;
+mod config;
+mod generalization;
+mod optimizer;
+mod trainer;
+
+pub use agent::{AgentDecision, PolicyEvaluation, XrlflowAgent};
+pub use config::{HyperParameterTable, XrlflowConfig};
+pub use generalization::{run_generalization, GeneralizationPoint, GeneralizationReport};
+pub use optimizer::{XrlflowResult, XrlflowSystem};
+pub use trainer::{TrainReport, Trainer};

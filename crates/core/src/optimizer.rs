@@ -1,0 +1,179 @@
+//! Deployment-time optimisation with a (trained) agent, plus the
+//! `XrlflowSystem` facade tying the agent, environment and trainer together.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use xrlflow_cost::{DeviceProfile, InferenceSimulator};
+use xrlflow_env::{EnvConfig, Environment};
+use xrlflow_graph::Graph;
+use xrlflow_rewrite::RuleSet;
+use xrlflow_tensor::XorShiftRng;
+
+use crate::agent::XrlflowAgent;
+use crate::config::XrlflowConfig;
+use crate::trainer::{TrainReport, Trainer};
+
+/// Result of optimising one graph with X-RLflow.
+#[derive(Debug, Clone)]
+pub struct XrlflowResult {
+    /// The optimised graph.
+    pub graph: Graph,
+    /// Simulated end-to-end latency of the initial graph (ms).
+    pub initial_latency_ms: f64,
+    /// Simulated end-to-end latency of the optimised graph (ms).
+    pub final_latency_ms: f64,
+    /// Number of substitutions applied.
+    pub steps: usize,
+    /// How many times each rewrite rule was applied (Figure 5 heatmap data).
+    pub rule_applications: HashMap<&'static str, usize>,
+    /// Wall-clock optimisation (inference) time in seconds — Figure 6.
+    pub optimisation_time_s: f64,
+}
+
+impl XrlflowResult {
+    /// End-to-end speedup in percent.
+    pub fn speedup_percent(&self) -> f64 {
+        if self.final_latency_ms == 0.0 {
+            0.0
+        } else {
+            (self.initial_latency_ms / self.final_latency_ms - 1.0) * 100.0
+        }
+    }
+}
+
+/// The complete X-RLflow system: configuration, agent and the pieces needed
+/// to build environments on demand.
+#[derive(Debug)]
+pub struct XrlflowSystem {
+    config: XrlflowConfig,
+    agent: XrlflowAgent,
+    trainer: Trainer,
+    profile: DeviceProfile,
+    rng: XorShiftRng,
+}
+
+impl XrlflowSystem {
+    /// Creates a system with freshly initialised agent parameters.
+    pub fn new(config: XrlflowConfig, seed: u64) -> Self {
+        let agent = XrlflowAgent::new(&config, seed);
+        let trainer = Trainer::new(config.clone(), seed.wrapping_add(1));
+        Self { config, agent, trainer, profile: DeviceProfile::gtx1080(), rng: XorShiftRng::new(seed) }
+    }
+
+    /// Replaces the device profile used for latency simulation.
+    pub fn with_profile(mut self, profile: DeviceProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &XrlflowConfig {
+        &self.config
+    }
+
+    /// The underlying agent.
+    pub fn agent(&self) -> &XrlflowAgent {
+        &self.agent
+    }
+
+    /// Builds an environment for a graph using the system's configuration.
+    pub fn make_environment(&self, graph: &Graph) -> Environment {
+        self.make_environment_with(graph, self.config.env.clone())
+    }
+
+    /// Builds an environment with an explicit environment configuration.
+    pub fn make_environment_with(&self, graph: &Graph, env_config: EnvConfig) -> Environment {
+        Environment::new(
+            graph.clone(),
+            RuleSet::standard(),
+            InferenceSimulator::new(self.profile.clone()),
+            env_config,
+        )
+    }
+
+    /// Trains the agent on a single graph for the given number of episodes
+    /// (the paper trains one agent per DNN).
+    pub fn train_on(&mut self, graph: &Graph, episodes: usize) -> TrainReport {
+        let mut env = self.make_environment(graph);
+        self.trainer.train(&mut self.agent, &mut env, episodes)
+    }
+
+    /// Optimises a graph with the current policy acting greedily (the
+    /// deployment path: one forward pass per transformation step).
+    pub fn optimize(&mut self, graph: &Graph) -> XrlflowResult {
+        let start = Instant::now();
+        let mut env = self.make_environment(graph);
+        let mut obs = env.reset(0);
+        let mut rule_applications: HashMap<&'static str, usize> = HashMap::new();
+        let mut steps = 0;
+        loop {
+            if obs.num_candidates() == 0 {
+                break;
+            }
+            let decision = self.agent.act(&obs, &mut self.rng, true);
+            if decision.action == obs.noop_action() {
+                break;
+            }
+            let rule = obs.candidates[decision.action].rule_name;
+            let result = env.step(&obs, decision.action);
+            *rule_applications.entry(rule).or_insert(0) += 1;
+            steps += 1;
+            if result.done {
+                break;
+            }
+            obs = result.observation;
+        }
+        let stats = env.episode_stats();
+        XrlflowResult {
+            graph: env.current_graph().clone(),
+            initial_latency_ms: stats.initial_latency_ms,
+            final_latency_ms: stats.final_latency_ms,
+            steps,
+            rule_applications,
+            optimisation_time_s: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Trains on a graph and then optimises it greedily — the end-to-end
+    /// workflow of Figure 4.
+    pub fn train_and_optimize(&mut self, graph: &Graph, episodes: usize) -> (TrainReport, XrlflowResult) {
+        let report = self.train_on(graph, episodes);
+        let result = self.optimize(graph);
+        (report, result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+
+    #[test]
+    fn untrained_agent_still_produces_valid_optimised_graphs() {
+        let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+        let mut system = XrlflowSystem::new(XrlflowConfig::smoke_test(), 0);
+        let result = system.optimize(&graph);
+        assert!(result.graph.validate().is_ok());
+        assert!(result.initial_latency_ms > 0.0);
+        assert!(result.final_latency_ms > 0.0);
+        assert!(result.optimisation_time_s >= 0.0);
+        assert_eq!(result.steps, result.rule_applications.values().sum::<usize>());
+    }
+
+    #[test]
+    fn train_and_optimize_workflow() {
+        let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+        let mut system = XrlflowSystem::new(XrlflowConfig::smoke_test(), 1);
+        let (report, result) = system.train_and_optimize(&graph, 2);
+        assert_eq!(report.episodes.len(), 2);
+        assert!(result.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn system_exposes_config_and_agent() {
+        let system = XrlflowSystem::new(XrlflowConfig::smoke_test(), 2);
+        assert_eq!(system.config().encoder.hidden_dim, 16);
+        assert!(system.agent().num_parameters() > 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! PPO training loop (Section 3.3.4, Equations 3–5).
+//!
+//! The trainer collects `update_frequency` episodes with the current policy,
+//! computes generalised advantages and then performs several epochs of
+//! mini-batch updates of the combined objective
+//! `J = L_clip + c1 * L_value + c2 * L_entropy`, back-propagating through
+//! the policy head, value head and GNN encoder in one pass (the paper's
+//! "end-to-end" training).
+
+use xrlflow_env::{Environment, Observation};
+use xrlflow_rl::{explained_variance, RolloutBuffer, Transition, TrainingStats};
+use xrlflow_tensor::{Adam, Tape, Tensor, XorShiftRng};
+
+use crate::agent::XrlflowAgent;
+use crate::config::XrlflowConfig;
+
+/// Report of a full training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Per-episode statistics, in collection order.
+    pub episodes: Vec<xrlflow_env::EpisodeStats>,
+    /// Statistics of every PPO update performed.
+    pub updates: Vec<TrainingStats>,
+}
+
+impl TrainReport {
+    /// Mean end-to-end speedup over the last `n` episodes (percent).
+    pub fn recent_mean_speedup(&self, n: usize) -> f64 {
+        let tail: Vec<f64> =
+            self.episodes.iter().rev().take(n).map(|e| e.speedup_percent()).collect();
+        if tail.is_empty() {
+            0.0
+        } else {
+            tail.iter().sum::<f64>() / tail.len() as f64
+        }
+    }
+}
+
+/// The PPO trainer driving an [`XrlflowAgent`] against an [`Environment`].
+#[derive(Debug)]
+pub struct Trainer {
+    config: XrlflowConfig,
+    optimizer: Adam,
+    rng: XorShiftRng,
+    update_counter: u64,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    pub fn new(config: XrlflowConfig, seed: u64) -> Self {
+        let optimizer = Adam::new(config.ppo.learning_rate);
+        Self { config, optimizer, rng: XorShiftRng::new(seed), update_counter: 0 }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &XrlflowConfig {
+        &self.config
+    }
+
+    /// Collects one episode with the current (stochastic) policy.
+    pub fn collect_episode(
+        &mut self,
+        agent: &XrlflowAgent,
+        env: &mut Environment,
+        buffer: &mut RolloutBuffer<Observation>,
+        seed: u64,
+    ) -> xrlflow_env::EpisodeStats {
+        let mut obs = env.reset(seed);
+        loop {
+            let decision = agent.act(&obs, &mut self.rng, false);
+            let result = env.step(&obs, decision.action);
+            buffer.push(Transition {
+                observation: obs,
+                action: decision.action,
+                log_prob: decision.log_prob,
+                value: decision.value,
+                reward: result.reward,
+                done: result.done,
+                action_mask: result.observation.action_mask.clone(),
+            });
+            if result.done {
+                break;
+            }
+            obs = result.observation;
+        }
+        env.episode_stats()
+    }
+
+    /// Performs one PPO update over the collected rollouts.
+    pub fn update(
+        &mut self,
+        agent: &mut XrlflowAgent,
+        buffer: &mut RolloutBuffer<Observation>,
+    ) -> TrainingStats {
+        let ppo = self.config.ppo;
+        buffer.compute_advantages(ppo.gamma, ppo.gae_lambda);
+        let advantages = buffer.advantages().to_vec();
+        let returns = buffer.returns().to_vec();
+
+        let mut policy_losses = Vec::new();
+        let mut value_losses = Vec::new();
+        let mut entropies = Vec::new();
+        let mut grad_norm = 0.0;
+        let mut predicted_values = Vec::new();
+
+        for epoch in 0..ppo.epochs_per_update {
+            self.update_counter += 1;
+            let batches = buffer.minibatch_indices(ppo.batch_size, self.update_counter + epoch as u64);
+            for batch in batches {
+                let mut tape = Tape::new();
+                let mut total_loss = None;
+                let inv = 1.0 / batch.len() as f32;
+                for &i in &batch {
+                    let t = &buffer.transitions()[i];
+                    let eval = agent.evaluate(&mut tape, &t.observation, t.action);
+
+                    // Policy (clip) loss, Eq. 3.
+                    let old_log_prob = tape.constant(Tensor::scalar(t.log_prob));
+                    let log_ratio = tape.sub(eval.log_prob, old_log_prob);
+                    let ratio = tape.exp(log_ratio);
+                    let adv = tape.constant(Tensor::scalar(advantages[i]));
+                    let surrogate1 = tape.mul(ratio, adv);
+                    let clipped = tape.clamp(ratio, 1.0 - ppo.clip_epsilon, 1.0 + ppo.clip_epsilon);
+                    let surrogate2 = tape.mul(clipped, adv);
+                    let surrogate = tape.minimum(surrogate1, surrogate2);
+                    let policy_loss = tape.neg(surrogate);
+
+                    // Value loss, Eq. 4.
+                    let target = tape.constant(Tensor::scalar(returns[i]));
+                    let diff = tape.sub(eval.value, target);
+                    let value_loss = tape.mul(diff, diff);
+
+                    // Entropy bonus (maximise entropy => subtract it).
+                    let neg_entropy = tape.neg(eval.entropy);
+
+                    // J = L_clip + c1 * L_vf + c2 * L_entropy, Eq. 5.
+                    let value_term = tape.scale(value_loss, ppo.value_loss_coefficient);
+                    let entropy_term = tape.scale(neg_entropy, ppo.entropy_coefficient);
+                    let partial = tape.add(policy_loss, value_term);
+                    let sample_loss = tape.add(partial, entropy_term);
+                    let sample_loss = tape.scale(sample_loss, inv);
+
+                    total_loss = Some(match total_loss {
+                        None => sample_loss,
+                        Some(acc) => tape.add(acc, sample_loss),
+                    });
+
+                    policy_losses.push(tape.value(policy_loss).item());
+                    value_losses.push(tape.value(value_loss).item());
+                    entropies.push(tape.value(eval.entropy).item());
+                    if epoch == 0 {
+                        predicted_values.push((i, tape.value(eval.value).item()));
+                    }
+                }
+                if let Some(loss) = total_loss {
+                    agent.store.zero_grad();
+                    tape.backward(loss, &mut agent.store);
+                    grad_norm = agent.store.grad_norm();
+                    agent.store.clip_grad_norm(ppo.max_grad_norm);
+                    self.optimizer.step(&mut agent.store);
+                }
+            }
+        }
+
+        let mean = |v: &[f32]| if v.is_empty() { 0.0 } else { v.iter().sum::<f32>() / v.len() as f32 };
+        let mut preds = vec![0.0f32; returns.len()];
+        for (i, v) in predicted_values {
+            preds[i] = v;
+        }
+        let stats = TrainingStats {
+            policy_loss: mean(&policy_losses),
+            value_loss: mean(&value_losses),
+            entropy: mean(&entropies),
+            mean_episode_reward: mean(&buffer.episode_rewards()),
+            explained_variance: explained_variance(&preds, &returns),
+            grad_norm,
+            transitions: buffer.len(),
+        };
+        buffer.clear();
+        stats
+    }
+
+    /// Runs the full training loop: collect `update_frequency` episodes,
+    /// update, repeat until `episodes` episodes have been collected.
+    pub fn train(
+        &mut self,
+        agent: &mut XrlflowAgent,
+        env: &mut Environment,
+        episodes: usize,
+    ) -> TrainReport {
+        let mut report = TrainReport::default();
+        let mut buffer = RolloutBuffer::new();
+        for episode in 0..episodes {
+            let stats = self.collect_episode(agent, env, &mut buffer, episode as u64);
+            report.episodes.push(stats);
+            let is_last = episode + 1 == episodes;
+            if (episode + 1) % self.config.ppo.update_frequency == 0 || is_last {
+                report.updates.push(self.update(agent, &mut buffer));
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrlflow_cost::{DeviceProfile, InferenceSimulator};
+    use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+    use xrlflow_rewrite::RuleSet;
+
+    fn make_env(config: &XrlflowConfig) -> Environment {
+        let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+        Environment::new(
+            graph,
+            RuleSet::standard(),
+            InferenceSimulator::new(DeviceProfile::gtx1080()),
+            config.env.clone(),
+        )
+    }
+
+    #[test]
+    fn short_training_run_completes_and_updates_parameters() {
+        let config = XrlflowConfig::smoke_test();
+        let mut agent = XrlflowAgent::new(&config, 0);
+        let mut env = make_env(&config);
+        let probe = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+        let embedding_before = agent.embed_graph(&probe);
+
+        let mut trainer = Trainer::new(config.clone(), 7);
+        let report = trainer.train(&mut agent, &mut env, config.training_episodes);
+
+        assert_eq!(report.episodes.len(), config.training_episodes);
+        assert!(!report.updates.is_empty());
+        for update in &report.updates {
+            assert!(update.transitions > 0);
+            assert!(update.entropy.is_finite());
+            assert!(update.policy_loss.is_finite());
+            assert!(update.value_loss.is_finite());
+        }
+        // The PPO update must actually have moved the parameters.
+        let embedding_after = agent.embed_graph(&probe);
+        let drift: f32 = embedding_before
+            .data()
+            .iter()
+            .zip(embedding_after.data())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(drift > 1e-7, "training did not change the encoder parameters");
+    }
+
+    #[test]
+    fn collect_episode_fills_buffer_with_consistent_transitions() {
+        let config = XrlflowConfig::smoke_test();
+        let agent = XrlflowAgent::new(&config, 1);
+        let mut env = make_env(&config);
+        let mut trainer = Trainer::new(config, 3);
+        let mut buffer = RolloutBuffer::new();
+        let stats = trainer.collect_episode(&agent, &mut env, &mut buffer, 0);
+        assert!(!buffer.is_empty());
+        assert!(buffer.transitions().last().unwrap().done);
+        assert!(stats.final_latency_ms > 0.0);
+        for t in buffer.transitions() {
+            assert!(t.action_mask.len() > 1);
+            assert!(t.log_prob <= 0.0);
+        }
+    }
+
+    #[test]
+    fn recent_mean_speedup_handles_empty_report() {
+        let report = TrainReport::default();
+        assert_eq!(report.recent_mean_speedup(5), 0.0);
+    }
+}

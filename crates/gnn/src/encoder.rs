@@ -1,0 +1,232 @@
+//! The graph-embedding network (Section 3.4 of the paper).
+//!
+//! The encoder is one node-update layer (Eq. 6), `k` graph-attention layers
+//! (Eq. 7, GAT) and one global-readout layer (Eq. 8), producing a single
+//! graph-level embedding used by the policy and value heads.
+
+use xrlflow_tensor::{xavier_uniform, Activation, Linear, ParamId, ParamStore, Tape, Tensor, VarId, XorShiftRng};
+
+use crate::featurize::GraphFeatures;
+
+/// Configuration of the graph encoder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncoderConfig {
+    /// Hidden embedding width.
+    pub hidden_dim: usize,
+    /// Number of GAT message-passing layers (`k` in Table 4, default 5).
+    pub num_gat_layers: usize,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        Self { hidden_dim: 64, num_gat_layers: 5 }
+    }
+}
+
+/// One graph-attention layer (single head), Eq. 7.
+#[derive(Debug, Clone)]
+struct GatLayer {
+    /// Node projection `W`.
+    proj: Linear,
+    /// Attention vector `a` of size `[2 * hidden, 1]`.
+    attention: ParamId,
+}
+
+impl GatLayer {
+    fn new(store: &mut ParamStore, name: &str, hidden: usize, rng: &mut XorShiftRng) -> Self {
+        let proj = Linear::new(store, &format!("{name}.proj"), hidden, hidden, Activation::Linear, rng);
+        let attention = store.register(&format!("{name}.attention"), xavier_uniform(2 * hidden, 1, rng));
+        Self { proj, attention }
+    }
+
+    /// Runs message passing: `h'_i = relu(sum_j alpha_ij W h_j)`, with
+    /// attention coefficients normalised over each destination node's
+    /// incoming edges.
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        h: VarId,
+        features: &GraphFeatures,
+    ) -> VarId {
+        let wh = self.proj.forward(tape, store, h);
+        let wh_src = tape.gather_rows(wh, &features.edge_src);
+        let wh_dst = tape.gather_rows(wh, &features.edge_dst);
+        let pair = tape.concat_cols(wh_src, wh_dst);
+        let a = tape.param(store, self.attention);
+        let scores = tape.matmul(pair, a);
+        let scores = tape.leaky_relu(scores, 0.2);
+        let alpha = tape.segment_softmax(scores, &features.edge_dst, features.num_nodes);
+        let messages = tape.broadcast_mul_col(alpha, wh_src);
+        let aggregated = tape.scatter_add_rows(messages, &features.edge_dst, features.num_nodes);
+        tape.relu(aggregated)
+    }
+}
+
+/// The graph encoder: node update, `k` GAT layers, global readout.
+#[derive(Debug, Clone)]
+pub struct GnnEncoder {
+    config: EncoderConfig,
+    node_update: Linear,
+    gat_layers: Vec<GatLayer>,
+    global_update: Linear,
+}
+
+impl GnnEncoder {
+    /// Creates an encoder, registering its parameters in `store`.
+    pub fn new(store: &mut ParamStore, config: EncoderConfig, rng: &mut XorShiftRng) -> Self {
+        let in_dim = GraphFeatures::node_feature_dim() + 4;
+        let node_update =
+            Linear::new(store, "encoder.node_update", in_dim, config.hidden_dim, Activation::Relu, rng);
+        let gat_layers = (0..config.num_gat_layers)
+            .map(|i| GatLayer::new(store, &format!("encoder.gat{i}"), config.hidden_dim, rng))
+            .collect();
+        // Global readout consumes [sum of node embeddings || global attribute],
+        // where the global attribute is initialised to zero (paper Section 3.3.2).
+        let global_update = Linear::new(
+            store,
+            "encoder.global_update",
+            2 * config.hidden_dim,
+            config.hidden_dim,
+            Activation::Tanh,
+            rng,
+        );
+        Self { config, node_update, gat_layers, global_update }
+    }
+
+    /// The encoder configuration.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// Output embedding width.
+    pub fn embedding_dim(&self) -> usize {
+        self.config.hidden_dim
+    }
+
+    /// Encodes a featurised graph into a `[1, hidden_dim]` embedding on the
+    /// given tape.
+    pub fn encode(&self, tape: &mut Tape, store: &ParamStore, features: &GraphFeatures) -> VarId {
+        // Eq. 6: update node attributes from incoming edge attributes.
+        let edge_feats = tape.constant(features.edge_features.clone());
+        let incoming =
+            tape.scatter_add_rows(edge_feats, &features.edge_dst, features.num_nodes);
+        let node_feats = tape.constant(features.node_features.clone());
+        let combined = tape.concat_cols(incoming, node_feats);
+        let mut h = self.node_update.forward(tape, store, combined);
+
+        // Eq. 7: k rounds of graph attention.
+        for layer in &self.gat_layers {
+            h = layer.forward(tape, store, h, features);
+        }
+
+        // Eq. 8: global readout over all node embeddings plus the (zero)
+        // initial global attribute.
+        let summed = tape.sum_rows(h);
+        let global0 = tape.constant(Tensor::zeros(&[1, self.config.hidden_dim]));
+        let readout_in = tape.concat_cols(summed, global0);
+        self.global_update.forward(tape, store, readout_in)
+    }
+
+    /// Convenience: encodes a graph without keeping the tape (inference
+    /// only), returning the raw embedding values.
+    pub fn encode_value(&self, store: &ParamStore, features: &GraphFeatures) -> Tensor {
+        let mut tape = Tape::new();
+        let z = self.encode(&mut tape, store, features);
+        tape.value(z).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+    use xrlflow_graph::{Graph, OpAttributes, OpKind, TensorShape};
+    use xrlflow_tensor::Adam;
+
+    fn tiny_config() -> EncoderConfig {
+        EncoderConfig { hidden_dim: 16, num_gat_layers: 2 }
+    }
+
+    fn small_graph() -> Graph {
+        let mut g = Graph::new();
+        let x = g.add_input(TensorShape::new(vec![1, 64]));
+        let w = g.add_weight(TensorShape::new(vec![64, 32]));
+        let mm = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![x.into(), w.into()]).unwrap();
+        let relu = g.add_node(OpKind::Relu, OpAttributes::default(), vec![mm.into()]).unwrap();
+        g.mark_output(relu.into());
+        g
+    }
+
+    #[test]
+    fn encoding_has_expected_shape() {
+        let mut store = ParamStore::new();
+        let mut rng = XorShiftRng::new(0);
+        let encoder = GnnEncoder::new(&mut store, tiny_config(), &mut rng);
+        let features = GraphFeatures::from_graph(&small_graph());
+        let emb = encoder.encode_value(&store, &features);
+        assert_eq!(emb.shape(), &[1, 16]);
+        assert!(emb.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn different_graphs_get_different_embeddings() {
+        let mut store = ParamStore::new();
+        let mut rng = XorShiftRng::new(1);
+        let encoder = GnnEncoder::new(&mut store, tiny_config(), &mut rng);
+        let a = encoder.encode_value(&store, &GraphFeatures::from_graph(&small_graph()));
+        let bert = build_model(ModelKind::Bert, ModelScale::Bench).unwrap();
+        let b = encoder.encode_value(&store, &GraphFeatures::from_graph(&bert));
+        let diff: f32 = a.data().iter().zip(b.data()).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-4, "embeddings should distinguish graphs");
+    }
+
+    #[test]
+    fn encoder_is_deterministic() {
+        let mut store = ParamStore::new();
+        let mut rng = XorShiftRng::new(2);
+        let encoder = GnnEncoder::new(&mut store, tiny_config(), &mut rng);
+        let features = GraphFeatures::from_graph(&small_graph());
+        assert_eq!(encoder.encode_value(&store, &features), encoder.encode_value(&store, &features));
+    }
+
+    #[test]
+    fn gradients_flow_through_the_whole_encoder() {
+        // Train the encoder to push the embedding's first component towards a
+        // target: all layers must receive gradients for the loss to drop.
+        let mut store = ParamStore::new();
+        let mut rng = XorShiftRng::new(3);
+        let encoder = GnnEncoder::new(&mut store, tiny_config(), &mut rng);
+        let features = GraphFeatures::from_graph(&small_graph());
+        let mut adam = Adam::new(0.01);
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..30 {
+            let mut tape = Tape::new();
+            let z = encoder.encode(&mut tape, &store, &features);
+            let first = tape.pick(z, 0);
+            let target = tape.constant(Tensor::scalar(0.75));
+            let diff = tape.sub(first, target);
+            let loss = tape.mul(diff, diff);
+            last_loss = tape.value(loss).item();
+            if first_loss.is_none() {
+                first_loss = Some(last_loss);
+            }
+            store.zero_grad();
+            tape.backward(loss, &mut store);
+            adam.step(&mut store);
+        }
+        assert!(last_loss < first_loss.unwrap(), "loss did not decrease: {last_loss}");
+    }
+
+    #[test]
+    fn parameter_count_scales_with_layers() {
+        let mut store_small = ParamStore::new();
+        let mut rng = XorShiftRng::new(4);
+        let _ = GnnEncoder::new(&mut store_small, EncoderConfig { hidden_dim: 16, num_gat_layers: 1 }, &mut rng);
+        let mut store_large = ParamStore::new();
+        let mut rng = XorShiftRng::new(4);
+        let _ = GnnEncoder::new(&mut store_large, EncoderConfig { hidden_dim: 16, num_gat_layers: 5 }, &mut rng);
+        assert!(store_large.num_scalars() > store_small.num_scalars());
+    }
+}

@@ -1,0 +1,145 @@
+//! Conversion of dataflow graphs into GNN inputs.
+//!
+//! Following the paper (Section 3.3.2): node attributes are a one-hot
+//! encoding of the operator kind (~40 operators); edge attributes are the
+//! tensor shape padded to rank 4 and normalised by the constant `M = 4096`
+//! (Table 4); the global attribute is initialised to zero and updated by a
+//! learnable layer.
+
+use xrlflow_graph::{Graph, NodeId, OpKind};
+use xrlflow_tensor::Tensor;
+
+/// The edge-attribute normalisation constant `M` from Table 4.
+pub const EDGE_NORMALISER: f32 = 4096.0;
+
+/// A dataflow graph converted to dense GNN inputs.
+#[derive(Debug, Clone)]
+pub struct GraphFeatures {
+    /// `[num_nodes, OpKind::count()]` one-hot operator encoding.
+    pub node_features: Tensor,
+    /// `[num_edges, 4]` normalised tensor-shape attributes.
+    pub edge_features: Tensor,
+    /// Source node index of each edge (producer).
+    pub edge_src: Vec<usize>,
+    /// Destination node index of each edge (consumer).
+    pub edge_dst: Vec<usize>,
+    /// Number of nodes.
+    pub num_nodes: usize,
+}
+
+impl GraphFeatures {
+    /// Number of edges (including self-loops).
+    pub fn num_edges(&self) -> usize {
+        self.edge_src.len()
+    }
+
+    /// Width of the node-feature vectors.
+    pub fn node_feature_dim() -> usize {
+        OpKind::count()
+    }
+
+    /// Extracts features from a graph.
+    ///
+    /// Self-loop edges (carrying the node's own output shape) are added so
+    /// that every node participates in message passing even when it has no
+    /// incoming dataflow edge.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let ids: Vec<NodeId> = graph.iter().map(|(id, _)| id).collect();
+        let index_of = |id: NodeId| -> usize {
+            ids.binary_search(&id).expect("node id present in sorted id list")
+        };
+        let num_nodes = ids.len();
+        let feat_dim = OpKind::count();
+        let mut node_features = Tensor::zeros(&[num_nodes, feat_dim]);
+        let mut edge_src = Vec::new();
+        let mut edge_dst = Vec::new();
+        let mut edge_rows: Vec<[f32; 4]> = Vec::new();
+
+        for (row, &id) in ids.iter().enumerate() {
+            let node = graph.node(id).expect("live node");
+            node_features.set(&[row, node.op.index()], 1.0);
+            // Dataflow edges: producer -> this node, attributed with the
+            // producer tensor's shape.
+            for input in &node.inputs {
+                if let Ok(shape) = graph.tensor_shape(*input) {
+                    edge_src.push(index_of(input.node));
+                    edge_dst.push(row);
+                    edge_rows.push(shape.padded4());
+                }
+            }
+            // Self-loop with the node's own (first) output shape.
+            if let Some(shape) = node.outputs.first() {
+                edge_src.push(row);
+                edge_dst.push(row);
+                edge_rows.push(shape.padded4());
+            }
+        }
+
+        let mut edge_features = Tensor::zeros(&[edge_rows.len(), 4]);
+        for (i, row) in edge_rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                edge_features.set(&[i, j], v / EDGE_NORMALISER);
+            }
+        }
+        Self { node_features, edge_features, edge_src, edge_dst, num_nodes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrlflow_graph::{OpAttributes, TensorShape};
+
+    fn small_graph() -> Graph {
+        let mut g = Graph::new();
+        let x = g.add_input(TensorShape::new(vec![1, 64]));
+        let w = g.add_weight(TensorShape::new(vec![64, 32]));
+        let mm = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![x.into(), w.into()]).unwrap();
+        let relu = g.add_node(OpKind::Relu, OpAttributes::default(), vec![mm.into()]).unwrap();
+        g.mark_output(relu.into());
+        g
+    }
+
+    #[test]
+    fn one_hot_encoding_is_correct() {
+        let g = small_graph();
+        let f = GraphFeatures::from_graph(&g);
+        assert_eq!(f.num_nodes, 4);
+        assert_eq!(f.node_features.shape(), &[4, OpKind::count()]);
+        // Every node has exactly one hot bit.
+        for r in 0..4 {
+            let row_sum: f32 = f.node_features.row(r).iter().sum();
+            assert_eq!(row_sum, 1.0);
+        }
+    }
+
+    #[test]
+    fn edges_include_dataflow_and_self_loops() {
+        let g = small_graph();
+        let f = GraphFeatures::from_graph(&g);
+        // 3 dataflow edges (x->mm, w->mm, mm->relu) + 4 self loops.
+        assert_eq!(f.num_edges(), 7);
+        assert_eq!(f.edge_features.shape(), &[7, 4]);
+        assert_eq!(f.edge_src.len(), f.edge_dst.len());
+        for (&s, &d) in f.edge_src.iter().zip(&f.edge_dst) {
+            assert!(s < f.num_nodes && d < f.num_nodes);
+        }
+    }
+
+    #[test]
+    fn edge_attributes_are_normalised() {
+        let g = small_graph();
+        let f = GraphFeatures::from_graph(&g);
+        // The x -> mm edge carries shape [1, 64] => padded [0,0,1,64] / 4096.
+        let row = f.edge_features.row(0);
+        assert!((row[3] - 64.0 / EDGE_NORMALISER).abs() < 1e-6);
+        for &v in f.edge_features.data() {
+            assert!((0.0..=1.0).contains(&v), "edge attribute {v} not normalised");
+        }
+    }
+
+    #[test]
+    fn feature_dim_matches_operator_count() {
+        assert_eq!(GraphFeatures::node_feature_dim(), OpKind::count());
+    }
+}

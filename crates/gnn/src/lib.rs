@@ -1,0 +1,30 @@
+//! # xrlflow-gnn
+//!
+//! Graph featurisation and the graph-embedding network of X-RLflow: a node
+//! update layer, `k` graph-attention (GAT) layers and a global readout,
+//! exactly as in Section 3.4 of the paper, built on the `xrlflow-tensor`
+//! autodiff tape.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xrlflow_gnn::{EncoderConfig, GnnEncoder, GraphFeatures};
+//! use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+//! use xrlflow_tensor::{ParamStore, XorShiftRng};
+//!
+//! let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+//! let mut store = ParamStore::new();
+//! let mut rng = XorShiftRng::new(0);
+//! let encoder = GnnEncoder::new(&mut store, EncoderConfig::default(), &mut rng);
+//! let features = GraphFeatures::from_graph(&graph);
+//! let embedding = encoder.encode_value(&store, &features);
+//! assert_eq!(embedding.shape(), &[1, 64]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod encoder;
+mod featurize;
+
+pub use encoder::{EncoderConfig, GnnEncoder};
+pub use featurize::{GraphFeatures, EDGE_NORMALISER};

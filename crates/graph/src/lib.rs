@@ -1,0 +1,29 @@
+//! # xrlflow-graph
+//!
+//! The tensor dataflow-graph intermediate representation used by the
+//! X-RLflow reproduction: operator vocabulary, tensor shapes, shape
+//! inference, the [`Graph`] DAG itself and a model zoo with builders for
+//! every DNN in the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+//!
+//! let bert = build_model(ModelKind::Bert, ModelScale::Bench).unwrap();
+//! assert!(bert.validate().is_ok());
+//! println!("BERT has {} operator nodes", bert.num_nodes());
+//! ```
+
+#![warn(missing_docs)]
+
+mod graph;
+mod infer;
+pub mod models;
+mod op;
+mod shape;
+
+pub use graph::{Graph, GraphError, Node, NodeId, TensorRef};
+pub use infer::infer_output_shapes;
+pub use op::{FusedActivation, OpAttributes, OpKind, Padding};
+pub use shape::TensorShape;

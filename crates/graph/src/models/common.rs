@@ -1,0 +1,215 @@
+//! Shared building blocks for the model zoo (convolution stacks and
+//! transformer layers).
+
+use crate::graph::{Graph, GraphError, TensorRef};
+use crate::op::{OpAttributes, OpKind, Padding};
+use crate::shape::TensorShape;
+
+/// Convenience: a `[dims]` tensor shape.
+pub(crate) fn ts(dims: &[usize]) -> TensorShape {
+    TensorShape::new(dims.to_vec())
+}
+
+/// Adds `Conv2d -> BatchNorm -> Relu` and returns the activation tensor.
+///
+/// `input` must be an NCHW tensor with `cin` channels.
+pub fn conv_bn_relu(
+    g: &mut Graph,
+    input: TensorRef,
+    cin: usize,
+    cout: usize,
+    kernel: [usize; 2],
+    stride: [usize; 2],
+    padding: Padding,
+    groups: usize,
+) -> Result<TensorRef, GraphError> {
+    let w = g.add_weight(ts(&[cout, cin / groups.max(1), kernel[0], kernel[1]]));
+    let conv = g.add_node(
+        OpKind::Conv2d,
+        OpAttributes::conv2d(kernel, stride, padding, groups),
+        vec![input, w.into()],
+    )?;
+    let scale = g.add_weight(ts(&[cout, 1, 1]));
+    let bias = g.add_weight(ts(&[cout, 1, 1]));
+    let bn = g.add_node(OpKind::BatchNorm, OpAttributes::default(), vec![conv.into(), scale.into(), bias.into()])?;
+    let relu = g.add_node(OpKind::Relu, OpAttributes::default(), vec![bn.into()])?;
+    Ok(relu.into())
+}
+
+/// Adds a plain convolution (no normalisation or activation).
+pub fn conv2d(
+    g: &mut Graph,
+    input: TensorRef,
+    cin: usize,
+    cout: usize,
+    kernel: [usize; 2],
+    stride: [usize; 2],
+    padding: Padding,
+) -> Result<TensorRef, GraphError> {
+    let w = g.add_weight(ts(&[cout, cin, kernel[0], kernel[1]]));
+    let conv = g.add_node(
+        OpKind::Conv2d,
+        OpAttributes::conv2d(kernel, stride, padding, 1),
+        vec![input, w.into()],
+    )?;
+    Ok(conv.into())
+}
+
+/// Adds a max-pool layer.
+pub fn max_pool(
+    g: &mut Graph,
+    input: TensorRef,
+    kernel: [usize; 2],
+    stride: [usize; 2],
+    padding: Padding,
+) -> Result<TensorRef, GraphError> {
+    let pool = g.add_node(OpKind::MaxPool2d, OpAttributes::pool(kernel, stride, padding), vec![input])?;
+    Ok(pool.into())
+}
+
+/// Adds an average-pool layer.
+pub fn avg_pool(
+    g: &mut Graph,
+    input: TensorRef,
+    kernel: [usize; 2],
+    stride: [usize; 2],
+    padding: Padding,
+) -> Result<TensorRef, GraphError> {
+    let pool = g.add_node(OpKind::AvgPool2d, OpAttributes::pool(kernel, stride, padding), vec![input])?;
+    Ok(pool.into())
+}
+
+/// Adds a dense layer `y = x W (+ b)` on a rank-2 or rank-3 tensor whose last
+/// dimension is `in_dim`.
+pub fn linear(
+    g: &mut Graph,
+    input: TensorRef,
+    in_dim: usize,
+    out_dim: usize,
+    bias: bool,
+) -> Result<TensorRef, GraphError> {
+    let w = g.add_weight(ts(&[in_dim, out_dim]));
+    let mm = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![input, w.into()])?;
+    if bias {
+        let b = g.add_weight(ts(&[out_dim]));
+        let add = g.add_node(OpKind::Add, OpAttributes::default(), vec![mm.into(), b.into()])?;
+        Ok(add.into())
+    } else {
+        Ok(mm.into())
+    }
+}
+
+/// Adds a layer-norm over the last dimension.
+pub fn layer_norm(g: &mut Graph, input: TensorRef, dim: usize) -> Result<TensorRef, GraphError> {
+    let scale = g.add_weight(ts(&[dim]));
+    let bias = g.add_weight(ts(&[dim]));
+    let ln = g.add_node(OpKind::LayerNorm, OpAttributes::default(), vec![input, scale.into(), bias.into()])?;
+    Ok(ln.into())
+}
+
+/// Configuration of one multi-head self-attention + feed-forward transformer
+/// encoder layer.
+#[derive(Debug, Clone, Copy)]
+pub struct TransformerLayerConfig {
+    /// Sequence length.
+    pub seq_len: usize,
+    /// Model (embedding) dimension.
+    pub d_model: usize,
+    /// Number of attention heads.
+    pub num_heads: usize,
+    /// Hidden dimension of the feed-forward block.
+    pub d_ff: usize,
+    /// Use GELU (transformer-default) rather than ReLU in the FFN.
+    pub gelu: bool,
+}
+
+/// Adds one pre-norm transformer encoder layer operating on a `[1, seq, d]`
+/// tensor and returns the output tensor of the same shape.
+pub fn transformer_layer(
+    g: &mut Graph,
+    input: TensorRef,
+    cfg: &TransformerLayerConfig,
+) -> Result<TensorRef, GraphError> {
+    let TransformerLayerConfig { seq_len, d_model, num_heads, d_ff, gelu } = *cfg;
+    let d_head = d_model / num_heads;
+    assert_eq!(d_head * num_heads, d_model, "d_model must be divisible by num_heads");
+
+    // --- Multi-head self-attention ---
+    let normed = layer_norm(g, input, d_model)?;
+    let q = linear(g, normed, d_model, d_model, true)?;
+    let k = linear(g, normed, d_model, d_model, true)?;
+    let v = linear(g, normed, d_model, d_model, true)?;
+
+    // [1, s, d] -> [s, h, dh] -> [h, s, dh]
+    let to_heads = |g: &mut Graph, x: TensorRef| -> Result<TensorRef, GraphError> {
+        let r = g.add_node(OpKind::Reshape, OpAttributes::reshape(vec![seq_len, num_heads, d_head]), vec![x])?;
+        let t = g.add_node(OpKind::Transpose, OpAttributes::transpose(vec![1, 0, 2]), vec![r.into()])?;
+        Ok(t.into())
+    };
+    let qh = to_heads(g, q)?;
+    let kh = to_heads(g, k)?;
+    let vh = to_heads(g, v)?;
+
+    // scores = Q K^T / sqrt(dh)
+    let kt = g.add_node(OpKind::Transpose, OpAttributes::transpose(vec![0, 2, 1]), vec![kh])?;
+    let scores = g.add_node(OpKind::BatchMatMul, OpAttributes::default(), vec![qh, kt.into()])?;
+    let scale = g.add_constant(ts(&[1]));
+    let scaled = g.add_node(OpKind::Mul, OpAttributes::default(), vec![scores.into(), scale.into()])?;
+    let probs = g.add_node(OpKind::Softmax, OpAttributes::with_axis(2), vec![scaled.into()])?;
+    let ctx = g.add_node(OpKind::BatchMatMul, OpAttributes::default(), vec![probs.into(), vh])?;
+
+    // [h, s, dh] -> [s, h, dh] -> [1, s, d]
+    let back = g.add_node(OpKind::Transpose, OpAttributes::transpose(vec![1, 0, 2]), vec![ctx.into()])?;
+    let merged =
+        g.add_node(OpKind::Reshape, OpAttributes::reshape(vec![1, seq_len, d_model]), vec![back.into()])?;
+    let proj = linear(g, merged.into(), d_model, d_model, true)?;
+    let attn_out = g.add_node(OpKind::Add, OpAttributes::default(), vec![input, proj])?;
+
+    // --- Feed-forward network ---
+    let normed2 = layer_norm(g, attn_out.into(), d_model)?;
+    let ff1 = linear(g, normed2, d_model, d_ff, true)?;
+    let act_kind = if gelu { OpKind::Gelu } else { OpKind::Relu };
+    let act = g.add_node(act_kind, OpAttributes::default(), vec![ff1])?;
+    let ff2 = linear(g, act.into(), d_ff, d_model, true)?;
+    let out = g.add_node(OpKind::Add, OpAttributes::default(), vec![attn_out.into(), ff2])?;
+    Ok(out.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_bn_relu_shapes() {
+        let mut g = Graph::new();
+        let x = g.add_input(ts(&[1, 3, 32, 32]));
+        let y = conv_bn_relu(&mut g, x.into(), 3, 16, [3, 3], [2, 2], Padding::Same, 1).unwrap();
+        g.mark_output(y);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.tensor_shape(y).unwrap().dims(), &[1, 16, 16, 16]);
+    }
+
+    #[test]
+    fn linear_with_bias_shapes() {
+        let mut g = Graph::new();
+        let x = g.add_input(ts(&[1, 16, 64]));
+        let y = linear(&mut g, x.into(), 64, 128, true).unwrap();
+        g.mark_output(y);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.tensor_shape(y).unwrap().dims(), &[1, 16, 128]);
+    }
+
+    #[test]
+    fn transformer_layer_preserves_shape() {
+        let mut g = Graph::new();
+        let x = g.add_input(ts(&[1, 32, 64]));
+        let cfg = TransformerLayerConfig { seq_len: 32, d_model: 64, num_heads: 4, d_ff: 256, gelu: true };
+        let y = transformer_layer(&mut g, x.into(), &cfg).unwrap();
+        g.mark_output(y);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.tensor_shape(y).unwrap().dims(), &[1, 32, 64]);
+        // A transformer layer should contain batched matmuls and a softmax.
+        assert!(g.count_op(OpKind::BatchMatMul) >= 2);
+        assert_eq!(g.count_op(OpKind::Softmax), 1);
+    }
+}

@@ -1,0 +1,409 @@
+//! Convolutional members of the model zoo: InceptionV3, SqueezeNet,
+//! ResNeXt-50 and ResNet-18.
+//!
+//! The builders construct operator graphs with realistic channel widths and
+//! spatial shapes; weights are structural placeholders (the optimisers only
+//! inspect graph structure and tensor shapes, never values).
+
+use crate::graph::{Graph, GraphError, TensorRef};
+use crate::op::{OpAttributes, OpKind, Padding};
+
+use super::common::{avg_pool, conv_bn_relu, conv2d, linear, max_pool, ts};
+use super::ModelScale;
+
+/// Builds InceptionV3 (Szegedy et al., 2016) for a square input image.
+///
+/// At [`ModelScale::Paper`] the graph contains the stem, 3 Inception-A,
+/// a grid reduction, 4 Inception-B, a second reduction and 2 Inception-C
+/// blocks; at [`ModelScale::Bench`] one block of each type is kept.
+pub fn inception_v3(image_size: usize, scale: ModelScale) -> Result<Graph, GraphError> {
+    let mut g = Graph::new();
+    let x = g.add_input(ts(&[1, 3, image_size, image_size]));
+
+    // Stem.
+    let mut h = conv_bn_relu(&mut g, x.into(), 3, 32, [3, 3], [2, 2], Padding::Valid, 1)?;
+    h = conv_bn_relu(&mut g, h, 32, 32, [3, 3], [1, 1], Padding::Valid, 1)?;
+    h = conv_bn_relu(&mut g, h, 32, 64, [3, 3], [1, 1], Padding::Same, 1)?;
+    h = max_pool(&mut g, h, [3, 3], [2, 2], Padding::Valid)?;
+    h = conv_bn_relu(&mut g, h, 64, 80, [1, 1], [1, 1], Padding::Valid, 1)?;
+    h = conv_bn_relu(&mut g, h, 80, 192, [3, 3], [1, 1], Padding::Valid, 1)?;
+    h = max_pool(&mut g, h, [3, 3], [2, 2], Padding::Valid)?;
+
+    let (n_a, n_b, n_c) = match scale {
+        ModelScale::Paper => (3, 4, 2),
+        ModelScale::Bench => (1, 1, 1),
+    };
+
+    // Inception-A blocks (input 192/256/288 channels -> 256/288/288).
+    let mut cin = 192;
+    for i in 0..n_a {
+        let pool_ch = if i == 0 { 32 } else { 64 };
+        h = inception_a(&mut g, h, cin, pool_ch)?;
+        cin = 224 + pool_ch;
+    }
+
+    // Grid reduction A: 288 -> 768 channels, spatial halved.
+    h = reduction_a(&mut g, h, cin)?;
+    cin = cin + 384 + 96;
+
+    // Inception-B blocks (7x7 factorised convolutions).
+    for _ in 0..n_b {
+        h = inception_b(&mut g, h, cin)?;
+        cin = 768.min(cin.max(768));
+    }
+
+    // Grid reduction B.
+    h = reduction_b(&mut g, h, cin)?;
+    cin = cin + 320 + 192;
+
+    // Inception-C blocks.
+    for _ in 0..n_c {
+        h = inception_c(&mut g, h, cin)?;
+        cin = 2048;
+    }
+
+    // Classifier head.
+    let pooled = g.add_node(OpKind::GlobalAvgPool, OpAttributes::default(), vec![h])?;
+    let flat = g.add_node(OpKind::Flatten, OpAttributes::default(), vec![pooled.into()])?;
+    let logits = linear(&mut g, flat.into(), cin, 1000, true)?;
+    let probs = g.add_node(OpKind::Softmax, OpAttributes::with_axis(1), vec![logits])?;
+    g.mark_output(probs.into());
+    Ok(g)
+}
+
+fn inception_a(g: &mut Graph, input: TensorRef, cin: usize, pool_ch: usize) -> Result<TensorRef, GraphError> {
+    // Branch 1: 1x1.
+    let b1 = conv_bn_relu(g, input, cin, 64, [1, 1], [1, 1], Padding::Same, 1)?;
+    // Branch 2: 1x1 -> 5x5.
+    let b2 = conv_bn_relu(g, input, cin, 48, [1, 1], [1, 1], Padding::Same, 1)?;
+    let b2 = conv_bn_relu(g, b2, 48, 64, [5, 5], [1, 1], Padding::Same, 1)?;
+    // Branch 3: 1x1 -> 3x3 -> 3x3.
+    let b3 = conv_bn_relu(g, input, cin, 64, [1, 1], [1, 1], Padding::Same, 1)?;
+    let b3 = conv_bn_relu(g, b3, 64, 96, [3, 3], [1, 1], Padding::Same, 1)?;
+    let b3 = conv_bn_relu(g, b3, 96, 96, [3, 3], [1, 1], Padding::Same, 1)?;
+    // Branch 4: pool -> 1x1.
+    let b4 = avg_pool(g, input, [3, 3], [1, 1], Padding::Same)?;
+    let b4 = conv_bn_relu(g, b4, cin, pool_ch, [1, 1], [1, 1], Padding::Same, 1)?;
+    let cat = g.add_node(OpKind::Concat, OpAttributes::with_axis(1), vec![b1, b2, b3, b4])?;
+    Ok(cat.into())
+}
+
+fn reduction_a(g: &mut Graph, input: TensorRef, cin: usize) -> Result<TensorRef, GraphError> {
+    let b1 = conv_bn_relu(g, input, cin, 384, [3, 3], [2, 2], Padding::Valid, 1)?;
+    let b2 = conv_bn_relu(g, input, cin, 64, [1, 1], [1, 1], Padding::Same, 1)?;
+    let b2 = conv_bn_relu(g, b2, 64, 96, [3, 3], [1, 1], Padding::Same, 1)?;
+    let b2 = conv_bn_relu(g, b2, 96, 96, [3, 3], [2, 2], Padding::Valid, 1)?;
+    let b3 = max_pool(g, input, [3, 3], [2, 2], Padding::Valid)?;
+    let cat = g.add_node(OpKind::Concat, OpAttributes::with_axis(1), vec![b1, b2, b3])?;
+    Ok(cat.into())
+}
+
+fn inception_b(g: &mut Graph, input: TensorRef, cin: usize) -> Result<TensorRef, GraphError> {
+    let mid = 160;
+    // Branch 1: 1x1.
+    let b1 = conv_bn_relu(g, input, cin, 192, [1, 1], [1, 1], Padding::Same, 1)?;
+    // Branch 2: 1x1 -> 1x7 -> 7x1.
+    let b2 = conv_bn_relu(g, input, cin, mid, [1, 1], [1, 1], Padding::Same, 1)?;
+    let b2 = conv_bn_relu(g, b2, mid, mid, [1, 7], [1, 1], Padding::Same, 1)?;
+    let b2 = conv_bn_relu(g, b2, mid, 192, [7, 1], [1, 1], Padding::Same, 1)?;
+    // Branch 3: 1x1 -> (7x1 -> 1x7) x2.
+    let b3 = conv_bn_relu(g, input, cin, mid, [1, 1], [1, 1], Padding::Same, 1)?;
+    let b3 = conv_bn_relu(g, b3, mid, mid, [7, 1], [1, 1], Padding::Same, 1)?;
+    let b3 = conv_bn_relu(g, b3, mid, mid, [1, 7], [1, 1], Padding::Same, 1)?;
+    let b3 = conv_bn_relu(g, b3, mid, mid, [7, 1], [1, 1], Padding::Same, 1)?;
+    let b3 = conv_bn_relu(g, b3, mid, 192, [1, 7], [1, 1], Padding::Same, 1)?;
+    // Branch 4: pool -> 1x1.
+    let b4 = avg_pool(g, input, [3, 3], [1, 1], Padding::Same)?;
+    let b4 = conv_bn_relu(g, b4, cin, 192, [1, 1], [1, 1], Padding::Same, 1)?;
+    let cat = g.add_node(OpKind::Concat, OpAttributes::with_axis(1), vec![b1, b2, b3, b4])?;
+    Ok(cat.into())
+}
+
+fn reduction_b(g: &mut Graph, input: TensorRef, cin: usize) -> Result<TensorRef, GraphError> {
+    let b1 = conv_bn_relu(g, input, cin, 192, [1, 1], [1, 1], Padding::Same, 1)?;
+    let b1 = conv_bn_relu(g, b1, 192, 320, [3, 3], [2, 2], Padding::Valid, 1)?;
+    let b2 = conv_bn_relu(g, input, cin, 192, [1, 1], [1, 1], Padding::Same, 1)?;
+    let b2 = conv_bn_relu(g, b2, 192, 192, [1, 7], [1, 1], Padding::Same, 1)?;
+    let b2 = conv_bn_relu(g, b2, 192, 192, [7, 1], [1, 1], Padding::Same, 1)?;
+    let b2 = conv_bn_relu(g, b2, 192, 192, [3, 3], [2, 2], Padding::Valid, 1)?;
+    let b3 = max_pool(g, input, [3, 3], [2, 2], Padding::Valid)?;
+    let cat = g.add_node(OpKind::Concat, OpAttributes::with_axis(1), vec![b1, b2, b3])?;
+    Ok(cat.into())
+}
+
+fn inception_c(g: &mut Graph, input: TensorRef, cin: usize) -> Result<TensorRef, GraphError> {
+    // Branch 1: 1x1.
+    let b1 = conv_bn_relu(g, input, cin, 320, [1, 1], [1, 1], Padding::Same, 1)?;
+    // Branch 2: 1x1 then parallel 1x3 and 3x1, concatenated.
+    let b2 = conv_bn_relu(g, input, cin, 384, [1, 1], [1, 1], Padding::Same, 1)?;
+    let b2a = conv_bn_relu(g, b2, 384, 384, [1, 3], [1, 1], Padding::Same, 1)?;
+    let b2b = conv_bn_relu(g, b2, 384, 384, [3, 1], [1, 1], Padding::Same, 1)?;
+    let b2cat = g.add_node(OpKind::Concat, OpAttributes::with_axis(1), vec![b2a, b2b])?;
+    // Branch 3: 1x1 -> 3x3 then parallel 1x3 and 3x1.
+    let b3 = conv_bn_relu(g, input, cin, 448, [1, 1], [1, 1], Padding::Same, 1)?;
+    let b3 = conv_bn_relu(g, b3, 448, 384, [3, 3], [1, 1], Padding::Same, 1)?;
+    let b3a = conv_bn_relu(g, b3, 384, 384, [1, 3], [1, 1], Padding::Same, 1)?;
+    let b3b = conv_bn_relu(g, b3, 384, 384, [3, 1], [1, 1], Padding::Same, 1)?;
+    let b3cat = g.add_node(OpKind::Concat, OpAttributes::with_axis(1), vec![b3a, b3b])?;
+    // Branch 4: pool -> 1x1.
+    let b4 = avg_pool(g, input, [3, 3], [1, 1], Padding::Same)?;
+    let b4 = conv_bn_relu(g, b4, cin, 192, [1, 1], [1, 1], Padding::Same, 1)?;
+    let cat = g.add_node(
+        OpKind::Concat,
+        OpAttributes::with_axis(1),
+        vec![b1, b2cat.into(), b3cat.into(), b4],
+    )?;
+    Ok(cat.into())
+}
+
+/// Builds SqueezeNet 1.1 (Iandola et al., 2016).
+pub fn squeezenet(image_size: usize, scale: ModelScale) -> Result<Graph, GraphError> {
+    let mut g = Graph::new();
+    let x = g.add_input(ts(&[1, 3, image_size, image_size]));
+
+    let mut h = conv_bn_relu(&mut g, x.into(), 3, 64, [3, 3], [2, 2], Padding::Valid, 1)?;
+    h = max_pool(&mut g, h, [3, 3], [2, 2], Padding::Valid)?;
+
+    // (squeeze channels, expand channels) per fire module, grouped by pooling stage.
+    let stages: Vec<Vec<(usize, usize)>> = match scale {
+        ModelScale::Paper => vec![
+            vec![(16, 64), (16, 64)],
+            vec![(32, 128), (32, 128)],
+            vec![(48, 192), (48, 192), (64, 256), (64, 256)],
+        ],
+        ModelScale::Bench => vec![vec![(16, 64)], vec![(32, 128)]],
+    };
+
+    let mut cin = 64;
+    for (si, stage) in stages.iter().enumerate() {
+        if si > 0 {
+            h = max_pool(&mut g, h, [3, 3], [2, 2], Padding::Valid)?;
+        }
+        for &(squeeze, expand) in stage {
+            h = fire_module(&mut g, h, cin, squeeze, expand)?;
+            cin = expand * 2;
+        }
+    }
+
+    // Final 1x1 classifier conv.
+    let conv_final = conv2d(&mut g, h, cin, 1000, [1, 1], [1, 1], Padding::Same)?;
+    let relu = g.add_node(OpKind::Relu, OpAttributes::default(), vec![conv_final])?;
+    let pooled = g.add_node(OpKind::GlobalAvgPool, OpAttributes::default(), vec![relu.into()])?;
+    let flat = g.add_node(OpKind::Flatten, OpAttributes::default(), vec![pooled.into()])?;
+    let probs = g.add_node(OpKind::Softmax, OpAttributes::with_axis(1), vec![flat.into()])?;
+    g.mark_output(probs.into());
+    Ok(g)
+}
+
+fn fire_module(
+    g: &mut Graph,
+    input: TensorRef,
+    cin: usize,
+    squeeze: usize,
+    expand: usize,
+) -> Result<TensorRef, GraphError> {
+    let s = conv_bn_relu(g, input, cin, squeeze, [1, 1], [1, 1], Padding::Same, 1)?;
+    let e1 = conv_bn_relu(g, s, squeeze, expand, [1, 1], [1, 1], Padding::Same, 1)?;
+    let e3 = conv_bn_relu(g, s, squeeze, expand, [3, 3], [1, 1], Padding::Same, 1)?;
+    let cat = g.add_node(OpKind::Concat, OpAttributes::with_axis(1), vec![e1, e3])?;
+    Ok(cat.into())
+}
+
+/// Builds ResNeXt-50 (32x4d) — bottleneck blocks with 32-way grouped
+/// convolutions.
+pub fn resnext50(image_size: usize, scale: ModelScale) -> Result<Graph, GraphError> {
+    let blocks = match scale {
+        ModelScale::Paper => vec![3, 4, 6, 3],
+        ModelScale::Bench => vec![1, 1, 1, 1],
+    };
+    residual_net(image_size, &blocks, true)
+}
+
+/// Builds ResNet-18 — plain basic residual blocks (used by the Table 2
+/// motivation experiment comparing PET and TASO).
+pub fn resnet18(image_size: usize, scale: ModelScale) -> Result<Graph, GraphError> {
+    let blocks = match scale {
+        ModelScale::Paper => vec![2, 2, 2, 2],
+        ModelScale::Bench => vec![1, 1, 1, 1],
+    };
+    basic_residual_net(image_size, &blocks)
+}
+
+fn residual_net(image_size: usize, blocks: &[usize], grouped: bool) -> Result<Graph, GraphError> {
+    let mut g = Graph::new();
+    let x = g.add_input(ts(&[1, 3, image_size, image_size]));
+    let mut h = conv_bn_relu(&mut g, x.into(), 3, 64, [7, 7], [2, 2], Padding::Same, 1)?;
+    h = max_pool(&mut g, h, [3, 3], [2, 2], Padding::Same)?;
+
+    let mut cin = 64;
+    let widths = [128usize, 256, 512, 1024];
+    let outs = [256usize, 512, 1024, 2048];
+    for (stage, &n) in blocks.iter().enumerate() {
+        for b in 0..n {
+            let stride = if stage > 0 && b == 0 { [2, 2] } else { [1, 1] };
+            h = bottleneck_block(&mut g, h, cin, widths[stage], outs[stage], stride, grouped)?;
+            cin = outs[stage];
+        }
+    }
+
+    let pooled = g.add_node(OpKind::GlobalAvgPool, OpAttributes::default(), vec![h])?;
+    let flat = g.add_node(OpKind::Flatten, OpAttributes::default(), vec![pooled.into()])?;
+    let logits = linear(&mut g, flat.into(), cin, 1000, true)?;
+    let probs = g.add_node(OpKind::Softmax, OpAttributes::with_axis(1), vec![logits])?;
+    g.mark_output(probs.into());
+    Ok(g)
+}
+
+fn bottleneck_block(
+    g: &mut Graph,
+    input: TensorRef,
+    cin: usize,
+    width: usize,
+    cout: usize,
+    stride: [usize; 2],
+    grouped: bool,
+) -> Result<TensorRef, GraphError> {
+    let groups = if grouped { 32 } else { 1 };
+    let a = conv_bn_relu(g, input, cin, width, [1, 1], [1, 1], Padding::Same, 1)?;
+    let b = conv_bn_relu(g, a, width, width, [3, 3], stride, Padding::Same, groups)?;
+    // Final 1x1 conv + BN without the activation (applied after the residual add).
+    let w = g.add_weight(ts(&[cout, width, 1, 1]));
+    let conv = g.add_node(
+        OpKind::Conv2d,
+        OpAttributes::conv2d([1, 1], [1, 1], Padding::Same, 1),
+        vec![b, w.into()],
+    )?;
+    let scale = g.add_weight(ts(&[cout, 1, 1]));
+    let bias = g.add_weight(ts(&[cout, 1, 1]));
+    let bn = g.add_node(OpKind::BatchNorm, OpAttributes::default(), vec![conv.into(), scale.into(), bias.into()])?;
+
+    // Projection shortcut whenever the shape changes.
+    let shortcut = if cin != cout || stride != [1, 1] {
+        let w = g.add_weight(ts(&[cout, cin, 1, 1]));
+        let conv = g.add_node(
+            OpKind::Conv2d,
+            OpAttributes::conv2d([1, 1], stride, Padding::Same, 1),
+            vec![input, w.into()],
+        )?;
+        TensorRef::from(conv)
+    } else {
+        input
+    };
+    let add = g.add_node(OpKind::Add, OpAttributes::default(), vec![bn.into(), shortcut])?;
+    let relu = g.add_node(OpKind::Relu, OpAttributes::default(), vec![add.into()])?;
+    Ok(relu.into())
+}
+
+fn basic_residual_net(image_size: usize, blocks: &[usize]) -> Result<Graph, GraphError> {
+    let mut g = Graph::new();
+    let x = g.add_input(ts(&[1, 3, image_size, image_size]));
+    let mut h = conv_bn_relu(&mut g, x.into(), 3, 64, [7, 7], [2, 2], Padding::Same, 1)?;
+    h = max_pool(&mut g, h, [3, 3], [2, 2], Padding::Same)?;
+
+    let mut cin = 64;
+    let widths = [64usize, 128, 256, 512];
+    for (stage, &n) in blocks.iter().enumerate() {
+        for b in 0..n {
+            let stride = if stage > 0 && b == 0 { [2, 2] } else { [1, 1] };
+            h = basic_block(&mut g, h, cin, widths[stage], stride)?;
+            cin = widths[stage];
+        }
+    }
+
+    let pooled = g.add_node(OpKind::GlobalAvgPool, OpAttributes::default(), vec![h])?;
+    let flat = g.add_node(OpKind::Flatten, OpAttributes::default(), vec![pooled.into()])?;
+    let logits = linear(&mut g, flat.into(), cin, 1000, true)?;
+    let probs = g.add_node(OpKind::Softmax, OpAttributes::with_axis(1), vec![logits])?;
+    g.mark_output(probs.into());
+    Ok(g)
+}
+
+fn basic_block(
+    g: &mut Graph,
+    input: TensorRef,
+    cin: usize,
+    cout: usize,
+    stride: [usize; 2],
+) -> Result<TensorRef, GraphError> {
+    let a = conv_bn_relu(g, input, cin, cout, [3, 3], stride, Padding::Same, 1)?;
+    let w = g.add_weight(ts(&[cout, cout, 3, 3]));
+    let conv = g.add_node(
+        OpKind::Conv2d,
+        OpAttributes::conv2d([3, 3], [1, 1], Padding::Same, 1),
+        vec![a, w.into()],
+    )?;
+    let scale = g.add_weight(ts(&[cout, 1, 1]));
+    let bias = g.add_weight(ts(&[cout, 1, 1]));
+    let bn = g.add_node(OpKind::BatchNorm, OpAttributes::default(), vec![conv.into(), scale.into(), bias.into()])?;
+    let shortcut = if cin != cout || stride != [1, 1] {
+        let w = g.add_weight(ts(&[cout, cin, 1, 1]));
+        let conv = g.add_node(
+            OpKind::Conv2d,
+            OpAttributes::conv2d([1, 1], stride, Padding::Same, 1),
+            vec![input, w.into()],
+        )?;
+        TensorRef::from(conv)
+    } else {
+        input
+    };
+    let add = g.add_node(OpKind::Add, OpAttributes::default(), vec![bn.into(), shortcut])?;
+    let relu = g.add_node(OpKind::Relu, OpAttributes::default(), vec![add.into()])?;
+    Ok(relu.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inception_v3_builds_and_validates() {
+        let g = inception_v3(299, ModelScale::Bench).unwrap();
+        assert!(g.validate().is_ok());
+        assert!(g.count_op(OpKind::Conv2d) >= 20, "got {}", g.count_op(OpKind::Conv2d));
+        assert!(g.count_op(OpKind::Concat) >= 4);
+    }
+
+    #[test]
+    fn inception_v3_paper_scale_is_larger() {
+        let bench = inception_v3(299, ModelScale::Bench).unwrap();
+        let paper = inception_v3(299, ModelScale::Paper).unwrap();
+        assert!(paper.num_nodes() > bench.num_nodes());
+        assert!(paper.validate().is_ok());
+    }
+
+    #[test]
+    fn squeezenet_builds_and_validates() {
+        let g = squeezenet(224, ModelScale::Paper).unwrap();
+        assert!(g.validate().is_ok());
+        // Eight fire modules, each with 3 convolutions, plus stem and head.
+        assert!(g.count_op(OpKind::Conv2d) >= 26);
+        assert_eq!(g.count_op(OpKind::Input), 1);
+    }
+
+    #[test]
+    fn resnext50_uses_grouped_convolutions() {
+        let g = resnext50(224, ModelScale::Bench).unwrap();
+        assert!(g.validate().is_ok());
+        let grouped = g
+            .iter()
+            .filter(|(_, n)| n.op == OpKind::Conv2d && n.attrs.groups == 32)
+            .count();
+        assert!(grouped >= 4, "expected grouped convolutions, found {grouped}");
+    }
+
+    #[test]
+    fn resnet18_builds_and_validates() {
+        let g = resnet18(224, ModelScale::Paper).unwrap();
+        assert!(g.validate().is_ok());
+        assert!(g.count_op(OpKind::Conv2d) >= 17);
+    }
+
+    #[test]
+    fn input_size_variations_build() {
+        // Figure 7 generalises InceptionV3 across input sizes.
+        for size in [225, 250, 299] {
+            let g = inception_v3(size, ModelScale::Bench).unwrap();
+            assert!(g.validate().is_ok(), "failed for size {size}");
+        }
+    }
+}

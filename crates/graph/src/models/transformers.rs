@@ -1,0 +1,222 @@
+//! Transformer members of the model zoo: BERT, ViT, DALL-E (decoder-only
+//! text-to-image transformer) and the Transformer-Transducer (T-T).
+
+use crate::graph::{Graph, GraphError};
+use crate::op::{OpAttributes, OpKind, Padding};
+
+use super::common::{layer_norm, linear, transformer_layer, ts, TransformerLayerConfig};
+use super::ModelScale;
+
+/// Builds BERT-base (Devlin et al., 2019): embedding lookup followed by a
+/// stack of transformer encoder layers and a pooler.
+///
+/// `seq_len` is the input token length (128 in the paper's evaluation).
+pub fn bert(seq_len: usize, scale: ModelScale) -> Result<Graph, GraphError> {
+    let (layers, d_model, heads, d_ff) = match scale {
+        ModelScale::Paper => (12, 768, 12, 3072),
+        ModelScale::Bench => (2, 128, 4, 512),
+    };
+    let mut g = Graph::new();
+
+    // Token ids and embedding table.
+    let ids = g.add_input(ts(&[1, seq_len]));
+    let table = g.add_weight(ts(&[30522, d_model]));
+    let emb = g.add_node(OpKind::Embedding, OpAttributes::default(), vec![table.into(), ids.into()])?;
+    // Positional embeddings.
+    let pos = g.add_weight(ts(&[1, seq_len, d_model]));
+    let h0 = g.add_node(OpKind::Add, OpAttributes::default(), vec![emb.into(), pos.into()])?;
+    let mut h = layer_norm(&mut g, h0.into(), d_model)?;
+
+    let cfg = TransformerLayerConfig { seq_len, d_model, num_heads: heads, d_ff, gelu: true };
+    for _ in 0..layers {
+        h = transformer_layer(&mut g, h, &cfg)?;
+    }
+
+    // Pooler: first-token slice -> dense -> tanh.
+    let first = g.add_node(
+        OpKind::Slice,
+        OpAttributes { target_shape: Some(vec![1, 1, d_model]), ..Default::default() },
+        vec![h],
+    )?;
+    let squeezed =
+        g.add_node(OpKind::Reshape, OpAttributes::reshape(vec![1, d_model]), vec![first.into()])?;
+    let pooled = linear(&mut g, squeezed.into(), d_model, d_model, true)?;
+    let out = g.add_node(OpKind::Tanh, OpAttributes::default(), vec![pooled])?;
+    g.mark_output(out.into());
+    Ok(g)
+}
+
+/// Builds ViT-base (Dosovitskiy et al.): non-overlapping patch embedding
+/// convolution, class-token-free encoder stack and a classification head.
+pub fn vit(image_size: usize, scale: ModelScale) -> Result<Graph, GraphError> {
+    let (layers, d_model, heads, d_ff) = match scale {
+        ModelScale::Paper => (12, 768, 12, 3072),
+        ModelScale::Bench => (2, 128, 4, 512),
+    };
+    let patch = 16;
+    let tokens = (image_size / patch) * (image_size / patch);
+    let mut g = Graph::new();
+
+    let x = g.add_input(ts(&[1, 3, image_size, image_size]));
+    // Patch embedding as a strided convolution.
+    let w = g.add_weight(ts(&[d_model, 3, patch, patch]));
+    let conv = g.add_node(
+        OpKind::Conv2d,
+        OpAttributes::conv2d([patch, patch], [patch, patch], Padding::Valid, 1),
+        vec![x.into(), w.into()],
+    )?;
+    // [1, d, gh, gw] -> [1, tokens, d]
+    let reshaped =
+        g.add_node(OpKind::Reshape, OpAttributes::reshape(vec![1, d_model, tokens]), vec![conv.into()])?;
+    let seq = g.add_node(
+        OpKind::Transpose,
+        OpAttributes::transpose(vec![0, 2, 1]),
+        vec![reshaped.into()],
+    )?;
+    let pos = g.add_weight(ts(&[1, tokens, d_model]));
+    let h0 = g.add_node(OpKind::Add, OpAttributes::default(), vec![seq.into(), pos.into()])?;
+
+    let cfg = TransformerLayerConfig { seq_len: tokens, d_model, num_heads: heads, d_ff, gelu: true };
+    let mut h = h0.into();
+    for _ in 0..layers {
+        h = transformer_layer(&mut g, h, &cfg)?;
+    }
+    let normed = layer_norm(&mut g, h, d_model)?;
+
+    // Mean-pool tokens and classify.
+    let pooled = g.add_node(OpKind::ReduceMean, OpAttributes::with_axis(1), vec![normed])?;
+    let flat = g.add_node(OpKind::Reshape, OpAttributes::reshape(vec![1, d_model]), vec![pooled.into()])?;
+    let logits = linear(&mut g, flat.into(), d_model, 1000, true)?;
+    let probs = g.add_node(OpKind::Softmax, OpAttributes::with_axis(1), vec![logits])?;
+    g.mark_output(probs.into());
+    Ok(g)
+}
+
+/// Builds a DALL-E-style decoder-only transformer (Ramesh et al., 2021)
+/// operating over a combined text + image token sequence.
+pub fn dalle(seq_len: usize, scale: ModelScale) -> Result<Graph, GraphError> {
+    let (layers, d_model, heads, d_ff) = match scale {
+        ModelScale::Paper => (12, 1024, 16, 4096),
+        ModelScale::Bench => (2, 128, 4, 512),
+    };
+    let mut g = Graph::new();
+
+    let ids = g.add_input(ts(&[1, seq_len]));
+    let table = g.add_weight(ts(&[16384, d_model]));
+    let emb = g.add_node(OpKind::Embedding, OpAttributes::default(), vec![table.into(), ids.into()])?;
+    let pos = g.add_weight(ts(&[1, seq_len, d_model]));
+    let h0 = g.add_node(OpKind::Add, OpAttributes::default(), vec![emb.into(), pos.into()])?;
+
+    let cfg = TransformerLayerConfig { seq_len, d_model, num_heads: heads, d_ff, gelu: true };
+    let mut h = h0.into();
+    for _ in 0..layers {
+        h = transformer_layer(&mut g, h, &cfg)?;
+    }
+    let normed = layer_norm(&mut g, h, d_model)?;
+    // Project back to the image-token vocabulary.
+    let logits = linear(&mut g, normed, d_model, 8192, false)?;
+    let probs = g.add_node(OpKind::Softmax, OpAttributes::with_axis(2), vec![logits])?;
+    g.mark_output(probs.into());
+    Ok(g)
+}
+
+/// Builds a Transformer-Transducer (Zhang et al., 2020): an audio encoder and
+/// a label predictor, combined by a joint network.
+pub fn transformer_transducer(frames: usize, scale: ModelScale) -> Result<Graph, GraphError> {
+    let (enc_layers, pred_layers, d_model, heads, d_ff) = match scale {
+        ModelScale::Paper => (12, 2, 512, 8, 2048),
+        ModelScale::Bench => (2, 1, 128, 4, 512),
+    };
+    let label_len = (frames / 4).max(8);
+    let mut g = Graph::new();
+
+    // --- Audio encoder ---
+    let audio = g.add_input(ts(&[1, frames, 80]));
+    let mut enc = linear(&mut g, audio.into(), 80, d_model, true)?;
+    let enc_cfg = TransformerLayerConfig { seq_len: frames, d_model, num_heads: heads, d_ff, gelu: false };
+    for _ in 0..enc_layers {
+        enc = transformer_layer(&mut g, enc, &enc_cfg)?;
+    }
+    let enc = layer_norm(&mut g, enc, d_model)?;
+
+    // --- Label predictor ---
+    let labels = g.add_input(ts(&[1, label_len]));
+    let table = g.add_weight(ts(&[4096, d_model]));
+    let emb = g.add_node(OpKind::Embedding, OpAttributes::default(), vec![table.into(), labels.into()])?;
+    let pred_cfg =
+        TransformerLayerConfig { seq_len: label_len, d_model, num_heads: heads, d_ff, gelu: false };
+    let mut pred = emb.into();
+    for _ in 0..pred_layers {
+        pred = transformer_layer(&mut g, pred, &pred_cfg)?;
+    }
+    let pred = layer_norm(&mut g, pred, d_model)?;
+
+    // --- Joint network ---
+    // Project both streams to the joint dimension, expand, add and classify.
+    let joint_dim = d_model;
+    let enc_proj = linear(&mut g, enc, d_model, joint_dim, true)?;
+    let pred_proj = linear(&mut g, pred, d_model, joint_dim, true)?;
+    // [1, T, d] -> [1, T, 1, d] and [1, U, d] -> [1, 1, U, d]; Add broadcasts to [1, T, U, d].
+    let enc_e = g.add_node(OpKind::Unsqueeze, OpAttributes::with_axis(2), vec![enc_proj])?;
+    let pred_e = g.add_node(OpKind::Unsqueeze, OpAttributes::with_axis(1), vec![pred_proj])?;
+    let joint = g.add_node(OpKind::Add, OpAttributes::default(), vec![enc_e.into(), pred_e.into()])?;
+    let act = g.add_node(OpKind::Tanh, OpAttributes::default(), vec![joint.into()])?;
+    let logits = linear(&mut g, act.into(), joint_dim, 4096, true)?;
+    let probs = g.add_node(OpKind::Softmax, OpAttributes::with_axis(3), vec![logits])?;
+    g.mark_output(probs.into());
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_builds_and_validates() {
+        let g = bert(128, ModelScale::Bench).unwrap();
+        assert!(g.validate().is_ok());
+        assert!(g.count_op(OpKind::BatchMatMul) >= 4);
+        assert_eq!(g.count_op(OpKind::Embedding), 1);
+    }
+
+    #[test]
+    fn bert_paper_scale_has_twelve_layers() {
+        let g = bert(64, ModelScale::Paper).unwrap();
+        assert!(g.validate().is_ok());
+        // Two batched matmuls per attention layer.
+        assert_eq!(g.count_op(OpKind::BatchMatMul), 24);
+    }
+
+    #[test]
+    fn vit_builds_and_validates() {
+        let g = vit(224, ModelScale::Bench).unwrap();
+        assert!(g.validate().is_ok());
+        // Patch embedding is a convolution.
+        assert_eq!(g.count_op(OpKind::Conv2d), 1);
+        assert!(g.count_op(OpKind::Softmax) >= 3);
+    }
+
+    #[test]
+    fn dalle_builds_and_validates() {
+        let g = dalle(64, ModelScale::Bench).unwrap();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.count_op(OpKind::Embedding), 1);
+    }
+
+    #[test]
+    fn transformer_transducer_builds_and_validates() {
+        let g = transformer_transducer(64, ModelScale::Bench).unwrap();
+        assert!(g.validate().is_ok());
+        // Two input streams: audio frames and label tokens.
+        assert_eq!(g.count_op(OpKind::Input), 2);
+    }
+
+    #[test]
+    fn bert_seq_len_variations_build() {
+        // Figure 7 generalises across input sequence lengths.
+        for seq in [32, 64, 128, 256] {
+            let g = bert(seq, ModelScale::Bench).unwrap();
+            assert!(g.validate().is_ok(), "failed for seq {seq}");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The rewrite-rule abstraction, candidate generation and rule sets.
+//!
+//! At every optimisation step the environment pattern-matches every active
+//! rule against the current graph and produces one *candidate* (a fully
+//! transformed copy of the graph) per match, exactly as TASO's substitution
+//! engine does. X-RLflow's agent (or TASO's greedy search) then selects one
+//! candidate to become the next graph.
+
+use std::collections::HashSet;
+
+use xrlflow_graph::{Graph, GraphError, NodeId};
+
+/// Identifier of a rewrite rule within a [`RuleSet`] (stable across runs;
+/// used for the Figure 5 rule-application heatmap).
+pub type RuleId = usize;
+
+/// A single located application site of a rule in a specific graph.
+///
+/// The meaning of `nodes` is rule-specific (e.g. "the Conv2d and the Relu to
+/// fuse" or "the two MatMuls to merge").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleMatch {
+    /// Nodes participating in the match, in rule-defined order.
+    pub nodes: Vec<NodeId>,
+}
+
+impl RuleMatch {
+    /// Creates a match over the given nodes.
+    pub fn new(nodes: Vec<NodeId>) -> Self {
+        Self { nodes }
+    }
+
+    /// Destructures the match into exactly `N` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the match does not contain exactly `N` nodes; this indicates
+    /// a rule applying a match it did not produce.
+    pub fn expect_nodes<const N: usize>(&self) -> [NodeId; N] {
+        self.nodes
+            .as_slice()
+            .try_into()
+            .unwrap_or_else(|_| panic!("rule match has {} nodes, expected {N}", self.nodes.len()))
+    }
+}
+
+/// A graph-rewrite rule: locate every application site in a graph, and apply
+/// the rewrite at one site producing a transformed copy.
+pub trait RewriteRule: Send + Sync {
+    /// Short, stable, human-readable rule name.
+    fn name(&self) -> &'static str;
+
+    /// Finds every application site of this rule in the graph.
+    fn find_matches(&self, graph: &Graph) -> Vec<RuleMatch>;
+
+    /// Applies the rule at the given site, returning the transformed graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the match is stale or the transformation would
+    /// produce an invalid graph; callers treat this as "no candidate".
+    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError>;
+}
+
+/// A transformed candidate graph produced by applying one rule at one site.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The transformed graph.
+    pub graph: Graph,
+    /// Which rule produced it.
+    pub rule_id: RuleId,
+    /// The rule's name.
+    pub rule_name: &'static str,
+    /// Canonical hash of the transformed graph (used for deduplication).
+    pub hash: u64,
+}
+
+/// A collection of rewrite rules applied together.
+pub struct RuleSet {
+    rules: Vec<Box<dyn RewriteRule>>,
+}
+
+impl std::fmt::Debug for RuleSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuleSet").field("rules", &self.rule_names()).finish()
+    }
+}
+
+impl RuleSet {
+    /// Creates a rule set from explicit rules.
+    pub fn new(rules: Vec<Box<dyn RewriteRule>>) -> Self {
+        Self { rules }
+    }
+
+    /// The standard rule library (fusion, parallel-operator merging and
+    /// algebraic simplification families; see `crate::rules`).
+    pub fn standard() -> Self {
+        Self::new(crate::rules::standard_rules())
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Returns `true` when the set contains no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Rule names indexed by [`RuleId`].
+    pub fn rule_names(&self) -> Vec<&'static str> {
+        self.rules.iter().map(|r| r.name()).collect()
+    }
+
+    /// Returns the name of a rule.
+    pub fn rule_name(&self, id: RuleId) -> &'static str {
+        self.rules[id].name()
+    }
+
+    /// Total number of application sites across all rules (the paper's
+    /// Table 3 "complexity" metric is the average of this over an episode).
+    pub fn count_matches(&self, graph: &Graph) -> usize {
+        self.rules.iter().map(|r| r.find_matches(graph).len()).sum()
+    }
+
+    /// Generates every valid, deduplicated candidate obtainable by applying
+    /// one rule at one site of `graph`.
+    ///
+    /// Candidates identical to the input graph are dropped, as are
+    /// candidates that fail validation. `max_candidates` bounds the output
+    /// (the paper pads the action space to a fixed constant anyway).
+    pub fn generate_candidates(&self, graph: &Graph, max_candidates: usize) -> Vec<Candidate> {
+        let original_hash = graph.canonical_hash();
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut out = Vec::new();
+        'outer: for (rule_id, rule) in self.rules.iter().enumerate() {
+            for site in rule.find_matches(graph) {
+                let Ok(mut candidate) = rule.apply(graph, &site) else { continue };
+                candidate.eliminate_dead_nodes();
+                if candidate.validate().is_err() {
+                    continue;
+                }
+                let hash = candidate.canonical_hash();
+                if hash == original_hash || !seen.insert(hash) {
+                    continue;
+                }
+                out.push(Candidate { graph: candidate, rule_id, rule_name: rule.name(), hash });
+                if out.len() >= max_candidates {
+                    break 'outer;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for RuleSet {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+
+    #[test]
+    fn standard_ruleset_is_nonempty() {
+        let rs = RuleSet::standard();
+        assert!(rs.len() >= 12, "expected a substantive rule library, got {}", rs.len());
+        assert!(!rs.is_empty());
+        let names = rs.rule_names();
+        assert_eq!(names.len(), rs.len());
+        // Names must be unique.
+        let unique: HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    fn candidates_are_valid_and_deduplicated() {
+        let g = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+        let rs = RuleSet::standard();
+        let candidates = rs.generate_candidates(&g, 64);
+        assert!(!candidates.is_empty(), "expected rewrite opportunities in SqueezeNet");
+        let mut hashes = HashSet::new();
+        for c in &candidates {
+            assert!(c.graph.validate().is_ok(), "candidate from {} is invalid", c.rule_name);
+            assert!(hashes.insert(c.hash), "duplicate candidate from {}", c.rule_name);
+            assert_ne!(c.hash, g.canonical_hash());
+        }
+    }
+
+    #[test]
+    fn candidate_limit_respected() {
+        let g = build_model(ModelKind::InceptionV3, ModelScale::Bench).unwrap();
+        let rs = RuleSet::standard();
+        let candidates = rs.generate_candidates(&g, 5);
+        assert!(candidates.len() <= 5);
+    }
+}

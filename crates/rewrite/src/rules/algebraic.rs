@@ -1,0 +1,468 @@
+//! Algebraic and layout simplification rules: identity elimination,
+//! transpose/reshape cancellation, split–concat round trips and matrix
+//! multiplication re-association.
+
+use xrlflow_graph::{Graph, GraphError, OpAttributes, OpKind, TensorRef};
+
+use crate::matcher::{find_chains, has_single_consumer};
+use crate::rule::{RewriteRule, RuleMatch};
+
+/// Removes pass-through operators (`Identity`, inference-time `Dropout`,
+/// same-type `Cast`).
+#[derive(Debug, Clone, Default)]
+pub struct EliminatePassThrough;
+
+impl RewriteRule for EliminatePassThrough {
+    fn name(&self) -> &'static str {
+        "eliminate-pass-through"
+    }
+
+    fn find_matches(&self, graph: &Graph) -> Vec<RuleMatch> {
+        graph
+            .iter()
+            .filter(|(_, n)| matches!(n.op, OpKind::Identity | OpKind::Dropout | OpKind::Cast))
+            .map(|(id, _)| RuleMatch::new(vec![id]))
+            .collect()
+    }
+
+    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+        let [id] = site.expect_nodes();
+        let mut g = graph.clone();
+        let input = g.node(id)?.inputs[0];
+        g.replace_all_uses(TensorRef::new(id), input)?;
+        Ok(g)
+    }
+}
+
+/// Cancels a pair of consecutive `Transpose` operators whose composition is
+/// the identity permutation.
+#[derive(Debug, Clone, Default)]
+pub struct EliminateTransposePair;
+
+impl RewriteRule for EliminateTransposePair {
+    fn name(&self) -> &'static str {
+        "eliminate-transpose-pair"
+    }
+
+    fn find_matches(&self, graph: &Graph) -> Vec<RuleMatch> {
+        find_chains(graph, OpKind::Transpose, OpKind::Transpose)
+            .into_iter()
+            .filter(|(first, second)| {
+                let (Ok(a), Ok(b)) = (graph.node(*first), graph.node(*second)) else { return false };
+                let (Some(pa), Some(pb)) = (&a.attrs.perm, &b.attrs.perm) else { return false };
+                if pa.len() != pb.len() {
+                    return false;
+                }
+                // Composition pb ∘ pa must be the identity.
+                (0..pa.len()).all(|i| pa[pb[i]] == i)
+            })
+            .map(|(a, b)| RuleMatch::new(vec![a, b]))
+            .collect()
+    }
+
+    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+        let [first, second] = site.expect_nodes();
+        let mut g = graph.clone();
+        let original = g.node(first)?.inputs[0];
+        g.replace_all_uses(TensorRef::new(second), original)?;
+        Ok(g)
+    }
+}
+
+/// Collapses two consecutive `Reshape` operators into one (or removes them
+/// entirely when the final shape equals the original).
+#[derive(Debug, Clone, Default)]
+pub struct MergeReshapePair;
+
+impl RewriteRule for MergeReshapePair {
+    fn name(&self) -> &'static str {
+        "merge-reshape-pair"
+    }
+
+    fn find_matches(&self, graph: &Graph) -> Vec<RuleMatch> {
+        find_chains(graph, OpKind::Reshape, OpKind::Reshape)
+            .into_iter()
+            .map(|(a, b)| RuleMatch::new(vec![a, b]))
+            .collect()
+    }
+
+    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+        let [first, second] = site.expect_nodes();
+        let mut g = graph.clone();
+        let original = g.node(first)?.inputs[0];
+        let final_shape = g.tensor_shape(TensorRef::new(second))?.clone();
+        if g.tensor_shape(original)? == &final_shape {
+            g.replace_all_uses(TensorRef::new(second), original)?;
+        } else {
+            let merged = g.add_node(
+                OpKind::Reshape,
+                OpAttributes::reshape(final_shape.dims().to_vec()),
+                vec![original],
+            )?;
+            g.replace_all_uses(TensorRef::new(second), TensorRef::new(merged))?;
+        }
+        Ok(g)
+    }
+}
+
+/// Cancels `Concat(Split(x))` when the concat reads every split output in
+/// order along the same axis.
+#[derive(Debug, Clone, Default)]
+pub struct EliminateSplitConcat;
+
+impl RewriteRule for EliminateSplitConcat {
+    fn name(&self) -> &'static str {
+        "eliminate-split-concat"
+    }
+
+    fn find_matches(&self, graph: &Graph) -> Vec<RuleMatch> {
+        let mut out = Vec::new();
+        for (concat_id, concat) in graph.iter() {
+            if concat.op != OpKind::Concat {
+                continue;
+            }
+            let Some(first) = concat.inputs.first() else { continue };
+            let split_id = first.node;
+            let Ok(split) = graph.node(split_id) else { continue };
+            if split.op != OpKind::Split
+                || split.attrs.axis != concat.attrs.axis
+                || concat.inputs.len() != split.outputs.len()
+            {
+                continue;
+            }
+            let in_order = concat
+                .inputs
+                .iter()
+                .enumerate()
+                .all(|(i, r)| r.node == split_id && r.port == i);
+            if in_order {
+                out.push(RuleMatch::new(vec![split_id, concat_id]));
+            }
+        }
+        out
+    }
+
+    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+        let [split_id, concat_id] = site.expect_nodes();
+        let mut g = graph.clone();
+        let original = g.node(split_id)?.inputs[0];
+        g.replace_all_uses(TensorRef::new(concat_id), original)?;
+        Ok(g)
+    }
+}
+
+/// Cancels `Unsqueeze(Squeeze(x))` and `Squeeze(Unsqueeze(x))` pairs that
+/// restore the original shape.
+#[derive(Debug, Clone, Default)]
+pub struct EliminateSqueezePair;
+
+impl RewriteRule for EliminateSqueezePair {
+    fn name(&self) -> &'static str {
+        "eliminate-squeeze-pair"
+    }
+
+    fn find_matches(&self, graph: &Graph) -> Vec<RuleMatch> {
+        let mut out: Vec<RuleMatch> = find_chains(graph, OpKind::Squeeze, OpKind::Unsqueeze)
+            .into_iter()
+            .chain(find_chains(graph, OpKind::Unsqueeze, OpKind::Squeeze))
+            .filter(|(first, second)| {
+                let original = graph.node(*first).ok().map(|n| n.inputs[0]);
+                match original {
+                    Some(orig) => {
+                        graph.tensor_shape(orig).ok() == graph.tensor_shape(TensorRef::new(*second)).ok()
+                    }
+                    None => false,
+                }
+            })
+            .map(|(a, b)| RuleMatch::new(vec![a, b]))
+            .collect();
+        out.dedup();
+        out
+    }
+
+    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+        let [first, second] = site.expect_nodes();
+        let mut g = graph.clone();
+        let original = g.node(first)?.inputs[0];
+        g.replace_all_uses(TensorRef::new(second), original)?;
+        Ok(g)
+    }
+}
+
+/// Removes the second of two consecutive `BatchNorm` operators (their affine
+/// transforms compose into one).
+#[derive(Debug, Clone, Default)]
+pub struct FuseDoubleBatchNorm;
+
+impl RewriteRule for FuseDoubleBatchNorm {
+    fn name(&self) -> &'static str {
+        "fuse-double-batchnorm"
+    }
+
+    fn find_matches(&self, graph: &Graph) -> Vec<RuleMatch> {
+        find_chains(graph, OpKind::BatchNorm, OpKind::BatchNorm)
+            .into_iter()
+            .map(|(a, b)| RuleMatch::new(vec![a, b]))
+            .collect()
+    }
+
+    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+        let [first, second] = site.expect_nodes();
+        let mut g = graph.clone();
+        g.replace_all_uses(TensorRef::new(second), TensorRef::new(first))?;
+        Ok(g)
+    }
+}
+
+/// Re-associates a matrix-multiplication chain.
+///
+/// `RightToLeft` turns `(A·B)·C` into `A·(B·C)`; `LeftToRight` is the
+/// inverse. Re-association changes the floating-point work and, when `B` and
+/// `C` are both weights, creates a constant-foldable product — another
+/// multi-step opportunity only visible to a planner.
+#[derive(Debug, Clone)]
+pub struct ReassociateMatMul {
+    name: &'static str,
+    right_to_left: bool,
+}
+
+impl ReassociateMatMul {
+    /// `(A·B)·C -> A·(B·C)`.
+    pub fn right_to_left() -> Self {
+        Self { name: "matmul-reassociate-right", right_to_left: true }
+    }
+
+    /// `A·(B·C) -> (A·B)·C`.
+    pub fn left_to_right() -> Self {
+        Self { name: "matmul-reassociate-left", right_to_left: false }
+    }
+}
+
+impl RewriteRule for ReassociateMatMul {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn find_matches(&self, graph: &Graph) -> Vec<RuleMatch> {
+        let inner_slot = if self.right_to_left { 0 } else { 1 };
+        let mut out = Vec::new();
+        for (outer_id, outer) in graph.iter() {
+            if outer.op != OpKind::MatMul || outer.attrs.fused_activation.is_some() {
+                continue;
+            }
+            let Some(inner_ref) = outer.inputs.get(inner_slot) else { continue };
+            let Ok(inner) = graph.node(inner_ref.node) else { continue };
+            if inner.op != OpKind::MatMul
+                || inner.attrs.fused_activation.is_some()
+                || !has_single_consumer(graph, inner_ref.node)
+            {
+                continue;
+            }
+            // Only re-associate when the two "free" operands are rank-2, so
+            // the re-associated product is well-formed.
+            let ok_ranks = if self.right_to_left {
+                // (A·B)·C: B and C must be rank-2.
+                rank_of(graph, inner.inputs[1]) == Some(2) && rank_of(graph, outer.inputs[1]) == Some(2)
+            } else {
+                // A·(B·C): A and B must be rank-2.
+                rank_of(graph, outer.inputs[0]) == Some(2) && rank_of(graph, inner.inputs[0]) == Some(2)
+            };
+            if ok_ranks {
+                out.push(RuleMatch::new(vec![inner_ref.node, outer_id]));
+            }
+        }
+        out
+    }
+
+    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+        let [inner_id, outer_id] = site.expect_nodes();
+        let mut g = graph.clone();
+        let inner = g.node(inner_id)?.clone();
+        let outer = g.node(outer_id)?.clone();
+        let new_outer = if self.right_to_left {
+            // (A·B)·C -> A·(B·C)
+            let a = inner.inputs[0];
+            let b = inner.inputs[1];
+            let c = outer.inputs[1];
+            let bc = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![b, c])?;
+            g.add_node(OpKind::MatMul, OpAttributes::default(), vec![a, bc.into()])?
+        } else {
+            // A·(B·C) -> (A·B)·C
+            let a = outer.inputs[0];
+            let b = inner.inputs[0];
+            let c = inner.inputs[1];
+            let ab = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![a, b])?;
+            g.add_node(OpKind::MatMul, OpAttributes::default(), vec![ab.into(), c])?
+        };
+        g.replace_all_uses(TensorRef::new(outer_id), TensorRef::new(new_outer))?;
+        Ok(g)
+    }
+}
+
+fn rank_of(graph: &Graph, r: TensorRef) -> Option<usize> {
+    graph.tensor_shape(r).ok().map(|s| s.rank())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrlflow_graph::TensorShape;
+
+    fn shape(d: &[usize]) -> TensorShape {
+        TensorShape::new(d.to_vec())
+    }
+
+    #[test]
+    fn eliminate_identity_chain() {
+        let mut g = Graph::new();
+        let x = g.add_input(shape(&[1, 8]));
+        let id = g.add_node(OpKind::Identity, OpAttributes::default(), vec![x.into()]).unwrap();
+        let drop = g.add_node(OpKind::Dropout, OpAttributes::default(), vec![id.into()]).unwrap();
+        let relu = g.add_node(OpKind::Relu, OpAttributes::default(), vec![drop.into()]).unwrap();
+        g.mark_output(relu.into());
+
+        let rule = EliminatePassThrough;
+        assert_eq!(rule.find_matches(&g).len(), 2);
+        let mut out = rule.apply(&g, &rule.find_matches(&g)[0]).unwrap();
+        out.eliminate_dead_nodes();
+        assert!(out.validate().is_ok());
+        assert_eq!(out.num_nodes(), 3);
+    }
+
+    #[test]
+    fn transpose_pair_cancels_only_when_inverse() {
+        let mut g = Graph::new();
+        let x = g.add_input(shape(&[2, 3, 4]));
+        let t1 = g
+            .add_node(OpKind::Transpose, OpAttributes::transpose(vec![1, 2, 0]), vec![x.into()])
+            .unwrap();
+        let t2 = g
+            .add_node(OpKind::Transpose, OpAttributes::transpose(vec![2, 0, 1]), vec![t1.into()])
+            .unwrap();
+        g.mark_output(t2.into());
+        let rule = EliminateTransposePair;
+        let matches = rule.find_matches(&g);
+        assert_eq!(matches.len(), 1);
+        let mut out = rule.apply(&g, &matches[0]).unwrap();
+        out.eliminate_dead_nodes();
+        assert!(out.validate().is_ok());
+        assert_eq!(out.count_op(OpKind::Transpose), 0);
+
+        // A non-inverse pair must not match.
+        let mut g2 = Graph::new();
+        let x = g2.add_input(shape(&[2, 3, 4]));
+        let t1 = g2
+            .add_node(OpKind::Transpose, OpAttributes::transpose(vec![1, 2, 0]), vec![x.into()])
+            .unwrap();
+        let t2 = g2
+            .add_node(OpKind::Transpose, OpAttributes::transpose(vec![1, 2, 0]), vec![t1.into()])
+            .unwrap();
+        g2.mark_output(t2.into());
+        assert!(rule.find_matches(&g2).is_empty());
+    }
+
+    #[test]
+    fn reshape_pair_merges() {
+        let mut g = Graph::new();
+        let x = g.add_input(shape(&[2, 3, 4]));
+        let r1 = g.add_node(OpKind::Reshape, OpAttributes::reshape(vec![6, 4]), vec![x.into()]).unwrap();
+        let r2 = g.add_node(OpKind::Reshape, OpAttributes::reshape(vec![24]), vec![r1.into()]).unwrap();
+        g.mark_output(r2.into());
+        let rule = MergeReshapePair;
+        let matches = rule.find_matches(&g);
+        assert_eq!(matches.len(), 1);
+        let mut out = rule.apply(&g, &matches[0]).unwrap();
+        out.eliminate_dead_nodes();
+        assert!(out.validate().is_ok());
+        assert_eq!(out.count_op(OpKind::Reshape), 1);
+    }
+
+    #[test]
+    fn split_concat_round_trip_eliminated() {
+        let mut g = Graph::new();
+        let x = g.add_input(shape(&[1, 8, 4, 4]));
+        let split = g.add_node(OpKind::Split, OpAttributes::split(1, 2), vec![x.into()]).unwrap();
+        let cat = g
+            .add_node(
+                OpKind::Concat,
+                OpAttributes::with_axis(1),
+                vec![TensorRef::with_port(split, 0), TensorRef::with_port(split, 1)],
+            )
+            .unwrap();
+        let relu = g.add_node(OpKind::Relu, OpAttributes::default(), vec![cat.into()]).unwrap();
+        g.mark_output(relu.into());
+        let rule = EliminateSplitConcat;
+        let matches = rule.find_matches(&g);
+        assert_eq!(matches.len(), 1);
+        let mut out = rule.apply(&g, &matches[0]).unwrap();
+        out.eliminate_dead_nodes();
+        assert!(out.validate().is_ok());
+        assert_eq!(out.count_op(OpKind::Split), 0);
+        assert_eq!(out.count_op(OpKind::Concat), 0);
+    }
+
+    #[test]
+    fn reassociation_round_trip() {
+        let mut g = Graph::new();
+        let a = g.add_input(shape(&[8, 16]));
+        let b = g.add_weight(shape(&[16, 32]));
+        let c = g.add_weight(shape(&[32, 4]));
+        let ab = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![a.into(), b.into()]).unwrap();
+        let abc = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![ab.into(), c.into()]).unwrap();
+        g.mark_output(abc.into());
+
+        let right = ReassociateMatMul::right_to_left();
+        let matches = right.find_matches(&g);
+        assert_eq!(matches.len(), 1);
+        let mut out = right.apply(&g, &matches[0]).unwrap();
+        out.eliminate_dead_nodes();
+        assert!(out.validate().is_ok());
+        // B·C is now weight-only, hence constant-foldable.
+        let foldable = out.foldable_nodes();
+        let inner = out
+            .iter()
+            .find(|(_, n)| {
+                n.op == OpKind::MatMul && n.inputs.iter().all(|r| out.node(r.node).unwrap().op.is_source())
+            })
+            .unwrap();
+        assert!(foldable.contains(&inner.0));
+
+        // And the inverse direction applies to the result.
+        let left = ReassociateMatMul::left_to_right();
+        assert_eq!(left.find_matches(&out).len(), 1);
+    }
+
+    #[test]
+    fn squeeze_pair_eliminated() {
+        let mut g = Graph::new();
+        let x = g.add_input(shape(&[2, 1, 4]));
+        let s = g.add_node(OpKind::Squeeze, OpAttributes::with_axis(1), vec![x.into()]).unwrap();
+        let u = g.add_node(OpKind::Unsqueeze, OpAttributes::with_axis(1), vec![s.into()]).unwrap();
+        let relu = g.add_node(OpKind::Relu, OpAttributes::default(), vec![u.into()]).unwrap();
+        g.mark_output(relu.into());
+        let rule = EliminateSqueezePair;
+        let matches = rule.find_matches(&g);
+        assert_eq!(matches.len(), 1);
+        let mut out = rule.apply(&g, &matches[0]).unwrap();
+        out.eliminate_dead_nodes();
+        assert!(out.validate().is_ok());
+        assert_eq!(out.count_op(OpKind::Squeeze), 0);
+        assert_eq!(out.count_op(OpKind::Unsqueeze), 0);
+    }
+
+    #[test]
+    fn double_batchnorm_fused() {
+        let mut g = Graph::new();
+        let x = g.add_input(shape(&[1, 8, 4, 4]));
+        let b1 = g.add_node(OpKind::BatchNorm, OpAttributes::default(), vec![x.into()]).unwrap();
+        let b2 = g.add_node(OpKind::BatchNorm, OpAttributes::default(), vec![b1.into()]).unwrap();
+        g.mark_output(b2.into());
+        let rule = FuseDoubleBatchNorm;
+        let matches = rule.find_matches(&g);
+        assert_eq!(matches.len(), 1);
+        let mut out = rule.apply(&g, &matches[0]).unwrap();
+        out.eliminate_dead_nodes();
+        assert!(out.validate().is_ok());
+        assert_eq!(out.count_op(OpKind::BatchNorm), 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! Operator-fusion rewrite rules.
+//!
+//! These mirror the most profitable family of TASO's generated rules:
+//! absorbing an element-wise epilogue (activation, bias add, batch
+//! normalisation) into the producing convolution or matrix multiplication,
+//! which removes a kernel launch and a round trip through memory.
+
+use xrlflow_graph::{FusedActivation, Graph, GraphError, OpKind, TensorRef};
+
+use crate::matcher::{find_chains, has_single_consumer, is_parameter};
+use crate::rule::{RewriteRule, RuleMatch};
+
+fn activation_of(op: OpKind) -> Option<FusedActivation> {
+    match op {
+        OpKind::Relu => Some(FusedActivation::Relu),
+        OpKind::Sigmoid => Some(FusedActivation::Sigmoid),
+        OpKind::Tanh => Some(FusedActivation::Tanh),
+        OpKind::Gelu => Some(FusedActivation::Gelu),
+        _ => None,
+    }
+}
+
+/// Fuses `producer -> activation` into a single operator with a fused
+/// epilogue, where `producer` is a convolution or matrix multiplication.
+#[derive(Debug, Clone)]
+pub struct FuseActivation {
+    name: &'static str,
+    producer: OpKind,
+    activation: OpKind,
+}
+
+impl FuseActivation {
+    /// Creates a fusion rule for the given producer/activation pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activation` is not a fusible activation.
+    pub fn new(name: &'static str, producer: OpKind, activation: OpKind) -> Self {
+        assert!(activation_of(activation).is_some(), "{activation} is not fusible");
+        Self { name, producer, activation }
+    }
+}
+
+impl RewriteRule for FuseActivation {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn find_matches(&self, graph: &Graph) -> Vec<RuleMatch> {
+        find_chains(graph, self.producer, self.activation)
+            .into_iter()
+            .filter(|(p, _)| {
+                graph.node(*p).map(|n| n.attrs.fused_activation.is_none()).unwrap_or(false)
+            })
+            .map(|(p, a)| RuleMatch::new(vec![p, a]))
+            .collect()
+    }
+
+    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+        let [producer_id, act_id] = site.expect_nodes();
+        let mut g = graph.clone();
+        let producer = g.node(producer_id)?.clone();
+        let act = activation_of(self.activation).expect("checked in constructor");
+        let fused = g.add_node(
+            producer.op,
+            producer.attrs.clone().with_fused_activation(act),
+            producer.inputs.clone(),
+        )?;
+        g.replace_all_uses(TensorRef::new(act_id), TensorRef::new(fused))?;
+        Ok(g)
+    }
+}
+
+/// Folds a `BatchNorm` into the preceding convolution (the normalisation's
+/// affine transform is absorbed into the convolution weights).
+#[derive(Debug, Clone, Default)]
+pub struct FuseConvBatchNorm;
+
+impl RewriteRule for FuseConvBatchNorm {
+    fn name(&self) -> &'static str {
+        "fuse-conv-batchnorm"
+    }
+
+    fn find_matches(&self, graph: &Graph) -> Vec<RuleMatch> {
+        find_chains(graph, OpKind::Conv2d, OpKind::BatchNorm)
+            .into_iter()
+            .map(|(c, b)| RuleMatch::new(vec![c, b]))
+            .collect()
+    }
+
+    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+        let [conv_id, bn_id] = site.expect_nodes();
+        let mut g = graph.clone();
+        g.replace_all_uses(TensorRef::new(bn_id), TensorRef::new(conv_id))?;
+        Ok(g)
+    }
+}
+
+/// Folds a bias `Add` (one operand produced by a convolution or matrix
+/// multiplication, the other a weight/constant) into the producer's epilogue.
+#[derive(Debug, Clone)]
+pub struct FuseBiasAdd {
+    name: &'static str,
+    producer: OpKind,
+}
+
+impl FuseBiasAdd {
+    /// Creates a bias-fusion rule for the given producer kind.
+    pub fn new(name: &'static str, producer: OpKind) -> Self {
+        Self { name, producer }
+    }
+}
+
+impl RewriteRule for FuseBiasAdd {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn find_matches(&self, graph: &Graph) -> Vec<RuleMatch> {
+        let mut out = Vec::new();
+        for (id, node) in graph.iter() {
+            if node.op != OpKind::Add || node.inputs.len() != 2 {
+                continue;
+            }
+            for (producer_slot, bias_slot) in [(0, 1), (1, 0)] {
+                let producer_ref = node.inputs[producer_slot];
+                let bias_ref = node.inputs[bias_slot];
+                let Ok(producer) = graph.node(producer_ref.node) else { continue };
+                if producer.op != self.producer
+                    || !is_parameter(graph, bias_ref)
+                    || !has_single_consumer(graph, producer_ref.node)
+                {
+                    continue;
+                }
+                // The fused result must keep the producer's output shape
+                // (i.e. the bias must broadcast, not expand).
+                let add_shape = graph.tensor_shape(TensorRef::new(id));
+                let prod_shape = graph.tensor_shape(producer_ref);
+                if let (Ok(a), Ok(p)) = (add_shape, prod_shape) {
+                    if a == p {
+                        out.push(RuleMatch::new(vec![producer_ref.node, id]));
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+        let [producer_id, add_id] = site.expect_nodes();
+        let mut g = graph.clone();
+        g.replace_all_uses(TensorRef::new(add_id), TensorRef::new(producer_id))?;
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrlflow_graph::{OpAttributes, Padding, TensorShape};
+
+    fn conv_relu_graph() -> Graph {
+        let mut g = Graph::new();
+        let x = g.add_input(TensorShape::new(vec![1, 8, 16, 16]));
+        let w = g.add_weight(TensorShape::new(vec![16, 8, 3, 3]));
+        let conv = g
+            .add_node(
+                OpKind::Conv2d,
+                OpAttributes::conv2d([3, 3], [1, 1], Padding::Same, 1),
+                vec![x.into(), w.into()],
+            )
+            .unwrap();
+        let relu = g.add_node(OpKind::Relu, OpAttributes::default(), vec![conv.into()]).unwrap();
+        g.mark_output(relu.into());
+        g
+    }
+
+    #[test]
+    fn fuse_conv_relu_removes_a_node() {
+        let g = conv_relu_graph();
+        let rule = FuseActivation::new("fuse-conv-relu", OpKind::Conv2d, OpKind::Relu);
+        let matches = rule.find_matches(&g);
+        assert_eq!(matches.len(), 1);
+        let mut out = rule.apply(&g, &matches[0]).unwrap();
+        out.eliminate_dead_nodes();
+        assert!(out.validate().is_ok());
+        assert_eq!(out.count_op(OpKind::Relu), 0);
+        let fused = out
+            .iter()
+            .find(|(_, n)| n.op == OpKind::Conv2d)
+            .expect("conv must survive");
+        assert_eq!(fused.1.attrs.fused_activation, Some(FusedActivation::Relu));
+        // Already-fused convolutions must not match again.
+        assert!(rule.find_matches(&out).is_empty());
+    }
+
+    #[test]
+    fn fuse_bias_add_for_matmul() {
+        let mut g = Graph::new();
+        let x = g.add_input(TensorShape::new(vec![4, 32]));
+        let w = g.add_weight(TensorShape::new(vec![32, 16]));
+        let b = g.add_weight(TensorShape::new(vec![16]));
+        let mm = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![x.into(), w.into()]).unwrap();
+        let add = g.add_node(OpKind::Add, OpAttributes::default(), vec![mm.into(), b.into()]).unwrap();
+        g.mark_output(add.into());
+
+        let rule = FuseBiasAdd::new("fuse-matmul-bias", OpKind::MatMul);
+        let matches = rule.find_matches(&g);
+        assert_eq!(matches.len(), 1);
+        let mut out = rule.apply(&g, &matches[0]).unwrap();
+        out.eliminate_dead_nodes();
+        assert!(out.validate().is_ok());
+        assert_eq!(out.count_op(OpKind::Add), 0);
+        assert_eq!(out.num_nodes(), 3);
+    }
+
+    #[test]
+    fn bias_add_between_two_activations_does_not_match() {
+        let mut g = Graph::new();
+        let x = g.add_input(TensorShape::new(vec![4, 16]));
+        let y = g.add_input(TensorShape::new(vec![4, 16]));
+        let add = g.add_node(OpKind::Add, OpAttributes::default(), vec![x.into(), y.into()]).unwrap();
+        g.mark_output(add.into());
+        let rule = FuseBiasAdd::new("fuse-matmul-bias", OpKind::MatMul);
+        assert!(rule.find_matches(&g).is_empty());
+    }
+
+    #[test]
+    fn fuse_conv_batchnorm() {
+        let mut g = Graph::new();
+        let x = g.add_input(TensorShape::new(vec![1, 8, 16, 16]));
+        let w = g.add_weight(TensorShape::new(vec![16, 8, 1, 1]));
+        let conv = g
+            .add_node(
+                OpKind::Conv2d,
+                OpAttributes::conv2d([1, 1], [1, 1], Padding::Same, 1),
+                vec![x.into(), w.into()],
+            )
+            .unwrap();
+        let scale = g.add_weight(TensorShape::new(vec![16, 1, 1]));
+        let bn = g
+            .add_node(OpKind::BatchNorm, OpAttributes::default(), vec![conv.into(), scale.into()])
+            .unwrap();
+        g.mark_output(bn.into());
+
+        let rule = FuseConvBatchNorm;
+        let matches = rule.find_matches(&g);
+        assert_eq!(matches.len(), 1);
+        let mut out = rule.apply(&g, &matches[0]).unwrap();
+        out.eliminate_dead_nodes();
+        assert!(out.validate().is_ok());
+        assert_eq!(out.count_op(OpKind::BatchNorm), 0);
+        assert_eq!(out.count_op(OpKind::Conv2d), 1);
+    }
+}

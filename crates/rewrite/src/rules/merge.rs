@@ -1,0 +1,348 @@
+//! Parallel-operator merging rules.
+//!
+//! These capture TASO's highest-impact substitutions: two convolutions or
+//! matrix multiplications that read the same tensor can be executed as one
+//! larger kernel over concatenated weights, followed by a split. The weight
+//! concatenation is constant-foldable, so the end-to-end latency improves by
+//! more than the per-operator cost model predicts — which is exactly the
+//! signal X-RLflow can learn to exploit and greedy cost-model search cannot.
+
+use xrlflow_graph::{Graph, GraphError, NodeId, OpAttributes, OpKind, TensorRef};
+
+use crate::matcher::{find_siblings_sharing_input, is_constant_derived, is_parameter};
+use crate::rule::{RewriteRule, RuleMatch};
+
+/// Merges two `MatMul` nodes that share their left operand into one `MatMul`
+/// over column-concatenated weights, followed by a `Split`.
+#[derive(Debug, Clone, Default)]
+pub struct MergeMatMulSharedLhs;
+
+impl RewriteRule for MergeMatMulSharedLhs {
+    fn name(&self) -> &'static str {
+        "merge-matmul-shared-lhs"
+    }
+
+    fn find_matches(&self, graph: &Graph) -> Vec<RuleMatch> {
+        find_siblings_sharing_input(graph, OpKind::MatMul, 0)
+            .into_iter()
+            .filter(|(_, a, b)| mergeable_matmuls(graph, *a, *b))
+            .map(|(_, a, b)| RuleMatch::new(vec![a, b]))
+            .collect()
+    }
+
+    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+        let [a_id, b_id] = site.expect_nodes();
+        let mut g = graph.clone();
+        let a = g.node(a_id)?.clone();
+        let b = g.node(b_id)?.clone();
+        let lhs = a.inputs[0];
+        let (wa, wb) = (a.inputs[1], b.inputs[1]);
+
+        // Concatenate the two weights along their output (column) axis.
+        let w_rank = g.tensor_shape(wa)?.rank();
+        let concat =
+            g.add_node(OpKind::Concat, OpAttributes::with_axis(w_rank - 1), vec![wa, wb])?;
+        let merged = g.add_node(OpKind::MatMul, a.attrs.clone(), vec![lhs, concat.into()])?;
+        let out_rank = g.tensor_shape(TensorRef::new(merged))?.rank();
+        let split =
+            g.add_node(OpKind::Split, OpAttributes::split(out_rank - 1, 2), vec![merged.into()])?;
+        g.replace_all_uses(TensorRef::new(a_id), TensorRef::with_port(split, 0))?;
+        g.replace_all_uses(TensorRef::new(b_id), TensorRef::with_port(split, 1))?;
+        Ok(g)
+    }
+}
+
+/// Merges two `MatMul` nodes that share their right operand (the weight) into
+/// one `MatMul` over row-concatenated activations, followed by a `Split`.
+#[derive(Debug, Clone, Default)]
+pub struct MergeMatMulSharedRhs;
+
+impl RewriteRule for MergeMatMulSharedRhs {
+    fn name(&self) -> &'static str {
+        "merge-matmul-shared-rhs"
+    }
+
+    fn find_matches(&self, graph: &Graph) -> Vec<RuleMatch> {
+        find_siblings_sharing_input(graph, OpKind::MatMul, 1)
+            .into_iter()
+            .filter(|(shared, a, b)| {
+                is_parameter(graph, *shared) && same_shape_inputs(graph, *a, *b, 0) && same_attrs(graph, *a, *b)
+            })
+            .map(|(_, a, b)| RuleMatch::new(vec![a, b]))
+            .collect()
+    }
+
+    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+        let [a_id, b_id] = site.expect_nodes();
+        let mut g = graph.clone();
+        let a = g.node(a_id)?.clone();
+        let b = g.node(b_id)?.clone();
+        let weight = a.inputs[1];
+        let (xa, xb) = (a.inputs[0], b.inputs[0]);
+
+        let x_rank = g.tensor_shape(xa)?.rank();
+        let row_axis = x_rank - 2;
+        let concat = g.add_node(OpKind::Concat, OpAttributes::with_axis(row_axis), vec![xa, xb])?;
+        let merged = g.add_node(OpKind::MatMul, a.attrs.clone(), vec![concat.into(), weight])?;
+        let out_rank = g.tensor_shape(TensorRef::new(merged))?.rank();
+        let split =
+            g.add_node(OpKind::Split, OpAttributes::split(out_rank - 2, 2), vec![merged.into()])?;
+        g.replace_all_uses(TensorRef::new(a_id), TensorRef::with_port(split, 0))?;
+        g.replace_all_uses(TensorRef::new(b_id), TensorRef::with_port(split, 1))?;
+        Ok(g)
+    }
+}
+
+/// Merges two convolutions that read the same input tensor and have identical
+/// geometry into one convolution over output-channel-concatenated weights,
+/// followed by a channel `Split`.
+#[derive(Debug, Clone, Default)]
+pub struct MergeConvSharedInput;
+
+impl RewriteRule for MergeConvSharedInput {
+    fn name(&self) -> &'static str {
+        "merge-conv-shared-input"
+    }
+
+    fn find_matches(&self, graph: &Graph) -> Vec<RuleMatch> {
+        find_siblings_sharing_input(graph, OpKind::Conv2d, 0)
+            .into_iter()
+            .filter(|(_, a, b)| mergeable_convs(graph, *a, *b))
+            .map(|(_, a, b)| RuleMatch::new(vec![a, b]))
+            .collect()
+    }
+
+    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+        let [a_id, b_id] = site.expect_nodes();
+        let mut g = graph.clone();
+        let a = g.node(a_id)?.clone();
+        let b = g.node(b_id)?.clone();
+        let input = a.inputs[0];
+        let (wa, wb) = (a.inputs[1], b.inputs[1]);
+
+        let concat = g.add_node(OpKind::Concat, OpAttributes::with_axis(0), vec![wa, wb])?;
+        let merged = g.add_node(OpKind::Conv2d, a.attrs.clone(), vec![input, concat.into()])?;
+        let split = g.add_node(OpKind::Split, OpAttributes::split(1, 2), vec![merged.into()])?;
+        g.replace_all_uses(TensorRef::new(a_id), TensorRef::with_port(split, 0))?;
+        g.replace_all_uses(TensorRef::new(b_id), TensorRef::with_port(split, 1))?;
+        Ok(g)
+    }
+}
+
+/// Enlarges a 1x1 convolution to a 3x3 convolution by zero-padding its
+/// weights, whenever a sibling 3x3 convolution reads the same input. On its
+/// own this *increases* compute, but it unlocks
+/// [`MergeConvSharedInput`] at the next step — the canonical example of a
+/// substitution sequence that requires tolerating a temporary loss, which
+/// greedy search cannot do.
+#[derive(Debug, Clone, Default)]
+pub struct EnlargeConvKernel;
+
+impl RewriteRule for EnlargeConvKernel {
+    fn name(&self) -> &'static str {
+        "enlarge-conv-kernel"
+    }
+
+    fn find_matches(&self, graph: &Graph) -> Vec<RuleMatch> {
+        let mut out = Vec::new();
+        for (_, small, other) in find_siblings_sharing_input(graph, OpKind::Conv2d, 0) {
+            for (cand, sibling) in [(small, other), (other, small)] {
+                let (Ok(c), Ok(s)) = (graph.node(cand), graph.node(sibling)) else { continue };
+                let is_1x1 = c.attrs.kernel == Some([1, 1]);
+                let sibling_3x3 = s.attrs.kernel == Some([3, 3]);
+                let same_stride = c.attrs.stride == Some([1, 1]) && s.attrs.stride == Some([1, 1]);
+                let same_padding = c.attrs.padding == xrlflow_graph::Padding::Same
+                    && s.attrs.padding == xrlflow_graph::Padding::Same;
+                let ungrouped = c.attrs.groups <= 1 && s.attrs.groups <= 1;
+                if is_1x1
+                    && sibling_3x3
+                    && same_stride
+                    && same_padding
+                    && ungrouped
+                    && is_parameter(graph, c.inputs[1])
+                {
+                    out.push(RuleMatch::new(vec![cand]));
+                }
+            }
+        }
+        out.sort_by_key(|m| m.nodes.clone());
+        out.dedup();
+        out
+    }
+
+    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+        let [conv_id] = site.expect_nodes();
+        let mut g = graph.clone();
+        let conv = g.node(conv_id)?.clone();
+        let weight = conv.inputs[1];
+        let w_shape = g.tensor_shape(weight)?.clone();
+        let padded_dims = vec![w_shape.dim(0), w_shape.dim(1), 3, 3];
+        let pad = g.add_node(
+            OpKind::Pad,
+            OpAttributes { target_shape: Some(padded_dims), ..Default::default() },
+            vec![weight],
+        )?;
+        let mut attrs = conv.attrs.clone();
+        attrs.kernel = Some([3, 3]);
+        let enlarged = g.add_node(OpKind::Conv2d, attrs, vec![conv.inputs[0], pad.into()])?;
+        g.replace_all_uses(TensorRef::new(conv_id), TensorRef::new(enlarged))?;
+        Ok(g)
+    }
+}
+
+fn same_attrs(graph: &Graph, a: NodeId, b: NodeId) -> bool {
+    match (graph.node(a), graph.node(b)) {
+        (Ok(na), Ok(nb)) => na.attrs == nb.attrs,
+        _ => false,
+    }
+}
+
+fn same_shape_inputs(graph: &Graph, a: NodeId, b: NodeId, slot: usize) -> bool {
+    let sa = graph.node(a).ok().and_then(|n| n.inputs.get(slot).copied());
+    let sb = graph.node(b).ok().and_then(|n| n.inputs.get(slot).copied());
+    match (sa, sb) {
+        (Some(ra), Some(rb)) => match (graph.tensor_shape(ra), graph.tensor_shape(rb)) {
+            (Ok(x), Ok(y)) => x == y,
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn mergeable_matmuls(graph: &Graph, a: NodeId, b: NodeId) -> bool {
+    let (Ok(na), Ok(nb)) = (graph.node(a), graph.node(b)) else { return false };
+    na.attrs == nb.attrs
+        && na.inputs.len() == 2
+        && nb.inputs.len() == 2
+        && is_constant_derived(graph, na.inputs[1])
+        && is_constant_derived(graph, nb.inputs[1])
+        && same_shape_inputs(graph, a, b, 1)
+        && graph.tensor_shape(na.inputs[1]).map(|s| s.rank() == 2).unwrap_or(false)
+}
+
+fn mergeable_convs(graph: &Graph, a: NodeId, b: NodeId) -> bool {
+    let (Ok(na), Ok(nb)) = (graph.node(a), graph.node(b)) else { return false };
+    na.attrs == nb.attrs
+        && na.attrs.groups <= 1
+        && is_constant_derived(graph, na.inputs[1])
+        && is_constant_derived(graph, nb.inputs[1])
+        && same_shape_inputs(graph, a, b, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrlflow_graph::{Padding, TensorShape};
+
+    fn shape(d: &[usize]) -> TensorShape {
+        TensorShape::new(d.to_vec())
+    }
+
+    fn qkv_graph() -> Graph {
+        // Three projections of the same input, as in multi-head attention.
+        let mut g = Graph::new();
+        let x = g.add_input(shape(&[1, 16, 64]));
+        for _ in 0..3 {
+            let w = g.add_weight(shape(&[64, 64]));
+            let mm = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![x.into(), w.into()]).unwrap();
+            let relu = g.add_node(OpKind::Relu, OpAttributes::default(), vec![mm.into()]).unwrap();
+            g.mark_output(relu.into());
+        }
+        g
+    }
+
+    #[test]
+    fn merge_matmul_shared_lhs_qkv() {
+        let g = qkv_graph();
+        let rule = MergeMatMulSharedLhs;
+        let matches = rule.find_matches(&g);
+        // Three projections -> three unordered pairs.
+        assert_eq!(matches.len(), 3);
+        let mut out = rule.apply(&g, &matches[0]).unwrap();
+        out.eliminate_dead_nodes();
+        assert!(out.validate().is_ok());
+        // Two matmuls replaced by one merged matmul (plus the untouched third).
+        assert_eq!(out.count_op(OpKind::MatMul), 2);
+        assert_eq!(out.count_op(OpKind::Split), 1);
+        assert_eq!(out.count_op(OpKind::Concat), 1);
+        // The weight concat must be constant-foldable.
+        let foldable = out.foldable_nodes();
+        let concat_id = out.iter().find(|(_, n)| n.op == OpKind::Concat).unwrap().0;
+        assert!(foldable.contains(&concat_id));
+    }
+
+    #[test]
+    fn merge_conv_shared_input() {
+        let mut g = Graph::new();
+        let x = g.add_input(shape(&[1, 32, 28, 28]));
+        let mut outs = Vec::new();
+        for _ in 0..2 {
+            let w = g.add_weight(shape(&[64, 32, 3, 3]));
+            let conv = g
+                .add_node(
+                    OpKind::Conv2d,
+                    OpAttributes::conv2d([3, 3], [1, 1], Padding::Same, 1),
+                    vec![x.into(), w.into()],
+                )
+                .unwrap();
+            outs.push(conv);
+            g.mark_output(conv.into());
+        }
+        let rule = MergeConvSharedInput;
+        let matches = rule.find_matches(&g);
+        assert_eq!(matches.len(), 1);
+        let mut out = rule.apply(&g, &matches[0]).unwrap();
+        out.eliminate_dead_nodes();
+        assert!(out.validate().is_ok());
+        assert_eq!(out.count_op(OpKind::Conv2d), 1);
+        assert_eq!(out.count_op(OpKind::Split), 1);
+        // The merged conv produces 128 channels before the split.
+        let conv = out.iter().find(|(_, n)| n.op == OpKind::Conv2d).unwrap();
+        assert_eq!(conv.1.outputs[0].dims(), &[1, 128, 28, 28]);
+    }
+
+    #[test]
+    fn convs_with_different_geometry_do_not_merge() {
+        let mut g = Graph::new();
+        let x = g.add_input(shape(&[1, 32, 28, 28]));
+        let w1 = g.add_weight(shape(&[64, 32, 3, 3]));
+        let w2 = g.add_weight(shape(&[64, 32, 1, 1]));
+        let c1 = g
+            .add_node(OpKind::Conv2d, OpAttributes::conv2d([3, 3], [1, 1], Padding::Same, 1), vec![x.into(), w1.into()])
+            .unwrap();
+        let c2 = g
+            .add_node(OpKind::Conv2d, OpAttributes::conv2d([1, 1], [1, 1], Padding::Same, 1), vec![x.into(), w2.into()])
+            .unwrap();
+        g.mark_output(c1.into());
+        g.mark_output(c2.into());
+        assert!(MergeConvSharedInput.find_matches(&g).is_empty());
+        // ... but the 1x1 can be enlarged to 3x3, unlocking the merge next step.
+        let enlarge = EnlargeConvKernel;
+        let matches = enlarge.find_matches(&g);
+        assert_eq!(matches.len(), 1);
+        let mut out = enlarge.apply(&g, &matches[0]).unwrap();
+        out.eliminate_dead_nodes();
+        assert!(out.validate().is_ok());
+        assert_eq!(MergeConvSharedInput.find_matches(&out).len(), 1);
+    }
+
+    #[test]
+    fn merge_matmul_shared_rhs() {
+        let mut g = Graph::new();
+        let a = g.add_input(shape(&[8, 64]));
+        let b = g.add_input(shape(&[8, 64]));
+        let w = g.add_weight(shape(&[64, 32]));
+        let ma = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![a.into(), w.into()]).unwrap();
+        let mb = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![b.into(), w.into()]).unwrap();
+        g.mark_output(ma.into());
+        g.mark_output(mb.into());
+        let rule = MergeMatMulSharedRhs;
+        let matches = rule.find_matches(&g);
+        assert_eq!(matches.len(), 1);
+        let mut out = rule.apply(&g, &matches[0]).unwrap();
+        out.eliminate_dead_nodes();
+        assert!(out.validate().is_ok());
+        assert_eq!(out.count_op(OpKind::MatMul), 1);
+        assert_eq!(out.count_op(OpKind::Concat), 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! The rewrite-rule library.
+//!
+//! TASO generates ~150 rules by enumerating operator combinations; this
+//! reproduction implements the rule *families* those generated rules fall
+//! into (operator fusion, parallel-operator merging, algebraic and layout
+//! simplification, kernel enlargement and re-association), each hand-written
+//! and individually tested. See `DESIGN.md` for the substitution rationale.
+
+mod algebraic;
+mod fusion;
+mod merge;
+
+pub use algebraic::{
+    EliminatePassThrough, EliminateSplitConcat, EliminateSqueezePair, EliminateTransposePair,
+    FuseDoubleBatchNorm, MergeReshapePair, ReassociateMatMul,
+};
+pub use fusion::{FuseActivation, FuseBiasAdd, FuseConvBatchNorm};
+pub use merge::{EnlargeConvKernel, MergeConvSharedInput, MergeMatMulSharedLhs, MergeMatMulSharedRhs};
+
+use crate::rule::RewriteRule;
+use xrlflow_graph::OpKind;
+
+/// The standard rule library used by every optimiser in this repository
+/// (X-RLflow's environment, the TASO baseline and — restricted to
+/// single-output rules — the Tensat baseline).
+pub fn standard_rules() -> Vec<Box<dyn RewriteRule>> {
+    vec![
+        // Fusion family.
+        Box::new(FuseActivation::new("fuse-conv-relu", OpKind::Conv2d, OpKind::Relu)),
+        Box::new(FuseActivation::new("fuse-conv-sigmoid", OpKind::Conv2d, OpKind::Sigmoid)),
+        Box::new(FuseActivation::new("fuse-matmul-relu", OpKind::MatMul, OpKind::Relu)),
+        Box::new(FuseActivation::new("fuse-matmul-gelu", OpKind::MatMul, OpKind::Gelu)),
+        Box::new(FuseActivation::new("fuse-matmul-tanh", OpKind::MatMul, OpKind::Tanh)),
+        Box::new(FuseActivation::new("fuse-matmul-sigmoid", OpKind::MatMul, OpKind::Sigmoid)),
+        Box::new(FuseConvBatchNorm),
+        Box::new(FuseBiasAdd::new("fuse-matmul-bias", OpKind::MatMul)),
+        Box::new(FuseBiasAdd::new("fuse-conv-bias", OpKind::Conv2d)),
+        Box::new(FuseDoubleBatchNorm),
+        // Parallel-operator merging family.
+        Box::new(MergeMatMulSharedLhs),
+        Box::new(MergeMatMulSharedRhs),
+        Box::new(MergeConvSharedInput),
+        Box::new(EnlargeConvKernel),
+        // Algebraic / layout family.
+        Box::new(EliminatePassThrough),
+        Box::new(EliminateTransposePair),
+        Box::new(MergeReshapePair),
+        Box::new(EliminateSplitConcat),
+        Box::new(EliminateSqueezePair),
+        Box::new(ReassociateMatMul::right_to_left()),
+        Box::new(ReassociateMatMul::left_to_right()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_rule_names_are_unique() {
+        let rules = standard_rules();
+        let mut names: Vec<&str> = rules.iter().map(|r| r.name()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert!(before >= 20, "expected at least 20 rules, got {before}");
+    }
+}

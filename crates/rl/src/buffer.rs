@@ -1,0 +1,211 @@
+//! Rollout storage for on-policy training.
+//!
+//! PPO collects several episodes of experience under the current policy
+//! (the paper updates every 10 episodes, Table 4) before performing
+//! mini-batch updates; the buffer stores whatever observation type the
+//! caller uses (X-RLflow stores the current graph plus its candidate set).
+
+use crate::gae::gae;
+
+/// One environment transition.
+#[derive(Debug, Clone)]
+pub struct Transition<O> {
+    /// The observation the action was taken in.
+    pub observation: O,
+    /// The action index (into the padded action space).
+    pub action: usize,
+    /// Log-probability of the action under the behaviour policy.
+    pub log_prob: f32,
+    /// Value estimate of the observation.
+    pub value: f32,
+    /// Reward received after the action.
+    pub reward: f32,
+    /// Whether the episode terminated after this transition.
+    pub done: bool,
+    /// Validity mask of the padded action space at this step.
+    pub action_mask: Vec<bool>,
+}
+
+/// A rollout buffer accumulating transitions across episodes.
+#[derive(Debug, Clone, Default)]
+pub struct RolloutBuffer<O> {
+    transitions: Vec<Transition<O>>,
+    advantages: Vec<f32>,
+    returns: Vec<f32>,
+}
+
+impl<O> RolloutBuffer<O> {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self { transitions: Vec::new(), advantages: Vec::new(), returns: Vec::new() }
+    }
+
+    /// Appends a transition.
+    pub fn push(&mut self, transition: Transition<O>) {
+        self.transitions.push(transition);
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Returns `true` when no transitions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// The stored transitions.
+    pub fn transitions(&self) -> &[Transition<O>] {
+        &self.transitions
+    }
+
+    /// Computes GAE advantages and returns over the stored transitions
+    /// (which may span several episodes — `done` flags reset the estimator).
+    /// Advantages are normalised to zero mean and unit variance, the usual
+    /// PPO stabilisation.
+    pub fn compute_advantages(&mut self, gamma: f32, lambda: f32) {
+        let rewards: Vec<f32> = self.transitions.iter().map(|t| t.reward).collect();
+        let values: Vec<f32> = self.transitions.iter().map(|t| t.value).collect();
+        let dones: Vec<bool> = self.transitions.iter().map(|t| t.done).collect();
+        let (mut advantages, returns) = gae(&rewards, &values, &dones, 0.0, gamma, lambda);
+        if advantages.len() > 1 {
+            let mean = advantages.iter().sum::<f32>() / advantages.len() as f32;
+            let var = advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>()
+                / advantages.len() as f32;
+            let std = var.sqrt().max(1e-6);
+            for a in &mut advantages {
+                *a = (*a - mean) / std;
+            }
+        }
+        self.advantages = advantages;
+        self.returns = returns;
+    }
+
+    /// The normalised advantages (empty before [`RolloutBuffer::compute_advantages`]).
+    pub fn advantages(&self) -> &[f32] {
+        &self.advantages
+    }
+
+    /// The value targets (empty before [`RolloutBuffer::compute_advantages`]).
+    pub fn returns(&self) -> &[f32] {
+        &self.returns
+    }
+
+    /// Yields mini-batches of transition indices of size `batch_size`
+    /// (the final batch may be smaller), in a deterministic shuffled order
+    /// derived from `seed`.
+    pub fn minibatch_indices(&self, batch_size: usize, seed: u64) -> Vec<Vec<usize>> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut indices: Vec<usize> = (0..self.transitions.len()).collect();
+        // Fisher–Yates with a small deterministic generator.
+        let mut state = seed | 1;
+        for i in (1..indices.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let j = (state % (i as u64 + 1)) as usize;
+            indices.swap(i, j);
+        }
+        indices.chunks(batch_size).map(|c| c.to_vec()).collect()
+    }
+
+    /// Clears all stored data.
+    pub fn clear(&mut self) {
+        self.transitions.clear();
+        self.advantages.clear();
+        self.returns.clear();
+    }
+
+    /// Sum of rewards per episode, in the order episodes were collected.
+    pub fn episode_rewards(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        let mut acc = 0.0;
+        for t in &self.transitions {
+            acc += t.reward;
+            if t.done {
+                out.push(acc);
+                acc = 0.0;
+            }
+        }
+        if acc != 0.0 {
+            out.push(acc);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transition(reward: f32, done: bool) -> Transition<u32> {
+        Transition {
+            observation: 0,
+            action: 0,
+            log_prob: -0.5,
+            value: 0.1,
+            reward,
+            done,
+            action_mask: vec![true],
+        }
+    }
+
+    #[test]
+    fn push_and_episode_rewards() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(transition(1.0, false));
+        buf.push(transition(2.0, true));
+        buf.push(transition(0.5, true));
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.episode_rewards(), vec![3.0, 0.5]);
+    }
+
+    #[test]
+    fn advantages_are_normalised() {
+        let mut buf = RolloutBuffer::new();
+        for i in 0..10 {
+            buf.push(transition(i as f32, i == 9));
+        }
+        buf.compute_advantages(0.99, 0.95);
+        let adv = buf.advantages();
+        let mean: f32 = adv.iter().sum::<f32>() / adv.len() as f32;
+        let var: f32 = adv.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / adv.len() as f32;
+        assert!(mean.abs() < 1e-4);
+        assert!((var - 1.0).abs() < 1e-3);
+        assert_eq!(buf.returns().len(), 10);
+    }
+
+    #[test]
+    fn minibatches_cover_all_indices_exactly_once() {
+        let mut buf = RolloutBuffer::new();
+        for i in 0..23 {
+            buf.push(transition(i as f32, false));
+        }
+        let batches = buf.minibatch_indices(5, 42);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn minibatch_order_is_deterministic_per_seed() {
+        let mut buf = RolloutBuffer::new();
+        for _ in 0..16 {
+            buf.push(transition(0.0, false));
+        }
+        assert_eq!(buf.minibatch_indices(4, 7), buf.minibatch_indices(4, 7));
+        assert_ne!(buf.minibatch_indices(4, 7), buf.minibatch_indices(4, 8));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(transition(1.0, true));
+        buf.compute_advantages(0.99, 0.95);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert!(buf.advantages().is_empty());
+        assert!(buf.returns().is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! # xrlflow-tensor
+//!
+//! Dense tensors, a dynamic reverse-mode autodiff tape, neural-network
+//! building blocks and deterministic random number generation for the
+//! X-RLflow reproduction.
+//!
+//! The X-RLflow agent (MLSys 2023) encodes a *changing* dataflow graph at
+//! every environment step, so its computation graph cannot be compiled
+//! ahead of time. This crate therefore provides a per-forward-pass [`Tape`]:
+//! operations append nodes, [`Tape::backward`] accumulates gradients into a
+//! persistent [`ParamStore`], and [`Adam`] updates the stored parameters —
+//! mirroring the JAX/jraph stack used by the paper with a pure-Rust,
+//! dependency-free implementation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xrlflow_tensor::{Adam, Activation, Mlp, ParamStore, Tape, Tensor, XorShiftRng};
+//!
+//! let mut store = ParamStore::new();
+//! let mut rng = XorShiftRng::new(0);
+//! let mlp = Mlp::new(&mut store, "head", &[4, 8, 1], &mut rng);
+//! let mut tape = Tape::new();
+//! let x = tape.constant(Tensor::ones(&[2, 4]));
+//! let y = mlp.forward(&mut tape, &store, x);
+//! assert_eq!(tape.value(y).shape(), &[2, 1]);
+//! # let _ = Activation::Relu;
+//! # let _ = Adam::new(1e-3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod nn;
+mod rng;
+mod tape;
+mod tensor;
+
+pub use nn::{xavier_uniform, Activation, Linear, Mlp};
+pub use rng::XorShiftRng;
+pub use tape::{Adam, ParamId, ParamStore, Sgd, Tape, VarId};
+pub use tensor::Tensor;

@@ -1,0 +1,218 @@
+//! Small neural-network building blocks on top of the autodiff tape.
+//!
+//! The blocks here are exactly what the X-RLflow agent needs: dense layers
+//! with configurable activation and multi-layer perceptrons for the policy
+//! and value heads (two hidden layers of `[256, 64]` in the paper's
+//! Table 4).
+
+use crate::rng::XorShiftRng;
+use crate::tape::{ParamId, ParamStore, Tape, VarId};
+use crate::tensor::Tensor;
+
+/// Activation function applied after an affine transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// Identity (no activation).
+    #[default]
+    Linear,
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky rectified linear unit with slope 0.2 (GAT convention).
+    LeakyRelu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation to a tape variable.
+    pub fn apply(self, tape: &mut Tape, x: VarId) -> VarId {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => tape.relu(x),
+            Activation::LeakyRelu => tape.leaky_relu(x, 0.2),
+            Activation::Tanh => tape.tanh(x),
+            Activation::Sigmoid => tape.sigmoid(x),
+        }
+    }
+}
+
+/// Glorot/Xavier-uniform initialisation for a `[fan_in, fan_out]` matrix.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut XorShiftRng) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let data: Vec<f32> = (0..fan_in * fan_out).map(|_| rng.uniform(-limit, limit)).collect();
+    Tensor::from_vec(data, &[fan_in, fan_out])
+}
+
+/// A dense (fully connected) layer `y = act(x W + b)`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: ParamId,
+    bias: ParamId,
+    activation: Activation,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a dense layer, registering its parameters in `store`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut XorShiftRng,
+    ) -> Self {
+        let weight = store.register(&format!("{name}.weight"), xavier_uniform(in_dim, out_dim, rng));
+        let bias = store.register(&format!("{name}.bias"), Tensor::zeros(&[out_dim]));
+        Self { weight, bias, activation, in_dim, out_dim }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Runs the layer on a `[rows, in_dim]` variable, producing `[rows, out_dim]`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: VarId) -> VarId {
+        let w = tape.param(store, self.weight);
+        let b = tape.param(store, self.bias);
+        let xw = tape.matmul(x, w);
+        let y = tape.add_bias(xw, b);
+        self.activation.apply(tape, y)
+    }
+}
+
+/// A multi-layer perceptron with hidden ReLU layers and a linear output.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given hidden sizes.
+    ///
+    /// `dims = [in, h1, h2, ..., out]`; hidden layers use ReLU, the last
+    /// layer is linear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dimensions are given.
+    pub fn new(store: &mut ParamStore, name: &str, dims: &[usize], rng: &mut XorShiftRng) -> Self {
+        assert!(dims.len() >= 2, "Mlp requires at least input and output dims");
+        let mut layers = Vec::new();
+        for i in 0..dims.len() - 1 {
+            let act = if i + 2 == dims.len() { Activation::Linear } else { Activation::Relu };
+            layers.push(Linear::new(
+                store,
+                &format!("{name}.{i}"),
+                dims[i],
+                dims[i + 1],
+                act,
+                rng,
+            ));
+        }
+        Self { layers }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().map(Linear::in_dim).unwrap_or(0)
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().map(Linear::out_dim).unwrap_or(0)
+    }
+
+    /// Runs the MLP on a `[rows, in_dim]` variable.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: VarId) -> VarId {
+        let mut h = x;
+        for layer in &self.layers {
+            h = layer.forward(tape, store, h);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Adam;
+
+    #[test]
+    fn linear_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = XorShiftRng::new(7);
+        let layer = Linear::new(&mut store, "l", 4, 3, Activation::Relu, &mut rng);
+        assert_eq!(layer.in_dim(), 4);
+        assert_eq!(layer.out_dim(), 3);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[5, 4]));
+        let y = layer.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), &[5, 3]);
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = XorShiftRng::new(3);
+        let t = xavier_uniform(10, 10, &mut rng);
+        let limit = (6.0f32 / 20.0).sqrt();
+        for &v in t.data() {
+            assert!(v.abs() <= limit + 1e-6);
+        }
+        // Should not be all zeros.
+        assert!(t.sq_norm() > 0.0);
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        let mut store = ParamStore::new();
+        let mut rng = XorShiftRng::new(42);
+        let mlp = Mlp::new(&mut store, "xor", &[2, 16, 1], &mut rng);
+        assert_eq!(mlp.in_dim(), 2);
+        assert_eq!(mlp.out_dim(), 1);
+        let xs = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], &[4, 2]);
+        let ys = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[4, 1]);
+        let mut adam = Adam::new(0.02);
+        let mut final_loss = f32::INFINITY;
+        for _ in 0..800 {
+            let mut tape = Tape::new();
+            let x = tape.constant(xs.clone());
+            let y = tape.constant(ys.clone());
+            let pred = mlp.forward(&mut tape, &store, x);
+            let pred = tape.sigmoid(pred);
+            let diff = tape.sub(pred, y);
+            let sq = tape.mul(diff, diff);
+            let loss = tape.mean_all(sq);
+            final_loss = tape.value(loss).item();
+            store.zero_grad();
+            tape.backward(loss, &mut store);
+            adam.step(&mut store);
+        }
+        assert!(final_loss < 0.05, "MLP failed to learn XOR: loss={final_loss}");
+    }
+
+    #[test]
+    fn activations_apply() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(vec![-1.0, 2.0], &[2]));
+        let r = Activation::Relu.apply(&mut tape, x);
+        assert_eq!(tape.value(r).data(), &[0.0, 2.0]);
+        let l = Activation::LeakyRelu.apply(&mut tape, x);
+        assert!((tape.value(l).data()[0] + 0.2).abs() < 1e-6);
+        let t = Activation::Tanh.apply(&mut tape, x);
+        assert!(tape.value(t).data()[1] < 1.0);
+        let s = Activation::Sigmoid.apply(&mut tape, x);
+        assert!(tape.value(s).data()[0] < 0.5);
+        let id = Activation::Linear.apply(&mut tape, x);
+        assert_eq!(id, x);
+    }
+}

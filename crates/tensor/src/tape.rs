@@ -1,0 +1,1085 @@
+//! Reverse-mode automatic differentiation on a per-forward-pass tape.
+//!
+//! The X-RLflow agent rebuilds its computation graph on every forward pass
+//! (the input dataflow graph changes at every environment step), so the
+//! autodiff design is a *dynamic tape*: each call to [`Tape::new`] starts an
+//! empty tape, operations append nodes, and [`Tape::backward`] walks the tape
+//! in reverse accumulating gradients into a shared [`ParamStore`].
+//!
+//! Parameters live in the [`ParamStore`] across forward passes; each forward
+//! pass imports them as leaves via [`Tape::param`].
+
+use crate::tensor::Tensor;
+
+/// Identifier of a value on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(usize);
+
+/// Persistent storage for trainable parameters and their Adam state.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    entries: Vec<ParamEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct ParamEntry {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+    m: Tensor,
+    v: Tensor,
+}
+
+/// Identifier of a parameter in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+impl ParamStore {
+    /// Creates an empty parameter store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new parameter and returns its id.
+    pub fn register(&mut self, name: &str, value: Tensor) -> ParamId {
+        let shape = value.shape().to_vec();
+        self.entries.push(ParamEntry {
+            name: name.to_string(),
+            grad: Tensor::zeros(&shape),
+            m: Tensor::zeros(&shape),
+            v: Tensor::zeros(&shape),
+            value,
+        });
+        ParamId(self.entries.len() - 1)
+    }
+
+    /// Returns the current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].value
+    }
+
+    /// Returns the accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].grad
+    }
+
+    /// Returns the name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    /// Overwrites the value of a parameter (e.g. when loading a checkpoint).
+    pub fn set_value(&mut self, id: ParamId, value: Tensor) {
+        assert_eq!(
+            value.shape(),
+            self.entries[id.0].value.shape(),
+            "set_value shape mismatch for parameter {}",
+            self.entries[id.0].name
+        );
+        self.entries[id.0].value = value;
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of scalar parameters across all tensors.
+    pub fn num_scalars(&self) -> usize {
+        self.entries.iter().map(|e| e.value.numel()).sum()
+    }
+
+    /// Sets every accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        for e in &mut self.entries {
+            e.grad = Tensor::zeros(e.value.shape());
+        }
+    }
+
+    /// Global L2 norm of all accumulated gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.entries.iter().map(|e| e.grad.sq_norm()).sum::<f32>().sqrt()
+    }
+
+    /// Clips gradients so their global norm does not exceed `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for e in &mut self.entries {
+                e.grad = e.grad.scale(scale);
+            }
+        }
+    }
+
+    fn accumulate(&mut self, id: ParamId, grad: &Tensor) {
+        let e = &mut self.entries[id.0];
+        e.grad = e.grad.add(grad);
+    }
+}
+
+/// Adam optimiser over a [`ParamStore`].
+///
+/// # Examples
+///
+/// ```
+/// use xrlflow_tensor::{Adam, ParamStore, Tape, Tensor};
+///
+/// let mut store = ParamStore::new();
+/// let w = store.register("w", Tensor::from_vec(vec![2.0], &[1]));
+/// let mut adam = Adam::new(0.1);
+/// for _ in 0..200 {
+///     let mut tape = Tape::new();
+///     let wv = tape.param(&store, w);
+///     // minimise (w - 5)^2
+///     let target = tape.constant(Tensor::from_vec(vec![5.0], &[1]));
+///     let diff = tape.sub(wv, target);
+///     let loss = tape.mul(diff, diff);
+///     store.zero_grad();
+///     tape.backward(loss, &mut store);
+///     adam.step(&mut store);
+/// }
+/// assert!((store.value(w).item() - 5.0).abs() < 1e-2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability constant.
+    pub eps: f32,
+    t: usize,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with the given learning rate and standard
+    /// defaults for the remaining hyper-parameters.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+    }
+
+    /// Applies one Adam update using the gradients accumulated in `store`.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        let t = self.t as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        for e in &mut store.entries {
+            let g = &e.grad;
+            e.m = e.m.scale(self.beta1).add(&g.scale(1.0 - self.beta1));
+            e.v = e.v.scale(self.beta2).add(&g.mul(g).scale(1.0 - self.beta2));
+            let m_hat = e.m.scale(1.0 / bc1);
+            let v_hat = e.v.scale(1.0 / bc2);
+            let update = m_hat.zip(&v_hat, |m, v| m / (v.sqrt() + self.eps)).scale(self.lr);
+            e.value = e.value.sub(&update);
+        }
+    }
+
+    /// Number of optimisation steps performed so far.
+    pub fn steps(&self) -> usize {
+        self.t
+    }
+}
+
+/// Plain SGD optimiser (used in tests and ablations).
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+
+    /// Applies one SGD update using the gradients accumulated in `store`.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        for e in &mut store.entries {
+            e.value = e.value.sub(&e.grad.scale(self.lr));
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Constant,
+    Param(ParamId),
+    Add(VarId, VarId),
+    Sub(VarId, VarId),
+    Mul(VarId, VarId),
+    AddBias(VarId, VarId),
+    Scale(VarId, f32),
+    AddScalar(VarId),
+    Neg(VarId),
+    MatMul(VarId, VarId),
+    Relu(VarId),
+    LeakyRelu(VarId, f32),
+    Tanh(VarId),
+    Sigmoid(VarId),
+    Exp(VarId),
+    Log(VarId),
+    SumAll(VarId),
+    MeanAll(VarId),
+    SumRows(VarId),
+    MeanRows(VarId),
+    ConcatCols(VarId, VarId),
+    ConcatRows(Vec<VarId>),
+    GatherRows(VarId, Vec<usize>),
+    ScatterAddRows(VarId, Vec<usize>),
+    SegmentSoftmax(VarId, Vec<usize>, usize),
+    BroadcastMulCol(VarId, VarId),
+    LogSoftmaxRow(VarId),
+    Pick(VarId, usize),
+    Clamp(VarId, f32, f32),
+    Minimum(VarId, VarId),
+    Maximum(VarId, VarId),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    op: Op,
+    value: Tensor,
+}
+
+/// Dynamic autodiff tape.
+///
+/// Every method that takes `VarId` arguments appends a new node recording the
+/// operation and its forward value; [`Tape::backward`] later replays the tape
+/// in reverse to accumulate parameter gradients.
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Returns the forward value of a variable.
+    pub fn value(&self, id: VarId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    fn push(&mut self, op: Op, value: Tensor) -> VarId {
+        self.nodes.push(Node { op, value });
+        VarId(self.nodes.len() - 1)
+    }
+
+    /// Adds a constant (non-trainable) leaf.
+    pub fn constant(&mut self, value: Tensor) -> VarId {
+        self.push(Op::Constant, value)
+    }
+
+    /// Imports a parameter from the store as a trainable leaf.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> VarId {
+        self.push(Op::Param(id), store.value(id).clone())
+    }
+
+    /// Element-wise addition of two variables with identical shapes.
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).add(self.value(b));
+        self.push(Op::Add(a, b), v)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).sub(self.value(b));
+        self.push(Op::Sub(a, b), v)
+    }
+
+    /// Element-wise multiplication.
+    pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).mul(self.value(b));
+        self.push(Op::Mul(a, b), v)
+    }
+
+    /// Adds a rank-1 bias of size `n` to every row of a `[m, n]` matrix.
+    pub fn add_bias(&mut self, a: VarId, bias: VarId) -> VarId {
+        let av = self.value(a);
+        let bv = self.value(bias);
+        let (rows, cols) = (av.rows(), av.cols());
+        assert_eq!(bv.numel(), cols, "bias size must equal number of columns");
+        let mut out = Tensor::zeros(&[rows, cols]);
+        for r in 0..rows {
+            for c in 0..cols {
+                let val = av.data()[r * cols + c] + bv.data()[c];
+                out.data_mut()[r * cols + c] = val;
+            }
+        }
+        self.push(Op::AddBias(a, bias), out)
+    }
+
+    /// Multiplies every element by a constant.
+    pub fn scale(&mut self, a: VarId, s: f32) -> VarId {
+        let v = self.value(a).scale(s);
+        self.push(Op::Scale(a, s), v)
+    }
+
+    /// Adds a constant to every element.
+    pub fn add_scalar(&mut self, a: VarId, s: f32) -> VarId {
+        let v = self.value(a).map(|x| x + s);
+        self.push(Op::AddScalar(a), v)
+    }
+
+    /// Negates every element.
+    pub fn neg(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).scale(-1.0);
+        self.push(Op::Neg(a), v)
+    }
+
+    /// Matrix multiplication of rank-2 variables.
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(Op::MatMul(a, b), v)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(Op::Relu(a), v)
+    }
+
+    /// Leaky rectified linear unit with the given negative slope.
+    pub fn leaky_relu(&mut self, a: VarId, slope: f32) -> VarId {
+        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
+        self.push(Op::LeakyRelu(a, slope), v)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(f32::tanh);
+        self.push(Op::Tanh(a), v)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(Op::Sigmoid(a), v)
+    }
+
+    /// Element-wise exponential.
+    pub fn exp(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(f32::exp);
+        self.push(Op::Exp(a), v)
+    }
+
+    /// Element-wise natural logarithm.
+    pub fn log(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(|x| x.max(1e-12).ln());
+        self.push(Op::Log(a), v)
+    }
+
+    /// Sum of all elements, producing a scalar.
+    pub fn sum_all(&mut self, a: VarId) -> VarId {
+        let v = Tensor::scalar(self.value(a).sum());
+        self.push(Op::SumAll(a), v)
+    }
+
+    /// Mean of all elements, producing a scalar.
+    pub fn mean_all(&mut self, a: VarId) -> VarId {
+        let v = Tensor::scalar(self.value(a).mean());
+        self.push(Op::MeanAll(a), v)
+    }
+
+    /// Sums over the row axis, producing a `[1, cols]` matrix.
+    pub fn sum_rows(&mut self, a: VarId) -> VarId {
+        let av = self.value(a);
+        let (rows, cols) = (av.rows(), av.cols());
+        let mut out = Tensor::zeros(&[1, cols]);
+        for r in 0..rows {
+            for c in 0..cols {
+                out.data_mut()[c] += av.data()[r * cols + c];
+            }
+        }
+        self.push(Op::SumRows(a), out)
+    }
+
+    /// Averages over the row axis, producing a `[1, cols]` matrix.
+    pub fn mean_rows(&mut self, a: VarId) -> VarId {
+        let av = self.value(a);
+        let (rows, cols) = (av.rows(), av.cols());
+        let mut out = Tensor::zeros(&[1, cols]);
+        for r in 0..rows {
+            for c in 0..cols {
+                out.data_mut()[c] += av.data()[r * cols + c];
+            }
+        }
+        let out = out.scale(1.0 / rows.max(1) as f32);
+        self.push(Op::MeanRows(a), out)
+    }
+
+    /// Concatenates two matrices with equal row counts along the column axis.
+    pub fn concat_cols(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = Tensor::concat_cols(&[self.value(a), self.value(b)]);
+        self.push(Op::ConcatCols(a, b), v)
+    }
+
+    /// Stacks matrices with equal column counts along the row axis.
+    pub fn concat_rows(&mut self, parts: &[VarId]) -> VarId {
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Tensor::concat_rows(&tensors);
+        self.push(Op::ConcatRows(parts.to_vec()), v)
+    }
+
+    /// Gathers rows of a matrix by index (rows may repeat).
+    pub fn gather_rows(&mut self, a: VarId, indices: &[usize]) -> VarId {
+        let av = self.value(a);
+        let cols = av.cols();
+        let mut out = Tensor::zeros(&[indices.len(), cols]);
+        for (i, &idx) in indices.iter().enumerate() {
+            out.data_mut()[i * cols..(i + 1) * cols].copy_from_slice(av.row(idx));
+        }
+        self.push(Op::GatherRows(a, indices.to_vec()), out)
+    }
+
+    /// Scatter-adds rows of a `[k, cols]` matrix into an `[out_rows, cols]`
+    /// matrix according to `indices` (length `k`).
+    pub fn scatter_add_rows(&mut self, a: VarId, indices: &[usize], out_rows: usize) -> VarId {
+        let av = self.value(a);
+        let cols = av.cols();
+        assert_eq!(av.rows(), indices.len(), "scatter_add_rows index length mismatch");
+        let mut out = Tensor::zeros(&[out_rows, cols]);
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < out_rows, "scatter index {} out of bounds ({})", idx, out_rows);
+            for c in 0..cols {
+                out.data_mut()[idx * cols + c] += av.data()[i * cols + c];
+            }
+        }
+        self.push(Op::ScatterAddRows(a, indices.to_vec()), out)
+    }
+
+    /// Softmax over segments of a `[k, 1]` column vector: entries sharing the
+    /// same segment id are normalised together. Used for GAT attention
+    /// coefficients grouped by destination node.
+    pub fn segment_softmax(&mut self, a: VarId, segments: &[usize], num_segments: usize) -> VarId {
+        let av = self.value(a);
+        assert_eq!(av.cols(), 1, "segment_softmax expects a column vector");
+        assert_eq!(av.rows(), segments.len(), "segment length mismatch");
+        let out = segment_softmax_forward(av, segments, num_segments);
+        self.push(Op::SegmentSoftmax(a, segments.to_vec(), num_segments), out)
+    }
+
+    /// Multiplies each row of a `[k, n]` matrix by the matching entry of a
+    /// `[k, 1]` column vector.
+    pub fn broadcast_mul_col(&mut self, col: VarId, mat: VarId) -> VarId {
+        let cv = self.value(col);
+        let mv = self.value(mat);
+        assert_eq!(cv.cols(), 1, "broadcast_mul_col expects a column vector");
+        assert_eq!(cv.rows(), mv.rows(), "row mismatch");
+        let cols = mv.cols();
+        let mut out = Tensor::zeros(&[mv.rows(), cols]);
+        for r in 0..mv.rows() {
+            let s = cv.data()[r];
+            for c in 0..cols {
+                out.data_mut()[r * cols + c] = mv.data()[r * cols + c] * s;
+            }
+        }
+        self.push(Op::BroadcastMulCol(col, mat), out)
+    }
+
+    /// Log-softmax over the flattened elements of a variable (treated as one
+    /// categorical distribution).
+    pub fn log_softmax(&mut self, a: VarId) -> VarId {
+        let av = self.value(a);
+        let max = av.max();
+        let exps: Vec<f32> = av.data().iter().map(|&x| (x - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let log_sum = sum.ln() + max;
+        let out = Tensor::from_vec(
+            av.data().iter().map(|&x| x - log_sum).collect(),
+            av.shape(),
+        );
+        self.push(Op::LogSoftmaxRow(a), out)
+    }
+
+    /// Picks a single element by flat index, producing a scalar.
+    pub fn pick(&mut self, a: VarId, index: usize) -> VarId {
+        let v = Tensor::scalar(self.value(a).data()[index]);
+        self.push(Op::Pick(a, index), v)
+    }
+
+    /// Clamps every element to `[lo, hi]`; gradients are zero outside the range.
+    pub fn clamp(&mut self, a: VarId, lo: f32, hi: f32) -> VarId {
+        let v = self.value(a).map(|x| x.clamp(lo, hi));
+        self.push(Op::Clamp(a, lo, hi), v)
+    }
+
+    /// Element-wise minimum of two variables.
+    pub fn minimum(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).zip(self.value(b), f32::min);
+        self.push(Op::Minimum(a, b), v)
+    }
+
+    /// Element-wise maximum of two variables.
+    pub fn maximum(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).zip(self.value(b), f32::max);
+        self.push(Op::Maximum(a, b), v)
+    }
+
+    /// Runs reverse-mode differentiation from `loss` (a scalar) and
+    /// accumulates gradients of all parameters into `store`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a single-element variable.
+    pub fn backward(&self, loss: VarId, store: &mut ParamStore) {
+        assert_eq!(self.value(loss).numel(), 1, "backward requires a scalar loss");
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Tensor::scalar(1.0));
+
+        for i in (0..self.nodes.len()).rev() {
+            let grad = match grads[i].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            let node = &self.nodes[i];
+            match &node.op {
+                Op::Constant => {}
+                Op::Param(pid) => store.accumulate(*pid, &grad),
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, a.0, &grad);
+                    accumulate(&mut grads, b.0, &grad);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, a.0, &grad);
+                    accumulate(&mut grads, b.0, &grad.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let ga = grad.mul(&self.nodes[b.0].value);
+                    let gb = grad.mul(&self.nodes[a.0].value);
+                    accumulate(&mut grads, a.0, &ga);
+                    accumulate(&mut grads, b.0, &gb);
+                }
+                Op::AddBias(a, bias) => {
+                    accumulate(&mut grads, a.0, &grad);
+                    let cols = self.nodes[bias.0].value.numel();
+                    let rows = grad.numel() / cols;
+                    let mut gb = Tensor::zeros(self.nodes[bias.0].value.shape());
+                    for r in 0..rows {
+                        for c in 0..cols {
+                            gb.data_mut()[c] += grad.data()[r * cols + c];
+                        }
+                    }
+                    accumulate(&mut grads, bias.0, &gb);
+                }
+                Op::Scale(a, s) => accumulate(&mut grads, a.0, &grad.scale(*s)),
+                Op::AddScalar(a) => accumulate(&mut grads, a.0, &grad),
+                Op::Neg(a) => accumulate(&mut grads, a.0, &grad.scale(-1.0)),
+                Op::MatMul(a, b) => {
+                    let av = &self.nodes[a.0].value;
+                    let bv = &self.nodes[b.0].value;
+                    let ga = grad.matmul(&bv.transpose());
+                    let gb = av.transpose().matmul(&grad);
+                    accumulate(&mut grads, a.0, &ga);
+                    accumulate(&mut grads, b.0, &gb);
+                }
+                Op::Relu(a) => {
+                    let av = &self.nodes[a.0].value;
+                    let ga = grad.zip(av, |g, x| if x > 0.0 { g } else { 0.0 });
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::LeakyRelu(a, slope) => {
+                    let av = &self.nodes[a.0].value;
+                    let s = *slope;
+                    let ga = grad.zip(av, |g, x| if x > 0.0 { g } else { s * g });
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Tanh(a) => {
+                    let yv = &node.value;
+                    let ga = grad.zip(yv, |g, y| g * (1.0 - y * y));
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Sigmoid(a) => {
+                    let yv = &node.value;
+                    let ga = grad.zip(yv, |g, y| g * y * (1.0 - y));
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Exp(a) => {
+                    let ga = grad.mul(&node.value);
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Log(a) => {
+                    let av = &self.nodes[a.0].value;
+                    let ga = grad.zip(av, |g, x| g / x.max(1e-12));
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::SumAll(a) => {
+                    let g = grad.item();
+                    let ga = Tensor::full(self.nodes[a.0].value.shape(), g);
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::MeanAll(a) => {
+                    let n = self.nodes[a.0].value.numel().max(1) as f32;
+                    let g = grad.item() / n;
+                    let ga = Tensor::full(self.nodes[a.0].value.shape(), g);
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::SumRows(a) | Op::MeanRows(a) => {
+                    let av = &self.nodes[a.0].value;
+                    let (rows, cols) = (av.rows(), av.cols());
+                    let scale = if matches!(node.op, Op::MeanRows(_)) {
+                        1.0 / rows.max(1) as f32
+                    } else {
+                        1.0
+                    };
+                    let mut ga = Tensor::zeros(&[rows, cols]);
+                    for r in 0..rows {
+                        for c in 0..cols {
+                            ga.data_mut()[r * cols + c] = grad.data()[c] * scale;
+                        }
+                    }
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::ConcatCols(a, b) => {
+                    let av = &self.nodes[a.0].value;
+                    let bv = &self.nodes[b.0].value;
+                    let (rows, ca, cb) = (av.rows(), av.cols(), bv.cols());
+                    let mut ga = Tensor::zeros(&[rows, ca]);
+                    let mut gb = Tensor::zeros(&[rows, cb]);
+                    let total = ca + cb;
+                    for r in 0..rows {
+                        for c in 0..ca {
+                            ga.data_mut()[r * ca + c] = grad.data()[r * total + c];
+                        }
+                        for c in 0..cb {
+                            gb.data_mut()[r * cb + c] = grad.data()[r * total + ca + c];
+                        }
+                    }
+                    accumulate(&mut grads, a.0, &ga);
+                    accumulate(&mut grads, b.0, &gb);
+                }
+                Op::ConcatRows(parts) => {
+                    let cols = node.value.cols();
+                    let mut offset = 0;
+                    for &p in parts {
+                        let rows = self.nodes[p.0].value.rows();
+                        let mut gp = Tensor::zeros(&[rows, cols]);
+                        gp.data_mut()
+                            .copy_from_slice(&grad.data()[offset * cols..(offset + rows) * cols]);
+                        accumulate(&mut grads, p.0, &gp);
+                        offset += rows;
+                    }
+                }
+                Op::GatherRows(a, indices) => {
+                    let av = &self.nodes[a.0].value;
+                    let cols = av.cols();
+                    let mut ga = Tensor::zeros(&[av.rows(), cols]);
+                    for (i, &idx) in indices.iter().enumerate() {
+                        for c in 0..cols {
+                            ga.data_mut()[idx * cols + c] += grad.data()[i * cols + c];
+                        }
+                    }
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::ScatterAddRows(a, indices) => {
+                    let av = &self.nodes[a.0].value;
+                    let cols = av.cols();
+                    let mut ga = Tensor::zeros(&[av.rows(), cols]);
+                    for (i, &idx) in indices.iter().enumerate() {
+                        for c in 0..cols {
+                            ga.data_mut()[i * cols + c] = grad.data()[idx * cols + c];
+                        }
+                    }
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::SegmentSoftmax(a, segments, num_segments) => {
+                    let y = &node.value;
+                    // dL/dx_i = y_i * (g_i - sum_{j in seg(i)} g_j y_j)
+                    let mut seg_dot = vec![0.0f32; *num_segments];
+                    for (i, &s) in segments.iter().enumerate() {
+                        seg_dot[s] += grad.data()[i] * y.data()[i];
+                    }
+                    let mut ga = Tensor::zeros(y.shape());
+                    for (i, &s) in segments.iter().enumerate() {
+                        ga.data_mut()[i] = y.data()[i] * (grad.data()[i] - seg_dot[s]);
+                    }
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::BroadcastMulCol(col, mat) => {
+                    let cv = &self.nodes[col.0].value;
+                    let mv = &self.nodes[mat.0].value;
+                    let cols = mv.cols();
+                    let mut gcol = Tensor::zeros(cv.shape());
+                    let mut gmat = Tensor::zeros(mv.shape());
+                    for r in 0..mv.rows() {
+                        let mut dot = 0.0;
+                        for c in 0..cols {
+                            dot += grad.data()[r * cols + c] * mv.data()[r * cols + c];
+                            gmat.data_mut()[r * cols + c] =
+                                grad.data()[r * cols + c] * cv.data()[r];
+                        }
+                        gcol.data_mut()[r] = dot;
+                    }
+                    accumulate(&mut grads, col.0, &gcol);
+                    accumulate(&mut grads, mat.0, &gmat);
+                }
+                Op::LogSoftmaxRow(a) => {
+                    // y = x - logsumexp(x); dx = g - softmax(x) * sum(g)
+                    let y = &node.value;
+                    let g_sum: f32 = grad.data().iter().sum();
+                    let ga = Tensor::from_vec(
+                        grad.data()
+                            .iter()
+                            .zip(y.data().iter())
+                            .map(|(&g, &yv)| g - yv.exp() * g_sum)
+                            .collect(),
+                        y.shape(),
+                    );
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Pick(a, index) => {
+                    let av = &self.nodes[a.0].value;
+                    let mut ga = Tensor::zeros(av.shape());
+                    ga.data_mut()[*index] = grad.item();
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Clamp(a, lo, hi) => {
+                    let av = &self.nodes[a.0].value;
+                    let (lo, hi) = (*lo, *hi);
+                    let ga = grad.zip(av, |g, x| if x > lo && x < hi { g } else { 0.0 });
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Minimum(a, b) => {
+                    let av = &self.nodes[a.0].value;
+                    let bv = &self.nodes[b.0].value;
+                    let ga = Tensor::from_vec(
+                        grad.data()
+                            .iter()
+                            .zip(av.data().iter().zip(bv.data().iter()))
+                            .map(|(&g, (&x, &y))| if x <= y { g } else { 0.0 })
+                            .collect(),
+                        av.shape(),
+                    );
+                    let gb = grad.sub(&ga);
+                    accumulate(&mut grads, a.0, &ga);
+                    accumulate(&mut grads, b.0, &gb);
+                }
+                Op::Maximum(a, b) => {
+                    let av = &self.nodes[a.0].value;
+                    let bv = &self.nodes[b.0].value;
+                    let ga = Tensor::from_vec(
+                        grad.data()
+                            .iter()
+                            .zip(av.data().iter().zip(bv.data().iter()))
+                            .map(|(&g, (&x, &y))| if x >= y { g } else { 0.0 })
+                            .collect(),
+                        av.shape(),
+                    );
+                    let gb = grad.sub(&ga);
+                    accumulate(&mut grads, a.0, &ga);
+                    accumulate(&mut grads, b.0, &gb);
+                }
+            }
+        }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], idx: usize, grad: &Tensor) {
+    match &mut grads[idx] {
+        Some(g) => *g = g.add(grad),
+        slot @ None => *slot = Some(grad.clone()),
+    }
+}
+
+fn segment_softmax_forward(values: &Tensor, segments: &[usize], num_segments: usize) -> Tensor {
+    let mut seg_max = vec![f32::NEG_INFINITY; num_segments];
+    for (i, &s) in segments.iter().enumerate() {
+        seg_max[s] = seg_max[s].max(values.data()[i]);
+    }
+    let mut exps = vec![0.0f32; values.rows()];
+    let mut seg_sum = vec![0.0f32; num_segments];
+    for (i, &s) in segments.iter().enumerate() {
+        let e = (values.data()[i] - seg_max[s]).exp();
+        exps[i] = e;
+        seg_sum[s] += e;
+    }
+    let out: Vec<f32> = segments
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| exps[i] / seg_sum[s].max(1e-12))
+        .collect();
+    Tensor::from_vec(out, values.shape())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerically checks the gradient of a scalar function of one parameter.
+    fn check_gradient(
+        build: impl Fn(&mut Tape, &ParamStore, ParamId) -> VarId,
+        initial: Tensor,
+        tolerance: f32,
+    ) {
+        let mut store = ParamStore::new();
+        let pid = store.register("p", initial.clone());
+
+        let mut tape = Tape::new();
+        let x = tape.param(&store, pid);
+        let loss = build(&mut tape, &store, pid);
+        let _ = x;
+        store.zero_grad();
+        tape.backward(loss, &mut store);
+        let analytic = store.grad(pid).clone();
+
+        let eps = 1e-3;
+        for i in 0..initial.numel() {
+            let mut plus = initial.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = initial.clone();
+            minus.data_mut()[i] -= eps;
+
+            let eval = |t: &Tensor| -> f32 {
+                let mut s = ParamStore::new();
+                let pid = s.register("p", t.clone());
+                let mut tape = Tape::new();
+                let loss = build(&mut tape, &s, pid);
+                tape.value(loss).item()
+            };
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let a = analytic.data()[i];
+            assert!(
+                (a - numeric).abs() < tolerance * numeric.abs().max(1.0),
+                "gradient mismatch at {}: analytic={}, numeric={}",
+                i,
+                a,
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn grad_of_square() {
+        check_gradient(
+            |tape, store, pid| {
+                let x = tape.param(store, pid);
+                let y = tape.mul(x, x);
+                tape.sum_all(y)
+            },
+            Tensor::from_vec(vec![2.0, -3.0], &[2]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_of_matmul_chain() {
+        check_gradient(
+            |tape, store, pid| {
+                let w = tape.param(store, pid);
+                let x = tape.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]));
+                let y = tape.matmul(x, w);
+                let z = tape.relu(y);
+                tape.sum_all(z)
+            },
+            Tensor::from_vec(vec![0.5, -0.5, 1.0, 0.3, -1.0, 0.7], &[3, 2]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_of_tanh_sigmoid_exp_log() {
+        check_gradient(
+            |tape, store, pid| {
+                let x = tape.param(store, pid);
+                let t = tape.tanh(x);
+                let s = tape.sigmoid(t);
+                let e = tape.exp(s);
+                let l = tape.log(e);
+                tape.sum_all(l)
+            },
+            Tensor::from_vec(vec![0.2, -0.7, 1.5], &[3]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_of_log_softmax_pick() {
+        check_gradient(
+            |tape, store, pid| {
+                let x = tape.param(store, pid);
+                let ls = tape.log_softmax(x);
+                tape.pick(ls, 1)
+            },
+            Tensor::from_vec(vec![0.1, 0.9, -0.3, 0.4], &[1, 4]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_of_gather_scatter() {
+        check_gradient(
+            |tape, store, pid| {
+                let x = tape.param(store, pid);
+                let g = tape.gather_rows(x, &[0, 1, 1, 2]);
+                let s = tape.scatter_add_rows(g, &[0, 0, 1, 1], 2);
+                let sq = tape.mul(s, s);
+                tape.sum_all(sq)
+            },
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_of_segment_softmax() {
+        check_gradient(
+            |tape, store, pid| {
+                let x = tape.param(store, pid);
+                let sm = tape.segment_softmax(x, &[0, 0, 1, 1, 1], 2);
+                let w = tape.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.5], &[5, 1]));
+                let y = tape.mul(sm, w);
+                tape.sum_all(y)
+            },
+            Tensor::from_vec(vec![0.3, -0.2, 0.9, 0.1, -0.5], &[5, 1]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_of_bias_and_concat() {
+        check_gradient(
+            |tape, store, pid| {
+                let x = tape.param(store, pid);
+                let b = tape.constant(Tensor::from_vec(vec![0.5, -0.5], &[2]));
+                let y = tape.add_bias(x, b);
+                let z = tape.concat_cols(x, y);
+                let s = tape.mul(z, z);
+                tape.sum_all(s)
+            },
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_of_minimum_clamp() {
+        check_gradient(
+            |tape, store, pid| {
+                let x = tape.param(store, pid);
+                let c = tape.constant(Tensor::from_vec(vec![0.5, 0.5, 0.5], &[3]));
+                let m = tape.minimum(x, c);
+                let cl = tape.clamp(m, -0.4, 0.45);
+                tape.sum_all(cl)
+            },
+            Tensor::from_vec(vec![0.2, 0.7, -0.6], &[3]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_of_broadcast_mul_col() {
+        check_gradient(
+            |tape, store, pid| {
+                let x = tape.param(store, pid);
+                let col = tape.constant(Tensor::from_vec(vec![2.0, -1.0], &[2, 1]));
+                let y = tape.broadcast_mul_col(col, x);
+                tape.sum_all(y)
+            },
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn adam_minimises_quadratic() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::from_vec(vec![10.0, -4.0], &[2]));
+        let mut adam = Adam::new(0.2);
+        for _ in 0..300 {
+            let mut tape = Tape::new();
+            let wv = tape.param(&store, w);
+            let target = tape.constant(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+            let diff = tape.sub(wv, target);
+            let sq = tape.mul(diff, diff);
+            let loss = tape.sum_all(sq);
+            store.zero_grad();
+            tape.backward(loss, &mut store);
+            adam.step(&mut store);
+        }
+        let v = store.value(w);
+        assert!((v.data()[0] - 1.0).abs() < 0.05, "got {:?}", v);
+        assert!((v.data()[1] - 2.0).abs() < 0.05, "got {:?}", v);
+    }
+
+    #[test]
+    fn sgd_minimises_quadratic() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::from_vec(vec![3.0], &[1]));
+        let mut sgd = Sgd::new(0.1);
+        for _ in 0..100 {
+            let mut tape = Tape::new();
+            let wv = tape.param(&store, w);
+            let sq = tape.mul(wv, wv);
+            let loss = tape.sum_all(sq);
+            store.zero_grad();
+            tape.backward(loss, &mut store);
+            sgd.step(&mut store);
+        }
+        assert!(store.value(w).item().abs() < 1e-3);
+    }
+
+    #[test]
+    fn grad_clipping_bounds_norm() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::from_vec(vec![100.0, 100.0], &[2]));
+        let mut tape = Tape::new();
+        let wv = tape.param(&store, w);
+        let sq = tape.mul(wv, wv);
+        let loss = tape.sum_all(sq);
+        tape.backward(loss, &mut store);
+        assert!(store.grad_norm() > 10.0);
+        store.clip_grad_norm(1.0);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn param_store_bookkeeping() {
+        let mut store = ParamStore::new();
+        assert!(store.is_empty());
+        let a = store.register("a", Tensor::zeros(&[2, 3]));
+        let b = store.register("b", Tensor::zeros(&[4]));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.num_scalars(), 10);
+        assert_eq!(store.name(a), "a");
+        assert_eq!(store.name(b), "b");
+        store.set_value(b, Tensor::ones(&[4]));
+        assert_eq!(store.value(b).sum(), 4.0);
+    }
+
+    #[test]
+    fn gradients_flow_through_shared_parameter() {
+        // The same parameter used twice must accumulate both contributions.
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::from_vec(vec![3.0], &[1]));
+        let mut tape = Tape::new();
+        let a = tape.param(&store, w);
+        let b = tape.param(&store, w);
+        let prod = tape.mul(a, b); // w^2 -> grad 2w = 6
+        let loss = tape.sum_all(prod);
+        store.zero_grad();
+        tape.backward(loss, &mut store);
+        assert!((store.grad(w).item() - 6.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,451 @@
+//! Dense, row-major `f32` tensor used by the autodiff tape and the GNN.
+//!
+//! The tensor type is intentionally small: the X-RLflow agent only needs
+//! rank-1/rank-2 tensors (node-feature matrices, weight matrices, logits),
+//! so this module favours clarity and predictable performance over
+//! generality.
+
+use std::fmt;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// # Examples
+///
+/// ```
+/// use xrlflow_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// assert_eq!(t.shape(), &[2, 2]);
+/// assert_eq!(t.get(&[1, 0]), 3.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape={:?}", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, ", data={:?})", self.data)
+        } else {
+            write!(f, ", data=[{:.4}, {:.4}, ..; {}])", self.data[0], self.data[1], self.data.len())
+        }
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat vector and a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of elements does not match the product of the
+    /// shape dimensions.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let numel: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            numel,
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Self { shape: shape.to_vec(), data }
+    }
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let numel: usize = shape.iter().product();
+        Self { shape: shape.to_vec(), data: vec![0.0; numel] }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        let numel: usize = shape.iter().product();
+        Self { shape: shape.to_vec(), data: vec![1.0; numel] }
+    }
+
+    /// Creates a tensor filled with a constant value.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let numel: usize = shape.iter().product();
+        Self { shape: shape.to_vec(), data: vec![value; numel] }
+    }
+
+    /// Creates a scalar (rank-0 represented as shape `[1]`) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self { shape: vec![1], data: vec![value] }
+    }
+
+    /// Returns the shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Returns the total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns the number of rows when the tensor is interpreted as a matrix.
+    ///
+    /// Rank-1 tensors are interpreted as a single row.
+    pub fn rows(&self) -> usize {
+        match self.shape.len() {
+            0 | 1 => 1,
+            _ => self.shape[0],
+        }
+    }
+
+    /// Returns the number of columns when the tensor is interpreted as a matrix.
+    pub fn cols(&self) -> usize {
+        match self.shape.len() {
+            0 => 1,
+            1 => self.shape[0],
+            _ => self.shape[1..].iter().product(),
+        }
+    }
+
+    /// Returns a slice of the underlying data in row-major order.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Returns a mutable slice of the underlying data in row-major order.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying data vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns the element at the given multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn get(&self, index: &[usize]) -> f32 {
+        self.data[self.flat_index(index)]
+    }
+
+    /// Sets the element at the given multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let i = self.flat_index(index);
+        self.data[i] = value;
+    }
+
+    fn flat_index(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
+        let mut flat = 0;
+        for (i, (&idx, &dim)) in index.iter().zip(self.shape.iter()).enumerate() {
+            assert!(idx < dim, "index {} out of bounds for dim {} (size {})", idx, i, dim);
+            flat = flat * dim + idx;
+        }
+        flat
+    }
+
+    /// Returns the value of a single-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() requires a single-element tensor");
+        self.data[0]
+    }
+
+    /// Reshapes the tensor without changing its data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different number of elements.
+    pub fn reshape(&self, shape: &[usize]) -> Self {
+        let numel: usize = shape.iter().product();
+        assert_eq!(numel, self.data.len(), "reshape numel mismatch");
+        Self { shape: shape.to_vec(), data: self.data.clone() }
+    }
+
+    /// Returns a row of a rank-2 tensor as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2 or the row is out of bounds.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert_eq!(self.shape.len(), 2, "row() requires a rank-2 tensor");
+        let c = self.shape[1];
+        &self.data[r * c..(r + 1) * c]
+    }
+
+    /// Applies a function to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Self {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, other: &Tensor) -> Self {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Element-wise multiplication.
+    pub fn mul(&self, other: &Tensor) -> Self {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Element-wise binary operation between tensors of identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Self {
+        assert_eq!(self.shape, other.shape, "shape mismatch: {:?} vs {:?}", self.shape, other.shape);
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|x| x * s)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (negative infinity for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Squared L2 norm of the tensor.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Matrix multiplication of two rank-2 tensors (`[m, k] x [k, n] -> [m, n]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank-2 or the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Self {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be rank-2, got {:?}", self.shape);
+        assert_eq!(other.shape.len(), 2, "matmul rhs must be rank-2, got {:?}", other.shape);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dim mismatch: {} vs {}", k, k2);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Self { shape: vec![m, n], data: out }
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn transpose(&self) -> Self {
+        assert_eq!(self.shape.len(), 2, "transpose requires a rank-2 tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Self { shape: vec![n, m], data: out }
+    }
+
+    /// Concatenates rank-2 tensors along the column axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensors do not share the same number of rows or the
+    /// input slice is empty.
+    pub fn concat_cols(tensors: &[&Tensor]) -> Self {
+        assert!(!tensors.is_empty(), "concat_cols requires at least one tensor");
+        let rows = tensors[0].rows();
+        for t in tensors {
+            assert_eq!(t.rows(), rows, "concat_cols row mismatch");
+        }
+        let total_cols: usize = tensors.iter().map(|t| t.cols()).sum();
+        let mut out = vec![0.0f32; rows * total_cols];
+        for r in 0..rows {
+            let mut offset = 0;
+            for t in tensors {
+                let c = t.cols();
+                out[r * total_cols + offset..r * total_cols + offset + c]
+                    .copy_from_slice(&t.data[r * c..(r + 1) * c]);
+                offset += c;
+            }
+        }
+        Self { shape: vec![rows, total_cols], data: out }
+    }
+
+    /// Stacks rank-2 tensors (or rank-1 rows) along the row axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensors do not share the same number of columns or the
+    /// input slice is empty.
+    pub fn concat_rows(tensors: &[&Tensor]) -> Self {
+        assert!(!tensors.is_empty(), "concat_rows requires at least one tensor");
+        let cols = tensors[0].cols();
+        let mut data = Vec::new();
+        let mut rows = 0;
+        for t in tensors {
+            assert_eq!(t.cols(), cols, "concat_rows column mismatch");
+            data.extend_from_slice(&t.data);
+            rows += t.rows();
+        }
+        Self { shape: vec![rows, cols], data }
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(&[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_and_get() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.get(&[0, 0]), 1.0);
+        assert_eq!(t.get(&[1, 2]), 6.0);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_shape_mismatch_panics() {
+        Tensor::from_vec(vec![1.0, 2.0], &[3]);
+    }
+
+    #[test]
+    fn zeros_ones_full() {
+        assert_eq!(Tensor::zeros(&[2, 2]).sum(), 0.0);
+        assert_eq!(Tensor::ones(&[2, 2]).sum(), 4.0);
+        assert_eq!(Tensor::full(&[3], 2.5).sum(), 7.5);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let eye = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0], &[3, 3]);
+        assert_eq!(a.matmul(&eye), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dim mismatch")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.get(&[2, 1]), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        assert_eq!(a.add(&b).data(), &[4.0, 6.0]);
+        assert_eq!(a.sub(&b).data(), &[-2.0, -2.0]);
+        assert_eq!(a.mul(&b).data(), &[3.0, 8.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]);
+        assert_eq!(a.sum(), 2.0);
+        assert!((a.mean() - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(a.max(), 3.0);
+        assert_eq!(a.sq_norm(), 14.0);
+    }
+
+    #[test]
+    fn concat_cols_and_rows() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0], &[2, 1]);
+        let c = Tensor::concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.row(0), &[1.0, 2.0, 5.0]);
+        assert_eq!(c.row(1), &[3.0, 4.0, 6.0]);
+
+        let d = Tensor::concat_rows(&[&a, &a]);
+        assert_eq!(d.shape(), &[4, 2]);
+        assert_eq!(d.row(3), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = a.reshape(&[4]);
+        assert_eq!(b.shape(), &[4]);
+        assert_eq!(b.data(), a.data());
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+}

@@ -1,0 +1,39 @@
+//! Quickstart: build a DNN from the model zoo, train an X-RLflow agent for a
+//! few episodes and optimise the graph with the learned policy.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use xrlflow::core::{XrlflowConfig, XrlflowSystem};
+use xrlflow::graph::models::{build_model, ModelKind, ModelScale};
+
+fn main() {
+    // 1. Build the computation graph of SqueezeNet (structure + shapes only).
+    let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).expect("model builds");
+    println!("SqueezeNet: {} operator nodes, {} edges", graph.num_nodes(), graph.num_edges());
+
+    // 2. Create the X-RLflow system (GNN encoder + PPO agent + environment).
+    let mut system = XrlflowSystem::new(XrlflowConfig::bench(), 42);
+    println!("agent has {} parameters", system.agent().num_parameters());
+
+    // 3. Train for a handful of episodes on this graph.
+    let episodes = 4;
+    let report = system.train_on(&graph, episodes);
+    println!(
+        "trained for {} episodes; mean reward of last update: {:.3}",
+        report.episodes.len(),
+        report.updates.last().map(|u| u.mean_episode_reward).unwrap_or(0.0)
+    );
+
+    // 4. Optimise the graph with the learned policy acting greedily.
+    let result = system.optimize(&graph);
+    println!(
+        "optimised graph: {} -> {} nodes, latency {:.3} ms -> {:.3} ms ({:+.1}% speedup) in {:.2}s",
+        graph.num_nodes(),
+        result.graph.num_nodes(),
+        result.initial_latency_ms,
+        result.final_latency_ms,
+        result.speedup_percent(),
+        result.optimisation_time_s,
+    );
+    println!("rules applied: {:?}", result.rule_applications);
+}

@@ -1,0 +1,39 @@
+//! # xrlflow
+//!
+//! Umbrella crate for the X-RLflow reproduction (MLSys 2023): tensor graph
+//! superoptimisation with graph reinforcement learning.
+//!
+//! This crate re-exports every subsystem so examples and downstream users
+//! can depend on a single crate:
+//!
+//! * [`graph`] — the dataflow-graph IR and the model zoo,
+//! * [`rewrite`] — TASO-style rewrite rules and candidate generation,
+//! * [`cost`] — the per-operator cost model and the end-to-end latency simulator,
+//! * [`taso`] — greedy / backtracking / PET baselines,
+//! * [`egraph`] — the equality-saturation (Tensat) baseline,
+//! * [`tensor`], [`gnn`], [`rl`] — the learning stack,
+//! * [`env`] — the Gym-style graph-transformation environment,
+//! * [`core`] — the X-RLflow agent, trainer and optimiser.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xrlflow::core::{XrlflowConfig, XrlflowSystem};
+//! use xrlflow::graph::models::{build_model, ModelKind, ModelScale};
+//!
+//! let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+//! let mut system = XrlflowSystem::new(XrlflowConfig::smoke_test(), 42);
+//! let report = system.train_on(&graph, 2);
+//! assert!(report.episodes.len() == 2);
+//! ```
+
+pub use xrlflow_core as core;
+pub use xrlflow_cost as cost;
+pub use xrlflow_egraph as egraph;
+pub use xrlflow_env as env;
+pub use xrlflow_gnn as gnn;
+pub use xrlflow_graph as graph;
+pub use xrlflow_rewrite as rewrite;
+pub use xrlflow_rl as rl;
+pub use xrlflow_taso as taso;
+pub use xrlflow_tensor as tensor;

@@ -1,0 +1,137 @@
+//! Property-based tests (proptest) over core data structures and invariants.
+
+use proptest::prelude::*;
+use xrlflow::cost::{CostModel, DeviceProfile, InferenceSimulator};
+use xrlflow::graph::{Graph, OpAttributes, OpKind, TensorShape};
+use xrlflow::rewrite::RuleSet;
+use xrlflow::rl::{gae, MaskedCategorical};
+use xrlflow::tensor::{Tensor, XorShiftRng};
+
+/// Builds a random MLP-style chain graph from a dimension list.
+fn chain_graph(dims: &[usize], relu_mask: &[bool]) -> Graph {
+    let mut g = Graph::new();
+    let mut prev = g.add_input(TensorShape::new(vec![1, dims[0]])).into();
+    for (i, pair) in dims.windows(2).enumerate() {
+        let w = g.add_weight(TensorShape::new(vec![pair[0], pair[1]]));
+        let mm = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![prev, w.into()]).unwrap();
+        prev = if relu_mask.get(i).copied().unwrap_or(false) {
+            g.add_node(OpKind::Relu, OpAttributes::default(), vec![mm.into()]).unwrap().into()
+        } else {
+            mm.into()
+        };
+    }
+    g.mark_output(prev);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn matmul_matches_reference(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..1000) {
+        let mut rng = XorShiftRng::new(seed);
+        let a = Tensor::from_vec((0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect(), &[m, k]);
+        let b = Tensor::from_vec((0..k * n).map(|_| rng.uniform(-1.0, 1.0)).collect(), &[k, n]);
+        let c = a.matmul(&b);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.get(&[i, p]) * b.get(&[p, j]);
+                }
+                prop_assert!((c.get(&[i, j]) - acc).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(m in 1usize..8, n in 1usize..8, seed in 0u64..1000) {
+        let mut rng = XorShiftRng::new(seed);
+        let t = Tensor::from_vec((0..m * n).map(|_| rng.uniform(-5.0, 5.0)).collect(), &[m, n]);
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn broadcast_is_commutative(a in proptest::collection::vec(1usize..5, 1..4),
+                                b in proptest::collection::vec(1usize..5, 1..4)) {
+        let sa = TensorShape::new(a);
+        let sb = TensorShape::new(b);
+        prop_assert_eq!(sa.broadcast(&sb), sb.broadcast(&sa));
+    }
+
+    #[test]
+    fn chain_graphs_always_validate_and_candidates_stay_valid(
+        dims in proptest::collection::vec(1usize..64, 2..6),
+        relus in proptest::collection::vec(any::<bool>(), 5),
+    ) {
+        let g = chain_graph(&dims, &relus);
+        prop_assert!(g.validate().is_ok());
+        let rules = RuleSet::standard();
+        for c in rules.generate_candidates(&g, 16) {
+            prop_assert!(c.graph.validate().is_ok());
+            // Rewrites never change the graph output shape.
+            prop_assert_eq!(
+                c.graph.tensor_shape(c.graph.outputs()[0]).unwrap(),
+                g.tensor_shape(g.outputs()[0]).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn cost_model_and_simulator_are_positive_and_finite(
+        dims in proptest::collection::vec(1usize..64, 2..6),
+        relus in proptest::collection::vec(any::<bool>(), 5),
+    ) {
+        let g = chain_graph(&dims, &relus);
+        let cm = CostModel::new(DeviceProfile::gtx1080());
+        let sim = InferenceSimulator::new(DeviceProfile::gtx1080());
+        let cost = cm.graph_cost_ms(&g);
+        let e2e = sim.measure_ms(&g, 0);
+        prop_assert!(cost >= 0.0 && cost.is_finite());
+        prop_assert!(e2e > 0.0 && e2e.is_finite());
+        // Launch overhead means E2E is never cheaper than the pure compute estimate.
+        prop_assert!(e2e >= cost * 0.5);
+    }
+
+    #[test]
+    fn masked_categorical_never_samples_invalid(
+        logits in proptest::collection::vec(-5.0f32..5.0, 2..10),
+        seed in 0u64..500,
+    ) {
+        let mut mask = vec![true; logits.len()];
+        // Invalidate every other action, keeping at least one valid.
+        for i in (1..mask.len()).step_by(2) {
+            mask[i] = false;
+        }
+        let dist = MaskedCategorical::new(logits, mask.clone());
+        let mut rng = XorShiftRng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(mask[dist.sample(&mut rng)]);
+        }
+        let sum: f32 = dist.probs().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gae_is_zero_for_perfect_value_function(values in proptest::collection::vec(0.0f32..1.0, 1..20)) {
+        // If rewards are exactly the TD-consistent values with gamma = 0, the
+        // advantage is zero everywhere.
+        let rewards = values.clone();
+        let dones = vec![true; values.len()];
+        let (adv, _) = gae(&rewards, &values, &dones, 0.0, 0.0, 0.95);
+        for a in adv {
+            prop_assert!(a.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn graph_canonical_hash_is_stable_under_clone_and_compaction(
+        dims in proptest::collection::vec(1usize..32, 2..6),
+    ) {
+        let g = chain_graph(&dims, &[true, true, true, true, true]);
+        let mut clone = g.clone();
+        prop_assert_eq!(g.canonical_hash(), clone.canonical_hash());
+        clone.compact();
+        prop_assert_eq!(g.canonical_hash(), clone.canonical_hash());
+    }
+}
