@@ -1,36 +1,29 @@
-//! Criterion micro-benchmarks for the cost model and the end-to-end latency
-//! simulator (these run once per candidate / every N steps respectively, so
-//! their throughput bounds the whole optimisation loop).
+//! Micro-benchmarks for the cost model and the end-to-end latency simulator
+//! (these run once per candidate / every N steps respectively, so their
+//! throughput bounds the whole optimisation loop). The simulator is measured
+//! both cold (fresh instance per iteration) and warm (memoised by canonical
+//! hash), since the RL loop overwhelmingly re-measures known graphs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xrlflow_bench::{report, time_ns};
 use xrlflow_cost::{CostModel, DeviceProfile, InferenceSimulator};
 use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
 
-fn bench_cost_model(c: &mut Criterion) {
+fn main() {
     let cm = CostModel::new(DeviceProfile::gtx1080());
-    let mut group = c.benchmark_group("cost_model");
-    group.sample_size(20);
+    println!("== cost model ==");
     for kind in [ModelKind::SqueezeNet, ModelKind::Bert] {
         let graph = build_model(kind, ModelScale::Bench).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &graph, |b, g| {
-            b.iter(|| cm.graph_cost_ms(g))
-        });
+        report(&format!("cost_model/{}", kind.name()), time_ns(3, 50, || cm.graph_cost_ms(&graph)));
     }
-    group.finish();
-}
 
-fn bench_e2e_simulator(c: &mut Criterion) {
-    let sim = InferenceSimulator::new(DeviceProfile::gtx1080());
-    let mut group = c.benchmark_group("e2e_simulator");
-    group.sample_size(20);
+    println!("\n== end-to-end simulator ==");
     for kind in [ModelKind::SqueezeNet, ModelKind::Bert] {
         let graph = build_model(kind, ModelScale::Bench).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &graph, |b, g| {
-            b.iter(|| sim.measure_ms(g, 0))
-        });
+        let cold = time_ns(0, 20, || InferenceSimulator::new(DeviceProfile::gtx1080()).measure_ms(&graph, 0));
+        let sim = InferenceSimulator::new(DeviceProfile::gtx1080());
+        sim.measure_ms(&graph, 0);
+        let warm = time_ns(3, 50, || sim.measure_ms(&graph, 0));
+        report(&format!("e2e_simulator/cold/{}", kind.name()), cold);
+        report(&format!("e2e_simulator/memoized/{}", kind.name()), warm);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_cost_model, bench_e2e_simulator);
-criterion_main!(benches);

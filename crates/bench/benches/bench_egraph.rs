@@ -1,28 +1,21 @@
-//! Criterion micro-benchmarks for the e-graph substrate: conversion,
-//! saturation and extraction (the Tensat baseline's inner loop).
+//! Micro-benchmarks for the e-graph substrate: conversion, saturation and
+//! extraction (the Tensat baseline's inner loop).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use xrlflow_bench::{report, time_ns};
 use xrlflow_cost::DeviceProfile;
 use xrlflow_egraph::{EGraph, TensatConfig, TensatOptimizer};
 use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
 
-fn bench_egraph_conversion(c: &mut Criterion) {
+fn main() {
     let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
-    c.bench_function("egraph_from_graph/squeezenet", |b| {
-        b.iter(|| EGraph::from_graph(&graph).unwrap().num_classes())
-    });
-}
+    report(
+        "egraph_from_graph/squeezenet",
+        time_ns(3, 20, || EGraph::from_graph(&graph).unwrap().num_classes()),
+    );
 
-fn bench_tensat_end_to_end(c: &mut Criterion) {
-    let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
     let tensat = TensatOptimizer::new(TensatConfig::default(), DeviceProfile::gtx1080());
-    let mut group = c.benchmark_group("tensat");
-    group.sample_size(10);
-    group.bench_function("saturate_and_extract/squeezenet", |b| {
-        b.iter(|| tensat.optimize(&graph).unwrap().graph.num_nodes())
-    });
-    group.finish();
+    report(
+        "tensat/saturate_and_extract/squeezenet",
+        time_ns(2, 10, || tensat.optimize(&graph).unwrap().graph.num_nodes()),
+    );
 }
-
-criterion_group!(benches, bench_egraph_conversion, bench_tensat_end_to_end);
-criterion_main!(benches);

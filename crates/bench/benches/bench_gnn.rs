@@ -1,33 +1,26 @@
-//! Criterion micro-benchmarks for the GNN encoder: featurisation and the
-//! forward pass at different message-passing depths (the `k` ablation from
-//! DESIGN.md).
+//! Micro-benchmarks for the GNN encoder: featurisation and the forward pass
+//! at different message-passing depths (the `k` ablation from DESIGN.md).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xrlflow_bench::{report, time_ns};
 use xrlflow_gnn::{EncoderConfig, GnnEncoder, GraphFeatures};
 use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
 use xrlflow_tensor::{ParamStore, XorShiftRng};
 
-fn bench_featurize(c: &mut Criterion) {
-    let graph = build_model(ModelKind::Bert, ModelScale::Bench).unwrap();
-    c.bench_function("featurize/bert", |b| b.iter(|| GraphFeatures::from_graph(&graph).num_edges()));
-}
+fn main() {
+    let bert = build_model(ModelKind::Bert, ModelScale::Bench).unwrap();
+    report("featurize/bert", time_ns(3, 50, || GraphFeatures::from_graph(&bert).num_edges()));
 
-fn bench_encoder_depth(c: &mut Criterion) {
     let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
     let features = GraphFeatures::from_graph(&graph);
-    let mut group = c.benchmark_group("gnn_forward_by_depth");
-    group.sample_size(10);
+    println!("\n== GNN forward by depth ==");
     for k in [1usize, 3, 5] {
         let mut store = ParamStore::new();
         let mut rng = XorShiftRng::new(0);
         let encoder =
             GnnEncoder::new(&mut store, EncoderConfig { hidden_dim: 32, num_gat_layers: k }, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| encoder.encode_value(&store, &features).sum())
-        });
+        report(
+            &format!("gnn_forward_by_depth/{k}"),
+            time_ns(2, 10, || encoder.encode_value(&store, &features).sum()),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_featurize, bench_encoder_depth);
-criterion_main!(benches);

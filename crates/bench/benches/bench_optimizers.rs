@@ -1,9 +1,9 @@
-//! Criterion benchmarks comparing whole-optimiser runs (TASO greedy, TASO
-//! backtracking, Tensat, one X-RLflow policy step) on a common workload.
+//! Benchmarks comparing whole-optimiser runs (TASO greedy, TASO
+//! backtracking, Tensat, one X-RLflow policy rollout) on a common workload.
 //! These are the per-figure building blocks; the table/figure binaries in
 //! `src/bin` print the paper-formatted results.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use xrlflow_bench::{report, time_ns};
 use xrlflow_core::{XrlflowConfig, XrlflowSystem};
 use xrlflow_cost::{CostModel, DeviceProfile};
 use xrlflow_egraph::{TensatConfig, TensatOptimizer};
@@ -15,44 +15,42 @@ fn workload() -> xrlflow_graph::Graph {
     build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap()
 }
 
-fn bench_taso_greedy(c: &mut Criterion) {
+fn main() {
     let graph = workload();
-    let mut group = c.benchmark_group("optimizers");
-    group.sample_size(10);
-    group.bench_function("taso_greedy/squeezenet", |b| {
-        b.iter(|| {
+    report(
+        "optimizers/taso_greedy/squeezenet",
+        time_ns(1, 5, || {
             let opt = GreedyOptimizer::new(
                 RuleSet::standard(),
                 CostModel::new(DeviceProfile::gtx1080()),
                 SearchConfig { budget: 20, max_candidates: 32, alpha: 1.05 },
             );
             opt.optimize(&graph).steps
-        })
-    });
-    group.bench_function("taso_backtracking/squeezenet", |b| {
-        b.iter(|| {
+        }),
+    );
+    report(
+        "optimizers/taso_backtracking/squeezenet",
+        time_ns(1, 5, || {
             let opt = BacktrackingOptimizer::new(
                 RuleSet::standard(),
                 CostModel::new(DeviceProfile::gtx1080()),
                 SearchConfig { budget: 30, max_candidates: 32, alpha: 1.05 },
             );
             opt.optimize(&graph).steps
-        })
-    });
-    group.bench_function("tensat/squeezenet", |b| {
-        b.iter(|| {
+        }),
+    );
+    report(
+        "optimizers/tensat/squeezenet",
+        time_ns(1, 5, || {
             let opt = TensatOptimizer::new(TensatConfig::default(), DeviceProfile::gtx1080());
             opt.optimize(&graph).unwrap().graph.num_nodes()
-        })
-    });
-    group.bench_function("xrlflow_policy_rollout/squeezenet", |b| {
-        b.iter(|| {
+        }),
+    );
+    report(
+        "optimizers/xrlflow_policy_rollout/squeezenet",
+        time_ns(0, 3, || {
             let mut system = XrlflowSystem::new(XrlflowConfig::smoke_test(), 0);
             system.optimize(&graph).steps
-        })
-    });
-    group.finish();
+        }),
+    );
 }
-
-criterion_group!(benches, bench_taso_greedy);
-criterion_main!(benches);

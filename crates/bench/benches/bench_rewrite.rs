@@ -1,28 +1,43 @@
-//! Criterion micro-benchmarks for the substitution engine: pattern matching
-//! and candidate generation throughput on the evaluated workloads.
+//! Micro-benchmarks for the substitution engine: pattern matching and
+//! candidate generation throughput on the evaluated workloads.
+//!
+//! The headline comparison is patch-based candidate generation (the current
+//! pipeline: one [`xrlflow_rewrite::Candidate`] carries a small delta) against
+//! the pre-patch eager pipeline (materialise + validate + canonically hash a
+//! full graph per candidate), which is kept as
+//! `RuleSet::generate_candidates_eager` for exactly this purpose.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xrlflow_bench::{report, time_ns};
 use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
 use xrlflow_rewrite::RuleSet;
 
-fn bench_candidate_generation(c: &mut Criterion) {
+fn main() {
     let rules = RuleSet::standard();
-    let mut group = c.benchmark_group("candidate_generation");
-    group.sample_size(10);
+
+    println!("== candidate generation: patch-based vs eager (the old clone-per-candidate path) ==");
     for kind in [ModelKind::SqueezeNet, ModelKind::Bert, ModelKind::InceptionV3] {
         let graph = build_model(kind, ModelScale::Bench).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &graph, |b, g| {
-            b.iter(|| rules.generate_candidates(g, 64).len())
-        });
+        let patch_ns = time_ns(3, 20, || rules.generate_candidates(&graph, 64).len());
+        let eager_ns = time_ns(3, 20, || rules.generate_candidates_eager(&graph, 64).len());
+        report(&format!("candidate_generation/patch/{}", kind.name()), patch_ns);
+        report(&format!("candidate_generation/eager/{}", kind.name()), eager_ns);
+        println!(
+            "{:<44} {:>11.2}x",
+            format!("candidate_generation/speedup/{}", kind.name()),
+            eager_ns / patch_ns
+        );
     }
-    group.finish();
-}
 
-fn bench_match_counting(c: &mut Criterion) {
-    let rules = RuleSet::standard();
+    println!("\n== pattern matching ==");
     let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
-    c.bench_function("count_matches/squeezenet", |b| b.iter(|| rules.count_matches(&graph)));
-}
+    report("count_matches/squeezenet", time_ns(3, 50, || rules.count_matches(&graph)));
 
-criterion_group!(benches, bench_candidate_generation, bench_match_counting);
-criterion_main!(benches);
+    println!("\n== single-candidate materialisation ==");
+    let candidates = rules.generate_candidates(&graph, 64);
+    if let Some(c) = candidates.first() {
+        report(
+            "materialize_one_candidate/squeezenet",
+            time_ns(3, 50, || c.materialize(&graph).unwrap().num_nodes()),
+        );
+    }
+}

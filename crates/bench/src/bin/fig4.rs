@@ -8,7 +8,11 @@ use xrlflow_graph::models::{build_model, ModelKind};
 use xrlflow_rewrite::RuleSet;
 use xrlflow_taso::{BacktrackingOptimizer, SearchConfig};
 
-fn speedups(sim: &InferenceSimulator, before: &xrlflow_graph::Graph, after: &xrlflow_graph::Graph) -> (f64, f64) {
+fn speedups(
+    sim: &InferenceSimulator,
+    before: &xrlflow_graph::Graph,
+    after: &xrlflow_graph::Graph,
+) -> (f64, f64) {
     let samples: Vec<f64> = (0..5)
         .map(|i| {
             let b = sim.measure_ms(before, i);

@@ -9,16 +9,13 @@ use xrlflow_graph::models::ModelKind;
 fn main() {
     let scale = scale_from_env();
     let episodes = episodes_from_env(4);
-    let experiments: [(ModelKind, usize, Vec<usize>); 2] = [
-        (ModelKind::DallE, 64, vec![32, 48, 64, 96]),
-        (ModelKind::InceptionV3, 299, vec![225, 250, 299]),
-    ];
+    let experiments: [(ModelKind, usize, Vec<usize>); 2] =
+        [(ModelKind::DallE, 64, vec![32, 48, 64, 96]), (ModelKind::InceptionV3, 299, vec![225, 250, 299])];
     let mut rows = Vec::new();
     for (kind, train_size, eval_sizes) in experiments {
         let mut system = XrlflowSystem::new(XrlflowConfig::bench(), 11);
-        let report =
-            run_generalization(&mut system, kind, scale, train_size, &eval_sizes, episodes)
-                .expect("generalisation run");
+        let report = run_generalization(&mut system, kind, scale, train_size, &eval_sizes, episodes)
+            .expect("generalisation run");
         for p in &report.points {
             let marker = if p.trained_on { "*" } else { " " };
             eprintln!("[fig7] {kind}-{}{marker}: {:.2}%", p.input_size, p.result.speedup_percent());

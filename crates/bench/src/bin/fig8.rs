@@ -31,11 +31,7 @@ fn main() {
         let xrl_speedup = (before / sim.measure_ms(&xrl.graph, 0) - 1.0) * 100.0;
 
         eprintln!("[fig8] {kind}: Tensat {tensat_speedup:.2}% vs X-RLflow {xrl_speedup:.2}%");
-        rows.push(vec![
-            kind.name().to_string(),
-            format!("{tensat_speedup:.2}"),
-            format!("{xrl_speedup:.2}"),
-        ]);
+        rows.push(vec![kind.name().to_string(), format!("{tensat_speedup:.2}"), format!("{xrl_speedup:.2}")]);
     }
     println!(
         "Figure 8: end-to-end speedup (%) of Tensat vs X-RLflow (scale = {:?}, {} episodes/model)\n",

@@ -25,8 +25,5 @@ fn main() {
         ]);
     }
     println!("Table 2: PET vs TASO optimised end-to-end latency (scale = {:?})\n", scale);
-    println!(
-        "{}",
-        render_table(&["DNN", "PET (ms)", "TASO (ms)", "PET steps", "TASO steps"], &rows)
-    );
+    println!("{}", render_table(&["DNN", "PET (ms)", "TASO (ms)", "PET steps", "TASO steps"], &rows));
 }

@@ -14,8 +14,38 @@
 //!   train an agent (default: a CPU-friendly handful).
 
 use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::Instant;
 
 use xrlflow_graph::models::ModelScale;
+
+/// Times `f` over `iters` iterations after `warmup` warmup runs and returns
+/// the mean wall-clock nanoseconds per iteration. The dependency-free
+/// replacement for the Criterion harness (the build environment has no
+/// crates.io access); benches are plain `harness = false` binaries built on
+/// this.
+pub fn time_ns<R>(warmup: usize, iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    assert!(iters > 0, "iters must be positive");
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Prints one benchmark result line in the harness's standard format.
+pub fn report(name: &str, ns_per_iter: f64) {
+    if ns_per_iter >= 1e6 {
+        println!("{name:<44} {:>12.3} ms/iter", ns_per_iter / 1e6);
+    } else if ns_per_iter >= 1e3 {
+        println!("{name:<44} {:>12.3} µs/iter", ns_per_iter / 1e3);
+    } else {
+        println!("{name:<44} {:>12.1} ns/iter", ns_per_iter);
+    }
+}
 
 /// Reads the model-scale preset from `XRLFLOW_SCALE` (default: bench).
 pub fn scale_from_env() -> ModelScale {
@@ -80,9 +110,11 @@ pub fn render_heatmap(counts: &HashMap<String, HashMap<&'static str, usize>>) ->
         .map(|w| {
             let per_rule = &counts[w];
             std::iter::once(w.clone())
-                .chain(rules.iter().map(|r| {
-                    per_rule.get(r).map(|c| c.to_string()).unwrap_or_else(|| "-".to_string())
-                }))
+                .chain(
+                    rules
+                        .iter()
+                        .map(|r| per_rule.get(r).map(|c| c.to_string()).unwrap_or_else(|| "-".to_string())),
+                )
                 .collect()
         })
         .collect();

@@ -84,7 +84,10 @@ impl XrlflowAgent {
 
         let mut logits: Vec<VarId> = Vec::with_capacity(observation.candidates.len() + 1);
         for candidate in &observation.candidates {
-            let features = GraphFeatures::from_graph(&candidate.graph);
+            // Materialised once per candidate and shared with the
+            // environment's step() and any later PPO re-evaluation.
+            let graph = candidate.graph(&observation.graph);
+            let features = GraphFeatures::from_graph(&graph);
             let emb = self.encoder.encode(tape, &self.store, &features);
             let pair = tape.concat_cols(current_emb, emb);
             let score = self.policy_head.forward(tape, &self.store, pair);
@@ -133,12 +136,7 @@ impl XrlflowAgent {
     /// # Panics
     ///
     /// Panics if `action` is invalid for the observation.
-    pub fn evaluate(
-        &self,
-        tape: &mut Tape,
-        observation: &Observation,
-        action: usize,
-    ) -> PolicyEvaluation {
+    pub fn evaluate(&self, tape: &mut Tape, observation: &Observation, action: usize) -> PolicyEvaluation {
         let (logits, value) = self.forward(tape, observation);
         let log_probs = tape.log_softmax(logits);
         let num_candidates = observation.candidates.len();

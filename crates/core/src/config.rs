@@ -5,8 +5,6 @@
 //! k = 5 GAT layers, update frequency 10, feedback frequency N = 5, MLP
 //! heads [256, 64] and batch size 16.
 
-use serde::{Deserialize, Serialize};
-
 use xrlflow_env::EnvConfig;
 use xrlflow_gnn::EncoderConfig;
 use xrlflow_rl::PpoHyperParams;
@@ -46,7 +44,12 @@ impl XrlflowConfig {
     /// structure with a narrower encoder and shorter episodes.
     pub fn bench() -> Self {
         Self {
-            ppo: PpoHyperParams { update_frequency: 4, epochs_per_update: 2, batch_size: 16, ..PpoHyperParams::default() },
+            ppo: PpoHyperParams {
+                update_frequency: 4,
+                epochs_per_update: 2,
+                batch_size: 16,
+                ..PpoHyperParams::default()
+            },
             encoder: EncoderConfig { hidden_dim: 32, num_gat_layers: 3 },
             head_dims: vec![64, 32],
             env: EnvConfig { max_steps: 25, max_candidates: 32, ..EnvConfig::default() },
@@ -66,12 +69,7 @@ impl XrlflowConfig {
             },
             encoder: EncoderConfig { hidden_dim: 16, num_gat_layers: 1 },
             head_dims: vec![32, 16],
-            env: EnvConfig {
-                max_steps: 4,
-                max_candidates: 8,
-                feedback_frequency: 2,
-                ..EnvConfig::default()
-            },
+            env: EnvConfig { max_steps: 4, max_candidates: 8, feedback_frequency: 2, ..EnvConfig::default() },
             training_episodes: 2,
         }
     }
@@ -83,9 +81,9 @@ impl Default for XrlflowConfig {
     }
 }
 
-/// Serializable summary of the hyper-parameters, mirroring the paper's
+/// Flat summary of the hyper-parameters, mirroring the paper's
 /// Table 4 (used by the benchmark harness to print the table).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HyperParameterTable {
     /// Learning rate of PPO's policy and value networks.
     pub learning_rate: f32,

@@ -34,21 +34,13 @@ pub struct GeneralizationReport {
 impl GeneralizationReport {
     /// Speedup (percent) at the training shape.
     pub fn trained_speedup(&self) -> f64 {
-        self.points
-            .iter()
-            .find(|p| p.trained_on)
-            .map(|p| p.result.speedup_percent())
-            .unwrap_or(0.0)
+        self.points.iter().find(|p| p.trained_on).map(|p| p.result.speedup_percent()).unwrap_or(0.0)
     }
 
     /// Mean speedup (percent) over the unseen shapes.
     pub fn unseen_mean_speedup(&self) -> f64 {
-        let unseen: Vec<f64> = self
-            .points
-            .iter()
-            .filter(|p| !p.trained_on)
-            .map(|p| p.result.speedup_percent())
-            .collect();
+        let unseen: Vec<f64> =
+            self.points.iter().filter(|p| !p.trained_on).map(|p| p.result.speedup_percent()).collect();
         if unseen.is_empty() {
             0.0
         } else {
@@ -91,15 +83,9 @@ mod tests {
     #[test]
     fn generalization_across_bert_sequence_lengths() {
         let mut system = XrlflowSystem::new(XrlflowConfig::smoke_test(), 0);
-        let report = run_generalization(
-            &mut system,
-            ModelKind::Bert,
-            ModelScale::Bench,
-            64,
-            &[32, 64, 96],
-            2,
-        )
-        .unwrap();
+        let report =
+            run_generalization(&mut system, ModelKind::Bert, ModelScale::Bench, 64, &[32, 64, 96], 2)
+                .unwrap();
         assert_eq!(report.points.len(), 3);
         assert_eq!(report.points.iter().filter(|p| p.trained_on).count(), 1);
         for p in &report.points {

@@ -8,7 +8,7 @@
 //! "end-to-end" training).
 
 use xrlflow_env::{Environment, Observation};
-use xrlflow_rl::{explained_variance, RolloutBuffer, Transition, TrainingStats};
+use xrlflow_rl::{explained_variance, RolloutBuffer, TrainingStats, Transition};
 use xrlflow_tensor::{Adam, Tape, Tensor, XorShiftRng};
 
 use crate::agent::XrlflowAgent;
@@ -26,8 +26,7 @@ pub struct TrainReport {
 impl TrainReport {
     /// Mean end-to-end speedup over the last `n` episodes (percent).
     pub fn recent_mean_speedup(&self, n: usize) -> f64 {
-        let tail: Vec<f64> =
-            self.episodes.iter().rev().take(n).map(|e| e.speedup_percent()).collect();
+        let tail: Vec<f64> = self.episodes.iter().rev().take(n).map(|e| e.speedup_percent()).collect();
         if tail.is_empty() {
             0.0
         } else {
@@ -182,12 +181,7 @@ impl Trainer {
 
     /// Runs the full training loop: collect `update_frequency` episodes,
     /// update, repeat until `episodes` episodes have been collected.
-    pub fn train(
-        &mut self,
-        agent: &mut XrlflowAgent,
-        env: &mut Environment,
-        episodes: usize,
-    ) -> TrainReport {
+    pub fn train(&mut self, agent: &mut XrlflowAgent, env: &mut Environment, episodes: usize) -> TrainReport {
         let mut report = TrainReport::default();
         let mut buffer = RolloutBuffer::new();
         for episode in 0..episodes {
@@ -240,12 +234,8 @@ mod tests {
         }
         // The PPO update must actually have moved the parameters.
         let embedding_after = agent.embed_graph(&probe);
-        let drift: f32 = embedding_before
-            .data()
-            .iter()
-            .zip(embedding_after.data())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let drift: f32 =
+            embedding_before.data().iter().zip(embedding_after.data()).map(|(a, b)| (a - b).abs()).sum();
         assert!(drift > 1e-7, "training did not change the encoder parameters");
     }
 

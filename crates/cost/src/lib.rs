@@ -31,7 +31,5 @@
 mod model;
 mod profile;
 
-pub use model::{
-    cost_breakdown, discrepancy, CostModel, Discrepancy, InferenceSimulator, SimulatorConfig,
-};
+pub use model::{cost_breakdown, discrepancy, CostModel, Discrepancy, InferenceSimulator, SimulatorConfig};
 pub use profile::{kernel_perturbation, node_compute_us, node_flops, node_memory_bytes, DeviceProfile};

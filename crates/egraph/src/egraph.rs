@@ -319,15 +319,9 @@ impl EGraph {
                 stack.pop();
                 continue;
             }
-            let node = best_node
-                .get(&cid)
-                .ok_or(EGraphError::NodeLimit(self.num_nodes()))?;
-            let missing: Vec<ClassId> = node
-                .children
-                .iter()
-                .map(|c| self.find(*c))
-                .filter(|c| !built.contains_key(c))
-                .collect();
+            let node = best_node.get(&cid).ok_or(EGraphError::NodeLimit(self.num_nodes()))?;
+            let missing: Vec<ClassId> =
+                node.children.iter().map(|c| self.find(*c)).filter(|c| !built.contains_key(c)).collect();
             if !missing.is_empty() {
                 stack.extend(missing);
                 continue;
@@ -455,12 +449,10 @@ mod tests {
     fn multi_output_graphs_are_rejected() {
         let mut g = Graph::new();
         let x = g.add_input(shape(&[1, 8, 4, 4]));
-        let split = g
-            .add_node(OpKind::Split, xrlflow_graph::OpAttributes::split(1, 2), vec![x.into()])
-            .unwrap();
-        let a = g
-            .add_node(OpKind::Relu, OpAttributes::default(), vec![TensorRef::with_port(split, 0)])
-            .unwrap();
+        let split =
+            g.add_node(OpKind::Split, xrlflow_graph::OpAttributes::split(1, 2), vec![x.into()]).unwrap();
+        let a =
+            g.add_node(OpKind::Relu, OpAttributes::default(), vec![TensorRef::with_port(split, 0)]).unwrap();
         g.mark_output(a.into());
         assert!(matches!(EGraph::from_graph(&g), Err(EGraphError::Unsupported(OpKind::Split))));
     }
@@ -472,16 +464,10 @@ mod tests {
         let g = mlp_graph();
         let mut eg = EGraph::from_graph(&g).unwrap();
         // Find the Relu class and the MatMul class.
-        let relu_class = eg
-            .iter_classes()
-            .find(|(_, c)| c.nodes.iter().any(|n| n.op == OpKind::Relu))
-            .unwrap()
-            .0;
-        let matmul_class = eg
-            .iter_classes()
-            .find(|(_, c)| c.nodes.iter().any(|n| n.op == OpKind::MatMul))
-            .unwrap()
-            .0;
+        let relu_class =
+            eg.iter_classes().find(|(_, c)| c.nodes.iter().any(|n| n.op == OpKind::Relu)).unwrap().0;
+        let matmul_class =
+            eg.iter_classes().find(|(_, c)| c.nodes.iter().any(|n| n.op == OpKind::MatMul)).unwrap().0;
         let out_shape = eg.class(relu_class).shape.clone();
         let identity = ENode {
             op: OpKind::Identity,
@@ -493,9 +479,7 @@ mod tests {
         let id_class = eg.add(identity, out_shape);
         eg.union(relu_class, id_class);
         eg.rebuild();
-        let extracted = eg
-            .extract(|n, _, _| if n.op == OpKind::Relu { 100.0 } else { 1.0 })
-            .unwrap();
+        let extracted = eg.extract(|n, _, _| if n.op == OpKind::Relu { 100.0 } else { 1.0 }).unwrap();
         assert_eq!(extracted.count_op(OpKind::Relu), 0);
         assert_eq!(extracted.count_op(OpKind::Identity), 1);
     }

@@ -7,6 +7,8 @@
 //! simulated end-to-end latency measured every `feedback_frequency` steps
 //! and a small exploration constant in between.
 
+use std::sync::Arc;
+
 use xrlflow_cost::InferenceSimulator;
 use xrlflow_graph::Graph;
 use xrlflow_rewrite::{Candidate, RuleSet};
@@ -45,13 +47,18 @@ impl Default for EnvConfig {
     }
 }
 
-/// What the agent observes at each step: the current graph and every
-/// transformed candidate, plus the padded-action validity mask.
+/// What the agent observes at each step: the current graph (structurally
+/// shared, not deep-copied) and every candidate substitution as a patch,
+/// plus the padded-action validity mask.
+///
+/// Cloning an observation (e.g. into a rollout buffer) is cheap: the graph is
+/// behind an [`Arc`] and each candidate shares its lazily-materialised
+/// transformed graph.
 #[derive(Debug, Clone)]
 pub struct Observation {
     /// The current computation graph.
-    pub graph: Graph,
-    /// The candidate graphs reachable by one substitution.
+    pub graph: Arc<Graph>,
+    /// The candidate transformations reachable by one substitution.
     pub candidates: Vec<Candidate>,
     /// Validity mask over the padded action space
     /// (`max_candidates + 1` entries; the last entry is the always-valid No-Op).
@@ -125,12 +132,12 @@ impl EpisodeStats {
 /// The tensor-graph transformation environment.
 #[derive(Debug)]
 pub struct Environment {
-    initial_graph: Graph,
+    initial_graph: Arc<Graph>,
     rules: RuleSet,
     simulator: InferenceSimulator,
     config: EnvConfig,
 
-    current: Graph,
+    current: Arc<Graph>,
     step_count: usize,
     initial_latency_ms: f64,
     last_measured_latency_ms: f64,
@@ -142,8 +149,9 @@ pub struct Environment {
 impl Environment {
     /// Creates an environment for optimising `graph`.
     pub fn new(graph: Graph, rules: RuleSet, simulator: InferenceSimulator, config: EnvConfig) -> Self {
+        let graph = Arc::new(graph);
         let mut env = Self {
-            current: graph.clone(),
+            current: Arc::clone(&graph),
             initial_graph: graph,
             rules,
             simulator,
@@ -182,7 +190,7 @@ impl Environment {
 
     /// Resets the transformation process and returns the first observation.
     pub fn reset(&mut self, seed: u64) -> Observation {
-        self.current = self.initial_graph.clone();
+        self.current = Arc::clone(&self.initial_graph);
         self.step_count = 0;
         self.total_reward = 0.0;
         self.applied_rules.clear();
@@ -194,15 +202,12 @@ impl Environment {
 
     fn observe(&self) -> Observation {
         let candidates = self.rules.generate_candidates(&self.current, self.config.max_candidates);
+        // Valid actions: one per candidate, plus the always-valid No-Op slot.
         let mut action_mask = vec![false; self.action_space()];
-        for (i, m) in action_mask.iter_mut().enumerate().take(candidates.len()) {
-            let _ = i;
-            *m = true;
-        }
-        // No-Op is always valid.
-        let last = self.action_space() - 1;
-        action_mask[last] = true;
-        Observation { graph: self.current.clone(), candidates, action_mask }
+        action_mask[..candidates.len()].fill(true);
+        let noop = self.action_space() - 1;
+        action_mask[noop] = true;
+        Observation { graph: Arc::clone(&self.current), candidates, action_mask }
     }
 
     /// Applies an action. `action` indexes the padded action space: indices
@@ -229,8 +234,7 @@ impl Environment {
         if action == noop || num_candidates == 0 {
             let reward = self.measurement_reward();
             self.total_reward += reward;
-            let termination =
-                if action == noop { Termination::NoOp } else { Termination::NoCandidates };
+            let termination = if action == noop { Termination::NoOp } else { Termination::NoCandidates };
             return StepResult {
                 observation: self.observe(),
                 reward,
@@ -239,9 +243,11 @@ impl Environment {
             };
         }
 
-        // Apply the selected candidate.
+        // Apply the selected candidate's patch. If the agent already
+        // materialised this candidate for featurisation, the graph is shared;
+        // otherwise the patch is applied now — either way nothing is cloned.
         let candidate = &observation.candidates[action];
-        self.current = candidate.graph.clone();
+        self.current = candidate.graph(&observation.graph);
         self.applied_rules.push(candidate.rule_name);
         self.step_count += 1;
 
@@ -252,12 +258,8 @@ impl Environment {
 
         // Reward: measure end-to-end latency every N steps and on termination,
         // otherwise grant the exploration bonus (Section 3.3.3).
-        let measure_now = done || self.step_count % self.config.feedback_frequency == 0;
-        let reward = if measure_now {
-            self.measurement_reward()
-        } else {
-            self.config.exploration_bonus
-        };
+        let measure_now = done || self.step_count.is_multiple_of(self.config.feedback_frequency);
+        let reward = if measure_now { self.measurement_reward() } else { self.config.exploration_bonus };
         self.total_reward += reward;
 
         let termination = if max_steps_reached {
@@ -275,8 +277,7 @@ impl Environment {
     fn measurement_reward(&mut self) -> f32 {
         self.measure_seed = self.measure_seed.wrapping_add(1);
         let latency = self.simulator.measure_ms(&self.current, self.measure_seed);
-        let reward =
-            ((self.last_measured_latency_ms - latency) / self.initial_latency_ms * 100.0) as f32;
+        let reward = ((self.last_measured_latency_ms - latency) / self.initial_latency_ms * 100.0) as f32;
         self.last_measured_latency_ms = latency;
         reward
     }

@@ -4,7 +4,9 @@
 //! (Eq. 7, GAT) and one global-readout layer (Eq. 8), producing a single
 //! graph-level embedding used by the policy and value heads.
 
-use xrlflow_tensor::{xavier_uniform, Activation, Linear, ParamId, ParamStore, Tape, Tensor, VarId, XorShiftRng};
+use xrlflow_tensor::{
+    xavier_uniform, Activation, Linear, ParamId, ParamStore, Tape, Tensor, VarId, XorShiftRng,
+};
 
 use crate::featurize::GraphFeatures;
 
@@ -42,13 +44,7 @@ impl GatLayer {
     /// Runs message passing: `h'_i = relu(sum_j alpha_ij W h_j)`, with
     /// attention coefficients normalised over each destination node's
     /// incoming edges.
-    fn forward(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        h: VarId,
-        features: &GraphFeatures,
-    ) -> VarId {
+    fn forward(&self, tape: &mut Tape, store: &ParamStore, h: VarId, features: &GraphFeatures) -> VarId {
         let wh = self.proj.forward(tape, store, h);
         let wh_src = tape.gather_rows(wh, &features.edge_src);
         let wh_dst = tape.gather_rows(wh, &features.edge_dst);
@@ -109,8 +105,7 @@ impl GnnEncoder {
     pub fn encode(&self, tape: &mut Tape, store: &ParamStore, features: &GraphFeatures) -> VarId {
         // Eq. 6: update node attributes from incoming edge attributes.
         let edge_feats = tape.constant(features.edge_features.clone());
-        let incoming =
-            tape.scatter_add_rows(edge_feats, &features.edge_dst, features.num_nodes);
+        let incoming = tape.scatter_add_rows(edge_feats, &features.edge_dst, features.num_nodes);
         let node_feats = tape.constant(features.node_features.clone());
         let combined = tape.concat_cols(incoming, node_feats);
         let mut h = self.node_update.forward(tape, store, combined);
@@ -223,10 +218,12 @@ mod tests {
     fn parameter_count_scales_with_layers() {
         let mut store_small = ParamStore::new();
         let mut rng = XorShiftRng::new(4);
-        let _ = GnnEncoder::new(&mut store_small, EncoderConfig { hidden_dim: 16, num_gat_layers: 1 }, &mut rng);
+        let _ =
+            GnnEncoder::new(&mut store_small, EncoderConfig { hidden_dim: 16, num_gat_layers: 1 }, &mut rng);
         let mut store_large = ParamStore::new();
         let mut rng = XorShiftRng::new(4);
-        let _ = GnnEncoder::new(&mut store_large, EncoderConfig { hidden_dim: 16, num_gat_layers: 5 }, &mut rng);
+        let _ =
+            GnnEncoder::new(&mut store_large, EncoderConfig { hidden_dim: 16, num_gat_layers: 5 }, &mut rng);
         assert!(store_large.num_scalars() > store_small.num_scalars());
     }
 }

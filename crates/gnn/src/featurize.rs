@@ -45,9 +45,8 @@ impl GraphFeatures {
     /// incoming dataflow edge.
     pub fn from_graph(graph: &Graph) -> Self {
         let ids: Vec<NodeId> = graph.iter().map(|(id, _)| id).collect();
-        let index_of = |id: NodeId| -> usize {
-            ids.binary_search(&id).expect("node id present in sorted id list")
-        };
+        let index_of =
+            |id: NodeId| -> usize { ids.binary_search(&id).expect("node id present in sorted id list") };
         let num_nodes = ids.len();
         let feat_dim = OpKind::count();
         let mut node_features = Tensor::zeros(&[num_nodes, feat_dim]);

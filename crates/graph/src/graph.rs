@@ -10,14 +10,12 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 
-use serde::{Deserialize, Serialize};
-
 use crate::infer::infer_output_shapes;
 use crate::op::{OpAttributes, OpKind};
 use crate::shape::TensorShape;
 
 /// Identifier of a node within a [`Graph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
@@ -28,7 +26,7 @@ impl NodeId {
 }
 
 /// A reference to one output tensor of a node (node id + output port).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TensorRef {
     /// The producing node.
     pub node: NodeId,
@@ -55,7 +53,7 @@ impl From<NodeId> for TensorRef {
 }
 
 /// A single operator node in the graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Node {
     /// The operator kind.
     pub op: OpKind,
@@ -98,6 +96,13 @@ pub enum GraphError {
     NodeInUse(NodeId),
     /// The graph contains a cycle.
     Cycle,
+    /// A patch referenced an added node or output port that does not exist.
+    InvalidPatchRef {
+        /// Index of the added node within the patch.
+        node: usize,
+        /// Output port referenced.
+        port: usize,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -115,6 +120,9 @@ impl std::fmt::Display for GraphError {
             GraphError::InvalidPort(r) => write!(f, "invalid output port {} of {:?}", r.port, r.node),
             GraphError::NodeInUse(id) => write!(f, "node {:?} still has consumers", id),
             GraphError::Cycle => write!(f, "graph contains a cycle"),
+            GraphError::InvalidPatchRef { node, port } => {
+                write!(f, "invalid patch reference: added node {node}, port {port}")
+            }
         }
     }
 }
@@ -141,7 +149,7 @@ impl std::error::Error for GraphError {}
 /// assert_eq!(g.num_nodes(), 6);
 /// assert!(g.validate().is_ok());
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Graph {
     nodes: Vec<Option<Node>>,
     outputs: Vec<TensorRef>,
@@ -237,10 +245,7 @@ impl Graph {
     ///
     /// Returns [`GraphError::InvalidNode`] if the node does not exist.
     pub fn node(&self, id: NodeId) -> Result<&Node, GraphError> {
-        self.nodes
-            .get(id.index())
-            .and_then(|n| n.as_ref())
-            .ok_or(GraphError::InvalidNode(id))
+        self.nodes.get(id.index()).and_then(|n| n.as_ref()).ok_or(GraphError::InvalidNode(id))
     }
 
     /// Returns the shape of a tensor reference.
@@ -255,10 +260,7 @@ impl Graph {
 
     /// Iterates over `(NodeId, &Node)` pairs of live nodes.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, n)| n.as_ref().map(|n| (NodeId(i as u32), n)))
+        self.nodes.iter().enumerate().filter_map(|(i, n)| n.as_ref().map(|n| (NodeId(i as u32), n)))
     }
 
     /// Number of live nodes.
@@ -347,7 +349,10 @@ impl Graph {
             if inferred != node.outputs {
                 return Err(GraphError::Shape {
                     op: node.op,
-                    message: format!("stored outputs {:?} disagree with inferred {:?}", node.outputs, inferred),
+                    message: format!(
+                        "stored outputs {:?} disagree with inferred {:?}",
+                        node.outputs, inferred
+                    ),
                 });
             }
         }
@@ -366,13 +371,11 @@ impl Graph {
     /// Returns an error if `to` is invalid or the shapes of `from` and `to`
     /// differ (rewiring would corrupt downstream shapes).
     pub fn replace_all_uses(&mut self, from: TensorRef, to: TensorRef) -> Result<(), GraphError> {
-        let from_shape = self.tensor_shape(from)?.clone();
-        let to_shape = self.tensor_shape(to)?.clone();
+        let from_shape = self.tensor_shape(from)?;
+        let to_shape = self.tensor_shape(to)?;
         if from_shape != to_shape {
-            return Err(GraphError::Shape {
-                op: self.node(to.node)?.op,
-                message: format!("cannot replace tensor of shape {from_shape} with {to_shape}"),
-            });
+            let message = format!("cannot replace tensor of shape {from_shape} with {to_shape}");
+            return Err(GraphError::Shape { op: self.node(to.node)?.op, message });
         }
         for node in self.nodes.iter_mut().flatten() {
             for r in &mut node.inputs {
@@ -402,6 +405,61 @@ impl Graph {
         }
         self.nodes[id.index()] = None;
         Ok(())
+    }
+
+    /// Applies a [`crate::GraphPatch`] to this graph in place: splices the
+    /// patch's added nodes (reusing their pre-inferred output shapes — no
+    /// shape inference is re-run), performs the recorded consumer rewires in
+    /// order, then eliminates nodes the rewires made unreachable.
+    ///
+    /// The patch must have been built (via [`crate::PatchBuilder`]) against a
+    /// graph structurally identical to `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a patch reference does not resolve against this
+    /// graph or a rewire is shape-incompatible — both indicate the patch was
+    /// built against a different base graph. **On error the graph is left
+    /// partially modified** (spliced nodes and already-applied rewires are
+    /// not rolled back) and must be discarded; use [`Graph::apply_patch`]
+    /// when the original must survive a failed application.
+    pub fn apply_patch_in_place(&mut self, patch: &crate::GraphPatch) -> Result<(), GraphError> {
+        let mut new_ids: Vec<NodeId> = Vec::with_capacity(patch.added.len());
+        for pn in &patch.added {
+            let mut inputs = Vec::with_capacity(pn.inputs.len());
+            for r in &pn.inputs {
+                let resolved = r.resolve(&new_ids)?;
+                // The producing tensor must exist in this graph.
+                self.tensor_shape(resolved)?;
+                inputs.push(resolved);
+            }
+            self.nodes.push(Some(Node {
+                op: pn.op,
+                attrs: pn.attrs.clone(),
+                inputs,
+                outputs: pn.outputs.clone(),
+                name: None,
+            }));
+            new_ids.push(NodeId((self.nodes.len() - 1) as u32));
+        }
+        for (from, to) in &patch.rewires {
+            let to = to.resolve(&new_ids)?;
+            self.replace_all_uses(*from, to)?;
+        }
+        self.eliminate_dead_nodes();
+        Ok(())
+    }
+
+    /// Applies a [`crate::GraphPatch`], returning the transformed graph and
+    /// leaving `self` untouched. See [`Graph::apply_patch_in_place`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::apply_patch_in_place`].
+    pub fn apply_patch(&self, patch: &crate::GraphPatch) -> Result<Graph, GraphError> {
+        let mut out = self.clone();
+        out.apply_patch_in_place(patch)?;
+        Ok(out)
     }
 
     /// Removes every node that is not reachable (backwards) from a graph
@@ -465,13 +523,12 @@ impl Graph {
             Err(_) => return 0,
         };
         // Renumber nodes in topological order.
-        let renumber: HashMap<NodeId, usize> =
-            order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let renumber: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
         let mut hasher = DefaultHasher::new();
         for id in &order {
             let node = self.node(*id).expect("topo order only contains live nodes");
             node.op.hash(&mut hasher);
-            format!("{:?}", node.attrs).hash(&mut hasher);
+            node.attrs.hash(&mut hasher);
             for r in &node.inputs {
                 renumber[&r.node].hash(&mut hasher);
                 r.port.hash(&mut hasher);
@@ -693,11 +750,19 @@ mod tests {
         let x = g.add_input(shape(&[1, 3, 32, 32]));
         let w = g.add_weight(shape(&[16, 3, 3, 3]));
         let conv = g
-            .add_node(OpKind::Conv2d, OpAttributes::conv2d([3, 3], [1, 1], Padding::Same, 1), vec![x.into(), w.into()])
+            .add_node(
+                OpKind::Conv2d,
+                OpAttributes::conv2d([3, 3], [1, 1], Padding::Same, 1),
+                vec![x.into(), w.into()],
+            )
             .unwrap();
         let relu = g.add_node(OpKind::Relu, OpAttributes::default(), vec![conv.into()]).unwrap();
         let pool = g
-            .add_node(OpKind::MaxPool2d, OpAttributes::pool([2, 2], [2, 2], Padding::Valid), vec![relu.into()])
+            .add_node(
+                OpKind::MaxPool2d,
+                OpAttributes::pool([2, 2], [2, 2], Padding::Valid),
+                vec![relu.into()],
+            )
             .unwrap();
         g.mark_output(pool.into());
         assert!(g.validate().is_ok());
@@ -709,12 +774,10 @@ mod tests {
         let mut g = Graph::new();
         let x = g.add_input(shape(&[1, 8, 4, 4]));
         let split = g.add_node(OpKind::Split, OpAttributes::split(1, 2), vec![x.into()]).unwrap();
-        let a = g
-            .add_node(OpKind::Relu, OpAttributes::default(), vec![TensorRef::with_port(split, 0)])
-            .unwrap();
-        let b = g
-            .add_node(OpKind::Relu, OpAttributes::default(), vec![TensorRef::with_port(split, 1)])
-            .unwrap();
+        let a =
+            g.add_node(OpKind::Relu, OpAttributes::default(), vec![TensorRef::with_port(split, 0)]).unwrap();
+        let b =
+            g.add_node(OpKind::Relu, OpAttributes::default(), vec![TensorRef::with_port(split, 1)]).unwrap();
         g.mark_output(a.into());
         g.mark_output(b.into());
         assert!(g.validate().is_ok());
@@ -735,9 +798,8 @@ mod tests {
     fn named_nodes() {
         let mut g = Graph::new();
         let x = g.add_input(shape(&[1, 4]));
-        let id = g
-            .add_named_node("layer0.relu", OpKind::Relu, OpAttributes::default(), vec![x.into()])
-            .unwrap();
+        let id =
+            g.add_named_node("layer0.relu", OpKind::Relu, OpAttributes::default(), vec![x.into()]).unwrap();
         assert_eq!(g.node(id).unwrap().name.as_deref(), Some("layer0.relu"));
     }
 }

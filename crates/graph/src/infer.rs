@@ -124,10 +124,9 @@ pub fn infer_output_shapes(
 
         OpKind::Add | OpKind::Sub | OpKind::Mul | OpKind::Div | OpKind::Pow => {
             arity(2, 2)?;
-            inputs[0]
-                .broadcast(&inputs[1])
-                .map(|s| vec![s])
-                .ok_or_else(|| shape_err(format!("operands not broadcastable: {} vs {}", inputs[0], inputs[1])))
+            inputs[0].broadcast(&inputs[1]).map(|s| vec![s]).ok_or_else(|| {
+                shape_err(format!("operands not broadcastable: {} vs {}", inputs[0], inputs[1]))
+            })
         }
 
         OpKind::Sqrt
@@ -224,7 +223,7 @@ pub fn infer_output_shapes(
             if n == 0 {
                 return Err(shape_err("Split requires num_splits > 0".into()));
             }
-            if axis >= x.rank() || x.dim(axis) % n != 0 {
+            if axis >= x.rank() || !x.dim(axis).is_multiple_of(n) {
                 return Err(shape_err(format!("cannot split {x} into {n} parts along axis {axis}")));
             }
             let mut dims = x.dims().to_vec();
@@ -247,10 +246,8 @@ pub fn infer_output_shapes(
 
         OpKind::Pad => {
             arity(1, 1)?;
-            let target = attrs
-                .target_shape
-                .as_ref()
-                .ok_or_else(|| shape_err("Pad requires a target shape".into()))?;
+            let target =
+                attrs.target_shape.as_ref().ok_or_else(|| shape_err("Pad requires a target shape".into()))?;
             let x = &inputs[0];
             if target.len() != x.rank() || target.iter().zip(x.dims()).any(|(&t, &d)| t < d) {
                 return Err(shape_err(format!("invalid pad {:?} of {x}", target)));
@@ -379,31 +376,36 @@ mod tests {
     #[test]
     fn conv2d_same_and_valid() {
         let attrs = OpAttributes::conv2d([3, 3], [1, 1], Padding::Same, 1);
-        let out = infer_output_shapes(OpKind::Conv2d, &attrs, &[s(&[1, 3, 224, 224]), s(&[64, 3, 3, 3])])
-            .unwrap();
+        let out =
+            infer_output_shapes(OpKind::Conv2d, &attrs, &[s(&[1, 3, 224, 224]), s(&[64, 3, 3, 3])]).unwrap();
         assert_eq!(out[0].dims(), &[1, 64, 224, 224]);
 
         let attrs = OpAttributes::conv2d([3, 3], [2, 2], Padding::Valid, 1);
-        let out = infer_output_shapes(OpKind::Conv2d, &attrs, &[s(&[1, 3, 224, 224]), s(&[64, 3, 3, 3])])
-            .unwrap();
+        let out =
+            infer_output_shapes(OpKind::Conv2d, &attrs, &[s(&[1, 3, 224, 224]), s(&[64, 3, 3, 3])]).unwrap();
         assert_eq!(out[0].dims(), &[1, 64, 111, 111]);
     }
 
     #[test]
     fn grouped_conv_channels() {
         let attrs = OpAttributes::conv2d([3, 3], [1, 1], Padding::Same, 32);
-        let out = infer_output_shapes(OpKind::Conv2d, &attrs, &[s(&[1, 128, 56, 56]), s(&[128, 4, 3, 3])])
-            .unwrap();
+        let out =
+            infer_output_shapes(OpKind::Conv2d, &attrs, &[s(&[1, 128, 56, 56]), s(&[128, 4, 3, 3])]).unwrap();
         assert_eq!(out[0].dims(), &[1, 128, 56, 56]);
         // Wrong per-group channels must fail.
-        assert!(infer_output_shapes(OpKind::Conv2d, &attrs, &[s(&[1, 128, 56, 56]), s(&[128, 8, 3, 3])])
-            .is_err());
+        assert!(
+            infer_output_shapes(OpKind::Conv2d, &attrs, &[s(&[1, 128, 56, 56]), s(&[128, 8, 3, 3])]).is_err()
+        );
     }
 
     #[test]
     fn elementwise_broadcast() {
-        let out = infer_output_shapes(OpKind::Add, &OpAttributes::default(), &[s(&[1, 64, 56, 56]), s(&[64, 1, 1])])
-            .unwrap();
+        let out = infer_output_shapes(
+            OpKind::Add,
+            &OpAttributes::default(),
+            &[s(&[1, 64, 56, 56]), s(&[64, 1, 1])],
+        )
+        .unwrap();
         assert_eq!(out[0].dims(), &[1, 64, 56, 56]);
         assert!(
             infer_output_shapes(OpKind::Add, &OpAttributes::default(), &[s(&[3, 4]), s(&[5, 4])]).is_err()
@@ -420,13 +422,14 @@ mod tests {
         .unwrap();
         assert_eq!(cat[0].dims(), &[1, 160, 28, 28]);
 
-        let split = infer_output_shapes(OpKind::Split, &OpAttributes::split(1, 2), &[s(&[1, 160, 28, 28])])
-            .unwrap();
+        let split =
+            infer_output_shapes(OpKind::Split, &OpAttributes::split(1, 2), &[s(&[1, 160, 28, 28])]).unwrap();
         assert_eq!(split.len(), 2);
         assert_eq!(split[0].dims(), &[1, 80, 28, 28]);
 
-        assert!(infer_output_shapes(OpKind::Split, &OpAttributes::split(1, 3), &[s(&[1, 160, 28, 28])])
-            .is_err());
+        assert!(
+            infer_output_shapes(OpKind::Split, &OpAttributes::split(1, 3), &[s(&[1, 160, 28, 28])]).is_err()
+        );
     }
 
     #[test]
@@ -441,12 +444,9 @@ mod tests {
 
     #[test]
     fn transpose_reshape_flatten() {
-        let out = infer_output_shapes(
-            OpKind::Transpose,
-            &OpAttributes::transpose(vec![0, 2, 1]),
-            &[s(&[2, 3, 4])],
-        )
-        .unwrap();
+        let out =
+            infer_output_shapes(OpKind::Transpose, &OpAttributes::transpose(vec![0, 2, 1]), &[s(&[2, 3, 4])])
+                .unwrap();
         assert_eq!(out[0].dims(), &[2, 4, 3]);
 
         let out = infer_output_shapes(OpKind::Reshape, &OpAttributes::reshape(vec![6, 4]), &[s(&[2, 3, 4])])
@@ -461,11 +461,10 @@ mod tests {
 
     #[test]
     fn squeeze_unsqueeze() {
-        let out = infer_output_shapes(OpKind::Squeeze, &OpAttributes::with_axis(1), &[s(&[2, 1, 4])])
-            .unwrap();
+        let out =
+            infer_output_shapes(OpKind::Squeeze, &OpAttributes::with_axis(1), &[s(&[2, 1, 4])]).unwrap();
         assert_eq!(out[0].dims(), &[2, 4]);
-        let out = infer_output_shapes(OpKind::Unsqueeze, &OpAttributes::with_axis(0), &[s(&[2, 4])])
-            .unwrap();
+        let out = infer_output_shapes(OpKind::Unsqueeze, &OpAttributes::with_axis(0), &[s(&[2, 4])]).unwrap();
         assert_eq!(out[0].dims(), &[1, 2, 4]);
         assert!(infer_output_shapes(OpKind::Squeeze, &OpAttributes::with_axis(0), &[s(&[2, 4])]).is_err());
     }
@@ -483,8 +482,8 @@ mod tests {
 
     #[test]
     fn reduction_keeps_rank() {
-        let out = infer_output_shapes(OpKind::ReduceMean, &OpAttributes::with_axis(2), &[s(&[1, 8, 128])])
-            .unwrap();
+        let out =
+            infer_output_shapes(OpKind::ReduceMean, &OpAttributes::with_axis(2), &[s(&[1, 8, 128])]).unwrap();
         assert_eq!(out[0].dims(), &[1, 8, 1]);
     }
 

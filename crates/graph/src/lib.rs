@@ -21,9 +21,11 @@ mod graph;
 mod infer;
 pub mod models;
 mod op;
+mod patch;
 mod shape;
 
 pub use graph::{Graph, GraphError, Node, NodeId, TensorRef};
 pub use infer::infer_output_shapes;
 pub use op::{FusedActivation, OpAttributes, OpKind, Padding};
+pub use patch::{GraphPatch, PatchBuilder, PatchNode, PatchNodeId, PatchRef};
 pub use shape::TensorShape;

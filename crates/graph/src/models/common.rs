@@ -13,6 +13,7 @@ pub(crate) fn ts(dims: &[usize]) -> TensorShape {
 /// Adds `Conv2d -> BatchNorm -> Relu` and returns the activation tensor.
 ///
 /// `input` must be an NCHW tensor with `cin` channels.
+#[allow(clippy::too_many_arguments)]
 pub fn conv_bn_relu(
     g: &mut Graph,
     input: TensorRef,
@@ -31,7 +32,8 @@ pub fn conv_bn_relu(
     )?;
     let scale = g.add_weight(ts(&[cout, 1, 1]));
     let bias = g.add_weight(ts(&[cout, 1, 1]));
-    let bn = g.add_node(OpKind::BatchNorm, OpAttributes::default(), vec![conv.into(), scale.into(), bias.into()])?;
+    let bn =
+        g.add_node(OpKind::BatchNorm, OpAttributes::default(), vec![conv.into(), scale.into(), bias.into()])?;
     let relu = g.add_node(OpKind::Relu, OpAttributes::default(), vec![bn.into()])?;
     Ok(relu.into())
 }
@@ -47,11 +49,8 @@ pub fn conv2d(
     padding: Padding,
 ) -> Result<TensorRef, GraphError> {
     let w = g.add_weight(ts(&[cout, cin, kernel[0], kernel[1]]));
-    let conv = g.add_node(
-        OpKind::Conv2d,
-        OpAttributes::conv2d(kernel, stride, padding, 1),
-        vec![input, w.into()],
-    )?;
+    let conv =
+        g.add_node(OpKind::Conv2d, OpAttributes::conv2d(kernel, stride, padding, 1), vec![input, w.into()])?;
     Ok(conv.into())
 }
 
@@ -103,7 +102,8 @@ pub fn linear(
 pub fn layer_norm(g: &mut Graph, input: TensorRef, dim: usize) -> Result<TensorRef, GraphError> {
     let scale = g.add_weight(ts(&[dim]));
     let bias = g.add_weight(ts(&[dim]));
-    let ln = g.add_node(OpKind::LayerNorm, OpAttributes::default(), vec![input, scale.into(), bias.into()])?;
+    let ln =
+        g.add_node(OpKind::LayerNorm, OpAttributes::default(), vec![input, scale.into(), bias.into()])?;
     Ok(ln.into())
 }
 
@@ -142,7 +142,8 @@ pub fn transformer_layer(
 
     // [1, s, d] -> [s, h, dh] -> [h, s, dh]
     let to_heads = |g: &mut Graph, x: TensorRef| -> Result<TensorRef, GraphError> {
-        let r = g.add_node(OpKind::Reshape, OpAttributes::reshape(vec![seq_len, num_heads, d_head]), vec![x])?;
+        let r =
+            g.add_node(OpKind::Reshape, OpAttributes::reshape(vec![seq_len, num_heads, d_head]), vec![x])?;
         let t = g.add_node(OpKind::Transpose, OpAttributes::transpose(vec![1, 0, 2]), vec![r.into()])?;
         Ok(t.into())
     };

@@ -8,7 +8,7 @@
 use crate::graph::{Graph, GraphError, TensorRef};
 use crate::op::{OpAttributes, OpKind, Padding};
 
-use super::common::{avg_pool, conv_bn_relu, conv2d, linear, max_pool, ts};
+use super::common::{avg_pool, conv2d, conv_bn_relu, linear, max_pool, ts};
 use super::ModelScale;
 
 /// Builds InceptionV3 (Szegedy et al., 2016) for a square input image.
@@ -49,7 +49,7 @@ pub fn inception_v3(image_size: usize, scale: ModelScale) -> Result<Graph, Graph
     // Inception-B blocks (7x7 factorised convolutions).
     for _ in 0..n_b {
         h = inception_b(&mut g, h, cin)?;
-        cin = 768.min(cin.max(768));
+        cin = 768;
     }
 
     // Grid reduction B.
@@ -148,11 +148,8 @@ fn inception_c(g: &mut Graph, input: TensorRef, cin: usize) -> Result<TensorRef,
     // Branch 4: pool -> 1x1.
     let b4 = avg_pool(g, input, [3, 3], [1, 1], Padding::Same)?;
     let b4 = conv_bn_relu(g, b4, cin, 192, [1, 1], [1, 1], Padding::Same, 1)?;
-    let cat = g.add_node(
-        OpKind::Concat,
-        OpAttributes::with_axis(1),
-        vec![b1, b2cat.into(), b3cat.into(), b4],
-    )?;
+    let cat =
+        g.add_node(OpKind::Concat, OpAttributes::with_axis(1), vec![b1, b2cat.into(), b3cat.into(), b4])?;
     Ok(cat.into())
 }
 
@@ -275,7 +272,8 @@ fn bottleneck_block(
     )?;
     let scale = g.add_weight(ts(&[cout, 1, 1]));
     let bias = g.add_weight(ts(&[cout, 1, 1]));
-    let bn = g.add_node(OpKind::BatchNorm, OpAttributes::default(), vec![conv.into(), scale.into(), bias.into()])?;
+    let bn =
+        g.add_node(OpKind::BatchNorm, OpAttributes::default(), vec![conv.into(), scale.into(), bias.into()])?;
 
     // Projection shortcut whenever the shape changes.
     let shortcut = if cin != cout || stride != [1, 1] {
@@ -334,7 +332,8 @@ fn basic_block(
     )?;
     let scale = g.add_weight(ts(&[cout, 1, 1]));
     let bias = g.add_weight(ts(&[cout, 1, 1]));
-    let bn = g.add_node(OpKind::BatchNorm, OpAttributes::default(), vec![conv.into(), scale.into(), bias.into()])?;
+    let bn =
+        g.add_node(OpKind::BatchNorm, OpAttributes::default(), vec![conv.into(), scale.into(), bias.into()])?;
     let shortcut = if cin != cout || stride != [1, 1] {
         let w = g.add_weight(ts(&[cout, cin, 1, 1]));
         let conv = g.add_node(
@@ -384,10 +383,7 @@ mod tests {
     fn resnext50_uses_grouped_convolutions() {
         let g = resnext50(224, ModelScale::Bench).unwrap();
         assert!(g.validate().is_ok());
-        let grouped = g
-            .iter()
-            .filter(|(_, n)| n.op == OpKind::Conv2d && n.attrs.groups == 32)
-            .count();
+        let grouped = g.iter().filter(|(_, n)| n.op == OpKind::Conv2d && n.attrs.groups == 32).count();
         assert!(grouped >= 4, "expected grouped convolutions, found {grouped}");
     }
 

@@ -11,13 +11,10 @@ mod conv_nets;
 mod transformers;
 
 pub use common::{
-    avg_pool, conv2d, conv_bn_relu, layer_norm, linear, max_pool, transformer_layer,
-    TransformerLayerConfig,
+    avg_pool, conv2d, conv_bn_relu, layer_norm, linear, max_pool, transformer_layer, TransformerLayerConfig,
 };
 pub use conv_nets::{inception_v3, resnet18, resnext50, squeezenet};
 pub use transformers::{bert, dalle, transformer_transducer, vit};
-
-use serde::{Deserialize, Serialize};
 
 use crate::graph::{Graph, GraphError};
 
@@ -28,7 +25,7 @@ use crate::graph::{Graph, GraphError};
 /// [`ModelScale::Bench`] provides structurally faithful but shallower graphs
 /// for tests and quick benchmarks, while [`ModelScale::Paper`] keeps the
 /// published depths.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ModelScale {
     /// Published architecture depth.
     Paper,
@@ -38,7 +35,7 @@ pub enum ModelScale {
 }
 
 /// The DNN workloads of the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelKind {
     /// InceptionV3 image classifier (convolutional).
     InceptionV3,
@@ -88,10 +85,7 @@ impl ModelKind {
     /// `true` for transformer-style architectures (the paper reports the
     /// largest gains on these).
     pub fn is_transformer(self) -> bool {
-        matches!(
-            self,
-            ModelKind::Bert | ModelKind::DallE | ModelKind::TransformerTransducer | ModelKind::Vit
-        )
+        matches!(self, ModelKind::Bert | ModelKind::DallE | ModelKind::TransformerTransducer | ModelKind::Vit)
     }
 
     /// The default input size used in the evaluation: image height/width for
@@ -114,7 +108,7 @@ impl std::fmt::Display for ModelKind {
 }
 
 /// Configuration of one model-zoo graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ModelConfig {
     /// Which architecture to build.
     pub kind: ModelKind,

@@ -68,11 +68,7 @@ pub fn vit(image_size: usize, scale: ModelScale) -> Result<Graph, GraphError> {
     // [1, d, gh, gw] -> [1, tokens, d]
     let reshaped =
         g.add_node(OpKind::Reshape, OpAttributes::reshape(vec![1, d_model, tokens]), vec![conv.into()])?;
-    let seq = g.add_node(
-        OpKind::Transpose,
-        OpAttributes::transpose(vec![0, 2, 1]),
-        vec![reshaped.into()],
-    )?;
+    let seq = g.add_node(OpKind::Transpose, OpAttributes::transpose(vec![0, 2, 1]), vec![reshaped.into()])?;
     let pos = g.add_weight(ts(&[1, tokens, d_model]));
     let h0 = g.add_node(OpKind::Add, OpAttributes::default(), vec![seq.into(), pos.into()])?;
 

@@ -5,11 +5,9 @@
 //! together with the per-node attributes (kernel sizes, strides, axes, ...)
 //! that the rewrite engine and the cost model need.
 
-use serde::{Deserialize, Serialize};
-
 /// Activation function fused into a compute operator (TASO-style operator
 /// fusion keeps the operator kind and records the fused epilogue here).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FusedActivation {
     /// Rectified linear unit.
     Relu,
@@ -22,7 +20,7 @@ pub enum FusedActivation {
 }
 
 /// Padding mode for convolution and pooling operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Padding {
     /// Output spatial size equals input size divided by stride (TF "SAME").
     #[default]
@@ -38,7 +36,7 @@ pub enum Padding {
 /// layout operators) plus the transformer-era operators needed by BERT,
 /// ViT, DALL-E and the Transformer-Transducer (layer norm, GELU, softmax,
 /// batched matmul, embedding gather).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum OpKind {
     // Graph sources.
@@ -188,10 +186,7 @@ impl OpKind {
     /// Returns `true` for compute-dense operators (convolutions and matrix
     /// multiplications) that dominate inference latency.
     pub fn is_compute_intensive(self) -> bool {
-        matches!(
-            self,
-            OpKind::MatMul | OpKind::BatchMatMul | OpKind::Conv2d | OpKind::DepthwiseConv2d
-        )
+        matches!(self, OpKind::MatMul | OpKind::BatchMatMul | OpKind::Conv2d | OpKind::DepthwiseConv2d)
     }
 
     /// Returns `true` for pure layout operators that move or reinterpret
@@ -271,7 +266,7 @@ impl std::fmt::Display for OpKind {
 /// keep their defaults. The struct is deliberately flat (rather than an enum
 /// per operator) so the rewrite pattern matcher can compare attributes
 /// field-by-field.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct OpAttributes {
     /// Convolution / pooling kernel size `[kh, kw]`.
     pub kernel: Option<[usize; 2]>,
@@ -296,6 +291,40 @@ pub struct OpAttributes {
     /// `true` when the rewrite engine has already marked this node as
     /// pre-computable (all transitive inputs are weights/constants).
     pub folded: bool,
+}
+
+/// Attributes participate in the graph's structural fingerprints
+/// ([`crate::Graph::canonical_hash`], `GraphPatch::structural_hash`), which
+/// run in the candidate-generation hot path — so hashing must not allocate.
+/// `epsilon` is hashed by bit pattern, consistent with `PartialEq` for the
+/// non-NaN constants it holds.
+impl std::hash::Hash for OpAttributes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let Self {
+            kernel,
+            stride,
+            padding,
+            groups,
+            axis,
+            num_splits,
+            perm,
+            target_shape,
+            epsilon,
+            fused_activation,
+            folded,
+        } = self;
+        kernel.hash(state);
+        stride.hash(state);
+        padding.hash(state);
+        groups.hash(state);
+        axis.hash(state);
+        num_splits.hash(state);
+        perm.hash(state);
+        target_shape.hash(state);
+        epsilon.to_bits().hash(state);
+        fused_activation.hash(state);
+        folded.hash(state);
+    }
 }
 
 impl OpAttributes {

@@ -4,7 +4,6 @@
 //! normalised by a constant `M = 4096`) as the edge attribute fed to the
 //! GNN; [`TensorShape::padded4`] provides exactly that encoding.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The shape of a tensor flowing along a graph edge.
@@ -18,7 +17,7 @@ use std::fmt;
 /// assert_eq!(s.numel(), 1 * 3 * 224 * 224);
 /// assert_eq!(s.rank(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TensorShape(Vec<usize>);
 
 impl TensorShape {

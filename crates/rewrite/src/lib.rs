@@ -27,5 +27,7 @@ mod matcher;
 mod rule;
 pub mod rules;
 
-pub use matcher::{consumers_of, find_chains, find_siblings_sharing_input, has_single_consumer, is_parameter};
+pub use matcher::{
+    consumers_of, find_chains, find_siblings_sharing_input, has_single_consumer, is_parameter,
+};
 pub use rule::{Candidate, RewriteRule, RuleId, RuleMatch, RuleSet};

@@ -69,13 +69,29 @@ pub fn find_siblings_sharing_input(
     out
 }
 
+/// Returns `true` when `node`'s output depends, transitively through
+/// dataflow inputs, on `ancestor` (or is `ancestor` itself).
+pub fn depends_on(graph: &Graph, node: NodeId, ancestor: NodeId) -> bool {
+    let mut visited: std::collections::HashSet<NodeId> = Default::default();
+    let mut stack = vec![node];
+    while let Some(id) = stack.pop() {
+        if id == ancestor {
+            return true;
+        }
+        if !visited.insert(id) {
+            continue;
+        }
+        if let Ok(n) = graph.node(id) {
+            stack.extend(n.inputs.iter().map(|r| r.node));
+        }
+    }
+    false
+}
+
 /// Returns `true` when the given tensor is produced by a weight or constant
 /// node (i.e. it is known before inference).
 pub fn is_parameter(graph: &Graph, r: TensorRef) -> bool {
-    graph
-        .node(r.node)
-        .map(|n| matches!(n.op, OpKind::Weight | OpKind::Constant))
-        .unwrap_or(false)
+    graph.node(r.node).map(|n| matches!(n.op, OpKind::Weight | OpKind::Constant)).unwrap_or(false)
 }
 
 /// Returns `true` when the given tensor does not depend on any graph input —

@@ -1,14 +1,19 @@
-//! The rewrite-rule abstraction, candidate generation and rule sets.
+//! The rewrite-rule abstraction, patch-based candidate generation and rule
+//! sets.
 //!
 //! At every optimisation step the environment pattern-matches every active
-//! rule against the current graph and produces one *candidate* (a fully
-//! transformed copy of the graph) per match, exactly as TASO's substitution
-//! engine does. X-RLflow's agent (or TASO's greedy search) then selects one
-//! candidate to become the next graph.
+//! rule against the current graph and produces one *candidate* per match —
+//! but unlike TASO's substitution engine (and the first version of this
+//! crate), a candidate is a [`GraphPatch`] *delta*, not a transformed copy of
+//! the whole graph. Generating the full candidate set is the hot path of the
+//! RL loop (it runs at every environment step), so it must not allocate a
+//! graph per candidate; the few candidates a search strategy actually
+//! inspects are materialised lazily and memoised via [`Candidate::graph`].
 
 use std::collections::HashSet;
+use std::sync::{Arc, OnceLock};
 
-use xrlflow_graph::{Graph, GraphError, NodeId};
+use xrlflow_graph::{Graph, GraphError, GraphPatch, NodeId};
 
 /// Identifier of a rewrite rule within a [`RuleSet`] (stable across runs;
 /// used for the Figure 5 rule-application heatmap).
@@ -44,8 +49,8 @@ impl RuleMatch {
     }
 }
 
-/// A graph-rewrite rule: locate every application site in a graph, and apply
-/// the rewrite at one site producing a transformed copy.
+/// A graph-rewrite rule: locate every application site in a graph, and
+/// describe the rewrite at one site as a [`GraphPatch`] delta.
 pub trait RewriteRule: Send + Sync {
     /// Short, stable, human-readable rule name.
     fn name(&self) -> &'static str;
@@ -53,26 +58,128 @@ pub trait RewriteRule: Send + Sync {
     /// Finds every application site of this rule in the graph.
     fn find_matches(&self, graph: &Graph) -> Vec<RuleMatch>;
 
-    /// Applies the rule at the given site, returning the transformed graph.
+    /// Builds the patch describing this rule's rewrite at the given site.
     ///
     /// # Errors
     ///
     /// Returns an error if the match is stale or the transformation would
-    /// produce an invalid graph; callers treat this as "no candidate".
-    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError>;
+    /// produce a shape-inconsistent graph; callers treat this as "no
+    /// candidate".
+    fn build_patch(&self, graph: &Graph, site: &RuleMatch) -> Result<GraphPatch, GraphError>;
+
+    /// Eagerly applies the rule at the given site, returning the transformed
+    /// graph (including dead-node elimination). This is the reference
+    /// semantics of [`RewriteRule::build_patch`]; the candidate pipeline uses
+    /// the patch directly and materialises lazily.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RewriteRule::build_patch`].
+    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+        graph.apply_patch(&self.build_patch(graph, site)?)
+    }
 }
 
-/// A transformed candidate graph produced by applying one rule at one site.
+/// A candidate transformation: one rule applied at one site, represented as a
+/// patch against the graph it was generated from.
+///
+/// The transformed graph is only built on demand — [`Candidate::graph`]
+/// materialises it once and memoises the result behind an [`Arc`], so the
+/// agent's featuriser, the environment's `step()` and any cost evaluation all
+/// share a single materialisation. Cloning a candidate (e.g. into a rollout
+/// buffer) shares the memo.
 #[derive(Debug, Clone)]
 pub struct Candidate {
-    /// The transformed graph.
-    pub graph: Graph,
+    patch: GraphPatch,
     /// Which rule produced it.
     pub rule_id: RuleId,
     /// The rule's name.
     pub rule_name: &'static str,
-    /// Canonical hash of the transformed graph (used for deduplication).
+    /// Structural hash of the patch (used for deduplication; see
+    /// [`GraphPatch::structural_hash`]).
     pub hash: u64,
+    /// Live-node count of the generation-time base graph — a cheap
+    /// fingerprint used by debug assertions to catch callers materialising
+    /// against the wrong base.
+    base_num_nodes: usize,
+    materialized: Arc<OnceLock<Arc<Graph>>>,
+}
+
+impl Candidate {
+    /// Wraps a patch produced by `rule_id` against `base` into a candidate.
+    pub fn new(patch: GraphPatch, rule_id: RuleId, rule_name: &'static str, base: &Graph) -> Self {
+        let hash = patch.structural_hash();
+        Self {
+            patch,
+            rule_id,
+            rule_name,
+            hash,
+            base_num_nodes: base.num_nodes(),
+            materialized: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// The patch this candidate applies.
+    pub fn patch(&self) -> &GraphPatch {
+        &self.patch
+    }
+
+    /// `true` when this candidate has already been materialised.
+    pub fn is_materialized(&self) -> bool {
+        self.materialized.get().is_some()
+    }
+
+    /// Debug-build guard: `base` must be the graph the candidate was
+    /// generated from, and a materialised result must be a valid graph.
+    /// Compiled out of release builds to keep materialisation cheap; the
+    /// differential/property tests exercise every rule through this path.
+    fn debug_check_base(&self, base: &Graph) {
+        debug_assert_eq!(
+            base.num_nodes(),
+            self.base_num_nodes,
+            "candidate for rule {} materialised against a different base graph",
+            self.rule_name
+        );
+    }
+
+    /// The transformed graph, materialised on first call and shared
+    /// afterwards.
+    ///
+    /// `base` must be the graph this candidate was generated from; once the
+    /// memo is populated the argument is ignored, so passing a different
+    /// graph never recomputes (debug builds assert against a base
+    /// fingerprint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the patch does not apply to `base` — patches are
+    /// shape-checked at construction time, so this indicates `base` is not
+    /// the generation-time graph.
+    pub fn graph(&self, base: &Graph) -> Arc<Graph> {
+        Arc::clone(self.materialized.get_or_init(|| {
+            self.debug_check_base(base);
+            let graph = base
+                .apply_patch(&self.patch)
+                .expect("candidate patch was validated against its base graph at build time");
+            debug_assert!(
+                graph.validate().is_ok(),
+                "rule {} produced an invalid graph (patches must only reference upstream tensors)",
+                self.rule_name
+            );
+            Arc::new(graph)
+        }))
+    }
+
+    /// Materialises the transformed graph without touching the memo (used by
+    /// differential tests and benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the patch does not apply to `base`.
+    pub fn materialize(&self, base: &Graph) -> Result<Graph, GraphError> {
+        self.debug_check_base(base);
+        base.apply_patch(&self.patch)
+    }
 }
 
 /// A collection of rewrite rules applied together.
@@ -124,28 +231,64 @@ impl RuleSet {
         self.rules.iter().map(|r| r.find_matches(graph).len()).sum()
     }
 
-    /// Generates every valid, deduplicated candidate obtainable by applying
-    /// one rule at one site of `graph`.
+    /// Generates every deduplicated candidate obtainable by applying one
+    /// rule at one site of `graph` — **without materialising any of them**.
     ///
-    /// Candidates identical to the input graph are dropped, as are
-    /// candidates that fail validation. `max_candidates` bounds the output
-    /// (the paper pads the action space to a fixed constant anyway).
+    /// Each candidate is a patch. Shape consistency is checked by the patch
+    /// builder; full graph validity (acyclicity in particular) relies on the
+    /// rule convention that patches only reference tensors upstream of the
+    /// rewired ones, enforced by debug assertions on materialisation and the
+    /// per-rule differential tests. Syntactic no-op patches are dropped and
+    /// duplicates are eliminated by patch structural hash — a deliberately
+    /// weaker filter than the eager pipeline's result-graph hash (two
+    /// distinct patches that materialise to the same graph both survive),
+    /// traded for never touching a full graph here. `max_candidates` bounds
+    /// the output (the paper pads the action space to a fixed constant
+    /// anyway).
     pub fn generate_candidates(&self, graph: &Graph, max_candidates: usize) -> Vec<Candidate> {
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut out = Vec::new();
+        'outer: for (rule_id, rule) in self.rules.iter().enumerate() {
+            for site in rule.find_matches(graph) {
+                let Ok(patch) = rule.build_patch(graph, &site) else { continue };
+                if patch.is_noop() {
+                    continue;
+                }
+                let candidate = Candidate::new(patch, rule_id, rule.name(), graph);
+                if !seen.insert(candidate.hash) {
+                    continue;
+                }
+                out.push(candidate);
+                if out.len() >= max_candidates {
+                    break 'outer;
+                }
+            }
+        }
+        out
+    }
+
+    /// The pre-patch reference pipeline: generates candidates by eagerly
+    /// materialising, validating and canonically hashing a full graph per
+    /// application site, deduplicating by the *result* graph's canonical
+    /// hash. Kept as the differential-testing oracle and the benchmark
+    /// baseline for [`RuleSet::generate_candidates`]; do not use it on hot
+    /// paths.
+    pub fn generate_candidates_eager(&self, graph: &Graph, max_candidates: usize) -> Vec<(Candidate, Graph)> {
         let original_hash = graph.canonical_hash();
         let mut seen: HashSet<u64> = HashSet::new();
         let mut out = Vec::new();
         'outer: for (rule_id, rule) in self.rules.iter().enumerate() {
             for site in rule.find_matches(graph) {
-                let Ok(mut candidate) = rule.apply(graph, &site) else { continue };
-                candidate.eliminate_dead_nodes();
-                if candidate.validate().is_err() {
+                let Ok(materialized) = rule.apply(graph, &site) else { continue };
+                if materialized.validate().is_err() {
                     continue;
                 }
-                let hash = candidate.canonical_hash();
+                let hash = materialized.canonical_hash();
                 if hash == original_hash || !seen.insert(hash) {
                     continue;
                 }
-                out.push(Candidate { graph: candidate, rule_id, rule_name: rule.name(), hash });
+                let patch = rule.build_patch(graph, &site).expect("apply succeeded for this site");
+                out.push((Candidate::new(patch, rule_id, rule.name(), graph), materialized));
                 if out.len() >= max_candidates {
                     break 'outer;
                 }
@@ -186,10 +329,40 @@ mod tests {
         assert!(!candidates.is_empty(), "expected rewrite opportunities in SqueezeNet");
         let mut hashes = HashSet::new();
         for c in &candidates {
-            assert!(c.graph.validate().is_ok(), "candidate from {} is invalid", c.rule_name);
+            assert!(!c.is_materialized(), "generation must not materialise candidates");
+            let out = c.graph(&g);
+            assert!(out.validate().is_ok(), "candidate from {} is invalid", c.rule_name);
             assert!(hashes.insert(c.hash), "duplicate candidate from {}", c.rule_name);
-            assert_ne!(c.hash, g.canonical_hash());
+            assert_ne!(out.canonical_hash(), g.canonical_hash(), "candidate from {} is a no-op", c.rule_name);
         }
+    }
+
+    #[test]
+    fn materialization_is_memoized_and_shared_across_clones() {
+        let g = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+        let rs = RuleSet::standard();
+        let candidates = rs.generate_candidates(&g, 8);
+        let c = candidates.first().expect("at least one candidate");
+        let clone = c.clone();
+        let a = c.graph(&g);
+        // The clone sees the memoised graph without re-applying the patch.
+        assert!(clone.is_materialized());
+        let b = clone.graph(&g);
+        assert!(Arc::ptr_eq(&a, &b), "clones must share one materialisation");
+    }
+
+    #[test]
+    fn patch_and_eager_pipelines_agree() {
+        let g = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+        let rs = RuleSet::standard();
+        let lazy = rs.generate_candidates(&g, usize::MAX);
+        let eager = rs.generate_candidates_eager(&g, usize::MAX);
+        // The eager pipeline dedups by result-graph hash, which can only
+        // collapse candidates the patch pipeline keeps apart.
+        assert!(eager.len() <= lazy.len());
+        let eager_hashes: HashSet<u64> = eager.iter().map(|(_, g)| g.canonical_hash()).collect();
+        let lazy_hashes: HashSet<u64> = lazy.iter().map(|c| c.graph(&g).canonical_hash()).collect();
+        assert_eq!(eager_hashes, lazy_hashes, "pipelines reach different graph sets");
     }
 
     #[test]

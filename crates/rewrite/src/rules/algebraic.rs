@@ -2,7 +2,7 @@
 //! transpose/reshape cancellation, split–concat round trips and matrix
 //! multiplication re-association.
 
-use xrlflow_graph::{Graph, GraphError, OpAttributes, OpKind, TensorRef};
+use xrlflow_graph::{Graph, GraphError, GraphPatch, OpAttributes, OpKind, PatchBuilder, TensorRef};
 
 use crate::matcher::{find_chains, has_single_consumer};
 use crate::rule::{RewriteRule, RuleMatch};
@@ -25,12 +25,12 @@ impl RewriteRule for EliminatePassThrough {
             .collect()
     }
 
-    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+    fn build_patch(&self, graph: &Graph, site: &RuleMatch) -> Result<GraphPatch, GraphError> {
         let [id] = site.expect_nodes();
-        let mut g = graph.clone();
-        let input = g.node(id)?.inputs[0];
-        g.replace_all_uses(TensorRef::new(id), input)?;
-        Ok(g)
+        let input = graph.node(id)?.inputs[0];
+        let mut b = PatchBuilder::new(graph);
+        b.replace_all_uses(TensorRef::new(id), input)?;
+        Ok(b.finish())
     }
 }
 
@@ -60,12 +60,12 @@ impl RewriteRule for EliminateTransposePair {
             .collect()
     }
 
-    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+    fn build_patch(&self, graph: &Graph, site: &RuleMatch) -> Result<GraphPatch, GraphError> {
         let [first, second] = site.expect_nodes();
-        let mut g = graph.clone();
-        let original = g.node(first)?.inputs[0];
-        g.replace_all_uses(TensorRef::new(second), original)?;
-        Ok(g)
+        let original = graph.node(first)?.inputs[0];
+        let mut b = PatchBuilder::new(graph);
+        b.replace_all_uses(TensorRef::new(second), original)?;
+        Ok(b.finish())
     }
 }
 
@@ -86,22 +86,22 @@ impl RewriteRule for MergeReshapePair {
             .collect()
     }
 
-    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+    fn build_patch(&self, graph: &Graph, site: &RuleMatch) -> Result<GraphPatch, GraphError> {
         let [first, second] = site.expect_nodes();
-        let mut g = graph.clone();
-        let original = g.node(first)?.inputs[0];
-        let final_shape = g.tensor_shape(TensorRef::new(second))?.clone();
-        if g.tensor_shape(original)? == &final_shape {
-            g.replace_all_uses(TensorRef::new(second), original)?;
+        let original = graph.node(first)?.inputs[0];
+        let final_shape = graph.tensor_shape(TensorRef::new(second))?.clone();
+        let mut b = PatchBuilder::new(graph);
+        if graph.tensor_shape(original)? == &final_shape {
+            b.replace_all_uses(TensorRef::new(second), original)?;
         } else {
-            let merged = g.add_node(
+            let merged = b.add_node(
                 OpKind::Reshape,
                 OpAttributes::reshape(final_shape.dims().to_vec()),
-                vec![original],
+                vec![original.into()],
             )?;
-            g.replace_all_uses(TensorRef::new(second), TensorRef::new(merged))?;
+            b.replace_all_uses(TensorRef::new(second), merged)?;
         }
-        Ok(g)
+        Ok(b.finish())
     }
 }
 
@@ -130,11 +130,7 @@ impl RewriteRule for EliminateSplitConcat {
             {
                 continue;
             }
-            let in_order = concat
-                .inputs
-                .iter()
-                .enumerate()
-                .all(|(i, r)| r.node == split_id && r.port == i);
+            let in_order = concat.inputs.iter().enumerate().all(|(i, r)| r.node == split_id && r.port == i);
             if in_order {
                 out.push(RuleMatch::new(vec![split_id, concat_id]));
             }
@@ -142,12 +138,12 @@ impl RewriteRule for EliminateSplitConcat {
         out
     }
 
-    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+    fn build_patch(&self, graph: &Graph, site: &RuleMatch) -> Result<GraphPatch, GraphError> {
         let [split_id, concat_id] = site.expect_nodes();
-        let mut g = graph.clone();
-        let original = g.node(split_id)?.inputs[0];
-        g.replace_all_uses(TensorRef::new(concat_id), original)?;
-        Ok(g)
+        let original = graph.node(split_id)?.inputs[0];
+        let mut b = PatchBuilder::new(graph);
+        b.replace_all_uses(TensorRef::new(concat_id), original)?;
+        Ok(b.finish())
     }
 }
 
@@ -180,12 +176,12 @@ impl RewriteRule for EliminateSqueezePair {
         out
     }
 
-    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+    fn build_patch(&self, graph: &Graph, site: &RuleMatch) -> Result<GraphPatch, GraphError> {
         let [first, second] = site.expect_nodes();
-        let mut g = graph.clone();
-        let original = g.node(first)?.inputs[0];
-        g.replace_all_uses(TensorRef::new(second), original)?;
-        Ok(g)
+        let original = graph.node(first)?.inputs[0];
+        let mut b = PatchBuilder::new(graph);
+        b.replace_all_uses(TensorRef::new(second), original)?;
+        Ok(b.finish())
     }
 }
 
@@ -206,11 +202,11 @@ impl RewriteRule for FuseDoubleBatchNorm {
             .collect()
     }
 
-    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+    fn build_patch(&self, graph: &Graph, site: &RuleMatch) -> Result<GraphPatch, GraphError> {
         let [first, second] = site.expect_nodes();
-        let mut g = graph.clone();
-        g.replace_all_uses(TensorRef::new(second), TensorRef::new(first))?;
-        Ok(g)
+        let mut b = PatchBuilder::new(graph);
+        b.replace_all_uses(TensorRef::new(second), TensorRef::new(first))?;
+        Ok(b.finish())
     }
 }
 
@@ -274,28 +270,28 @@ impl RewriteRule for ReassociateMatMul {
         out
     }
 
-    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+    fn build_patch(&self, graph: &Graph, site: &RuleMatch) -> Result<GraphPatch, GraphError> {
         let [inner_id, outer_id] = site.expect_nodes();
-        let mut g = graph.clone();
-        let inner = g.node(inner_id)?.clone();
-        let outer = g.node(outer_id)?.clone();
+        let inner = graph.node(inner_id)?;
+        let outer = graph.node(outer_id)?;
+        let mut pb = PatchBuilder::new(graph);
         let new_outer = if self.right_to_left {
             // (A·B)·C -> A·(B·C)
             let a = inner.inputs[0];
             let b = inner.inputs[1];
             let c = outer.inputs[1];
-            let bc = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![b, c])?;
-            g.add_node(OpKind::MatMul, OpAttributes::default(), vec![a, bc.into()])?
+            let bc = pb.add_node(OpKind::MatMul, OpAttributes::default(), vec![b.into(), c.into()])?;
+            pb.add_node(OpKind::MatMul, OpAttributes::default(), vec![a.into(), bc.into()])?
         } else {
             // A·(B·C) -> (A·B)·C
             let a = outer.inputs[0];
             let b = inner.inputs[0];
             let c = inner.inputs[1];
-            let ab = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![a, b])?;
-            g.add_node(OpKind::MatMul, OpAttributes::default(), vec![ab.into(), c])?
+            let ab = pb.add_node(OpKind::MatMul, OpAttributes::default(), vec![a.into(), b.into()])?;
+            pb.add_node(OpKind::MatMul, OpAttributes::default(), vec![ab.into(), c.into()])?
         };
-        g.replace_all_uses(TensorRef::new(outer_id), TensorRef::new(new_outer))?;
-        Ok(g)
+        pb.replace_all_uses(TensorRef::new(outer_id), new_outer)?;
+        Ok(pb.finish())
     }
 }
 
@@ -323,8 +319,7 @@ mod tests {
 
         let rule = EliminatePassThrough;
         assert_eq!(rule.find_matches(&g).len(), 2);
-        let mut out = rule.apply(&g, &rule.find_matches(&g)[0]).unwrap();
-        out.eliminate_dead_nodes();
+        let out = rule.apply(&g, &rule.find_matches(&g)[0]).unwrap();
         assert!(out.validate().is_ok());
         assert_eq!(out.num_nodes(), 3);
     }
@@ -333,30 +328,25 @@ mod tests {
     fn transpose_pair_cancels_only_when_inverse() {
         let mut g = Graph::new();
         let x = g.add_input(shape(&[2, 3, 4]));
-        let t1 = g
-            .add_node(OpKind::Transpose, OpAttributes::transpose(vec![1, 2, 0]), vec![x.into()])
-            .unwrap();
-        let t2 = g
-            .add_node(OpKind::Transpose, OpAttributes::transpose(vec![2, 0, 1]), vec![t1.into()])
-            .unwrap();
+        let t1 =
+            g.add_node(OpKind::Transpose, OpAttributes::transpose(vec![1, 2, 0]), vec![x.into()]).unwrap();
+        let t2 =
+            g.add_node(OpKind::Transpose, OpAttributes::transpose(vec![2, 0, 1]), vec![t1.into()]).unwrap();
         g.mark_output(t2.into());
         let rule = EliminateTransposePair;
         let matches = rule.find_matches(&g);
         assert_eq!(matches.len(), 1);
-        let mut out = rule.apply(&g, &matches[0]).unwrap();
-        out.eliminate_dead_nodes();
+        let out = rule.apply(&g, &matches[0]).unwrap();
         assert!(out.validate().is_ok());
         assert_eq!(out.count_op(OpKind::Transpose), 0);
 
         // A non-inverse pair must not match.
         let mut g2 = Graph::new();
         let x = g2.add_input(shape(&[2, 3, 4]));
-        let t1 = g2
-            .add_node(OpKind::Transpose, OpAttributes::transpose(vec![1, 2, 0]), vec![x.into()])
-            .unwrap();
-        let t2 = g2
-            .add_node(OpKind::Transpose, OpAttributes::transpose(vec![1, 2, 0]), vec![t1.into()])
-            .unwrap();
+        let t1 =
+            g2.add_node(OpKind::Transpose, OpAttributes::transpose(vec![1, 2, 0]), vec![x.into()]).unwrap();
+        let t2 =
+            g2.add_node(OpKind::Transpose, OpAttributes::transpose(vec![1, 2, 0]), vec![t1.into()]).unwrap();
         g2.mark_output(t2.into());
         assert!(rule.find_matches(&g2).is_empty());
     }
@@ -371,8 +361,7 @@ mod tests {
         let rule = MergeReshapePair;
         let matches = rule.find_matches(&g);
         assert_eq!(matches.len(), 1);
-        let mut out = rule.apply(&g, &matches[0]).unwrap();
-        out.eliminate_dead_nodes();
+        let out = rule.apply(&g, &matches[0]).unwrap();
         assert!(out.validate().is_ok());
         assert_eq!(out.count_op(OpKind::Reshape), 1);
     }
@@ -394,8 +383,7 @@ mod tests {
         let rule = EliminateSplitConcat;
         let matches = rule.find_matches(&g);
         assert_eq!(matches.len(), 1);
-        let mut out = rule.apply(&g, &matches[0]).unwrap();
-        out.eliminate_dead_nodes();
+        let out = rule.apply(&g, &matches[0]).unwrap();
         assert!(out.validate().is_ok());
         assert_eq!(out.count_op(OpKind::Split), 0);
         assert_eq!(out.count_op(OpKind::Concat), 0);
@@ -414,8 +402,7 @@ mod tests {
         let right = ReassociateMatMul::right_to_left();
         let matches = right.find_matches(&g);
         assert_eq!(matches.len(), 1);
-        let mut out = right.apply(&g, &matches[0]).unwrap();
-        out.eliminate_dead_nodes();
+        let out = right.apply(&g, &matches[0]).unwrap();
         assert!(out.validate().is_ok());
         // B·C is now weight-only, hence constant-foldable.
         let foldable = out.foldable_nodes();
@@ -443,8 +430,7 @@ mod tests {
         let rule = EliminateSqueezePair;
         let matches = rule.find_matches(&g);
         assert_eq!(matches.len(), 1);
-        let mut out = rule.apply(&g, &matches[0]).unwrap();
-        out.eliminate_dead_nodes();
+        let out = rule.apply(&g, &matches[0]).unwrap();
         assert!(out.validate().is_ok());
         assert_eq!(out.count_op(OpKind::Squeeze), 0);
         assert_eq!(out.count_op(OpKind::Unsqueeze), 0);
@@ -460,8 +446,7 @@ mod tests {
         let rule = FuseDoubleBatchNorm;
         let matches = rule.find_matches(&g);
         assert_eq!(matches.len(), 1);
-        let mut out = rule.apply(&g, &matches[0]).unwrap();
-        out.eliminate_dead_nodes();
+        let out = rule.apply(&g, &matches[0]).unwrap();
         assert!(out.validate().is_ok());
         assert_eq!(out.count_op(OpKind::BatchNorm), 1);
     }

@@ -5,7 +5,7 @@
 //! normalisation) into the producing convolution or matrix multiplication,
 //! which removes a kernel launch and a round trip through memory.
 
-use xrlflow_graph::{FusedActivation, Graph, GraphError, OpKind, TensorRef};
+use xrlflow_graph::{FusedActivation, Graph, GraphError, GraphPatch, OpKind, PatchBuilder, TensorRef};
 
 use crate::matcher::{find_chains, has_single_consumer, is_parameter};
 use crate::rule::{RewriteRule, RuleMatch};
@@ -49,25 +49,23 @@ impl RewriteRule for FuseActivation {
     fn find_matches(&self, graph: &Graph) -> Vec<RuleMatch> {
         find_chains(graph, self.producer, self.activation)
             .into_iter()
-            .filter(|(p, _)| {
-                graph.node(*p).map(|n| n.attrs.fused_activation.is_none()).unwrap_or(false)
-            })
+            .filter(|(p, _)| graph.node(*p).map(|n| n.attrs.fused_activation.is_none()).unwrap_or(false))
             .map(|(p, a)| RuleMatch::new(vec![p, a]))
             .collect()
     }
 
-    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+    fn build_patch(&self, graph: &Graph, site: &RuleMatch) -> Result<GraphPatch, GraphError> {
         let [producer_id, act_id] = site.expect_nodes();
-        let mut g = graph.clone();
-        let producer = g.node(producer_id)?.clone();
+        let producer = graph.node(producer_id)?;
         let act = activation_of(self.activation).expect("checked in constructor");
-        let fused = g.add_node(
+        let mut b = PatchBuilder::new(graph);
+        let fused = b.add_node(
             producer.op,
             producer.attrs.clone().with_fused_activation(act),
-            producer.inputs.clone(),
+            producer.inputs.iter().map(|&r| r.into()).collect(),
         )?;
-        g.replace_all_uses(TensorRef::new(act_id), TensorRef::new(fused))?;
-        Ok(g)
+        b.replace_all_uses(TensorRef::new(act_id), fused)?;
+        Ok(b.finish())
     }
 }
 
@@ -88,11 +86,11 @@ impl RewriteRule for FuseConvBatchNorm {
             .collect()
     }
 
-    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+    fn build_patch(&self, graph: &Graph, site: &RuleMatch) -> Result<GraphPatch, GraphError> {
         let [conv_id, bn_id] = site.expect_nodes();
-        let mut g = graph.clone();
-        g.replace_all_uses(TensorRef::new(bn_id), TensorRef::new(conv_id))?;
-        Ok(g)
+        let mut b = PatchBuilder::new(graph);
+        b.replace_all_uses(TensorRef::new(bn_id), TensorRef::new(conv_id))?;
+        Ok(b.finish())
     }
 }
 
@@ -147,11 +145,11 @@ impl RewriteRule for FuseBiasAdd {
         out
     }
 
-    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+    fn build_patch(&self, graph: &Graph, site: &RuleMatch) -> Result<GraphPatch, GraphError> {
         let [producer_id, add_id] = site.expect_nodes();
-        let mut g = graph.clone();
-        g.replace_all_uses(TensorRef::new(add_id), TensorRef::new(producer_id))?;
-        Ok(g)
+        let mut b = PatchBuilder::new(graph);
+        b.replace_all_uses(TensorRef::new(add_id), TensorRef::new(producer_id))?;
+        Ok(b.finish())
     }
 }
 
@@ -182,14 +180,10 @@ mod tests {
         let rule = FuseActivation::new("fuse-conv-relu", OpKind::Conv2d, OpKind::Relu);
         let matches = rule.find_matches(&g);
         assert_eq!(matches.len(), 1);
-        let mut out = rule.apply(&g, &matches[0]).unwrap();
-        out.eliminate_dead_nodes();
+        let out = rule.apply(&g, &matches[0]).unwrap();
         assert!(out.validate().is_ok());
         assert_eq!(out.count_op(OpKind::Relu), 0);
-        let fused = out
-            .iter()
-            .find(|(_, n)| n.op == OpKind::Conv2d)
-            .expect("conv must survive");
+        let fused = out.iter().find(|(_, n)| n.op == OpKind::Conv2d).expect("conv must survive");
         assert_eq!(fused.1.attrs.fused_activation, Some(FusedActivation::Relu));
         // Already-fused convolutions must not match again.
         assert!(rule.find_matches(&out).is_empty());
@@ -208,8 +202,7 @@ mod tests {
         let rule = FuseBiasAdd::new("fuse-matmul-bias", OpKind::MatMul);
         let matches = rule.find_matches(&g);
         assert_eq!(matches.len(), 1);
-        let mut out = rule.apply(&g, &matches[0]).unwrap();
-        out.eliminate_dead_nodes();
+        let out = rule.apply(&g, &matches[0]).unwrap();
         assert!(out.validate().is_ok());
         assert_eq!(out.count_op(OpKind::Add), 0);
         assert_eq!(out.num_nodes(), 3);
@@ -239,16 +232,14 @@ mod tests {
             )
             .unwrap();
         let scale = g.add_weight(TensorShape::new(vec![16, 1, 1]));
-        let bn = g
-            .add_node(OpKind::BatchNorm, OpAttributes::default(), vec![conv.into(), scale.into()])
-            .unwrap();
+        let bn =
+            g.add_node(OpKind::BatchNorm, OpAttributes::default(), vec![conv.into(), scale.into()]).unwrap();
         g.mark_output(bn.into());
 
         let rule = FuseConvBatchNorm;
         let matches = rule.find_matches(&g);
         assert_eq!(matches.len(), 1);
-        let mut out = rule.apply(&g, &matches[0]).unwrap();
-        out.eliminate_dead_nodes();
+        let out = rule.apply(&g, &matches[0]).unwrap();
         assert!(out.validate().is_ok());
         assert_eq!(out.count_op(OpKind::BatchNorm), 0);
         assert_eq!(out.count_op(OpKind::Conv2d), 1);

@@ -7,9 +7,9 @@
 //! more than the per-operator cost model predicts — which is exactly the
 //! signal X-RLflow can learn to exploit and greedy cost-model search cannot.
 
-use xrlflow_graph::{Graph, GraphError, NodeId, OpAttributes, OpKind, TensorRef};
+use xrlflow_graph::{Graph, GraphError, GraphPatch, NodeId, OpAttributes, OpKind, PatchBuilder, TensorRef};
 
-use crate::matcher::{find_siblings_sharing_input, is_constant_derived, is_parameter};
+use crate::matcher::{depends_on, find_siblings_sharing_input, is_constant_derived, is_parameter};
 use crate::rule::{RewriteRule, RuleMatch};
 
 /// Merges two `MatMul` nodes that share their left operand into one `MatMul`
@@ -30,25 +30,24 @@ impl RewriteRule for MergeMatMulSharedLhs {
             .collect()
     }
 
-    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+    fn build_patch(&self, graph: &Graph, site: &RuleMatch) -> Result<GraphPatch, GraphError> {
         let [a_id, b_id] = site.expect_nodes();
-        let mut g = graph.clone();
-        let a = g.node(a_id)?.clone();
-        let b = g.node(b_id)?.clone();
+        let a = graph.node(a_id)?;
+        let b = graph.node(b_id)?;
         let lhs = a.inputs[0];
         let (wa, wb) = (a.inputs[1], b.inputs[1]);
+        let mut pb = PatchBuilder::new(graph);
 
         // Concatenate the two weights along their output (column) axis.
-        let w_rank = g.tensor_shape(wa)?.rank();
+        let w_rank = graph.tensor_shape(wa)?.rank();
         let concat =
-            g.add_node(OpKind::Concat, OpAttributes::with_axis(w_rank - 1), vec![wa, wb])?;
-        let merged = g.add_node(OpKind::MatMul, a.attrs.clone(), vec![lhs, concat.into()])?;
-        let out_rank = g.tensor_shape(TensorRef::new(merged))?.rank();
-        let split =
-            g.add_node(OpKind::Split, OpAttributes::split(out_rank - 1, 2), vec![merged.into()])?;
-        g.replace_all_uses(TensorRef::new(a_id), TensorRef::with_port(split, 0))?;
-        g.replace_all_uses(TensorRef::new(b_id), TensorRef::with_port(split, 1))?;
-        Ok(g)
+            pb.add_node(OpKind::Concat, OpAttributes::with_axis(w_rank - 1), vec![wa.into(), wb.into()])?;
+        let merged = pb.add_node(OpKind::MatMul, a.attrs.clone(), vec![lhs.into(), concat.into()])?;
+        let out_rank = pb.shape(merged.into())?.rank();
+        let split = pb.add_node(OpKind::Split, OpAttributes::split(out_rank - 1, 2), vec![merged.into()])?;
+        pb.replace_all_uses(TensorRef::new(a_id), split.out(0))?;
+        pb.replace_all_uses(TensorRef::new(b_id), split.out(1))?;
+        Ok(pb.finish())
     }
 }
 
@@ -66,30 +65,33 @@ impl RewriteRule for MergeMatMulSharedRhs {
         find_siblings_sharing_input(graph, OpKind::MatMul, 1)
             .into_iter()
             .filter(|(shared, a, b)| {
-                is_parameter(graph, *shared) && same_shape_inputs(graph, *a, *b, 0) && same_attrs(graph, *a, *b)
+                is_parameter(graph, *shared)
+                    && same_shape_inputs(graph, *a, *b, 0)
+                    && same_attrs(graph, *a, *b)
+                    && independent_siblings(graph, *a, *b)
             })
             .map(|(_, a, b)| RuleMatch::new(vec![a, b]))
             .collect()
     }
 
-    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+    fn build_patch(&self, graph: &Graph, site: &RuleMatch) -> Result<GraphPatch, GraphError> {
         let [a_id, b_id] = site.expect_nodes();
-        let mut g = graph.clone();
-        let a = g.node(a_id)?.clone();
-        let b = g.node(b_id)?.clone();
+        let a = graph.node(a_id)?;
+        let b = graph.node(b_id)?;
         let weight = a.inputs[1];
         let (xa, xb) = (a.inputs[0], b.inputs[0]);
+        let mut pb = PatchBuilder::new(graph);
 
-        let x_rank = g.tensor_shape(xa)?.rank();
+        let x_rank = graph.tensor_shape(xa)?.rank();
         let row_axis = x_rank - 2;
-        let concat = g.add_node(OpKind::Concat, OpAttributes::with_axis(row_axis), vec![xa, xb])?;
-        let merged = g.add_node(OpKind::MatMul, a.attrs.clone(), vec![concat.into(), weight])?;
-        let out_rank = g.tensor_shape(TensorRef::new(merged))?.rank();
-        let split =
-            g.add_node(OpKind::Split, OpAttributes::split(out_rank - 2, 2), vec![merged.into()])?;
-        g.replace_all_uses(TensorRef::new(a_id), TensorRef::with_port(split, 0))?;
-        g.replace_all_uses(TensorRef::new(b_id), TensorRef::with_port(split, 1))?;
-        Ok(g)
+        let concat =
+            pb.add_node(OpKind::Concat, OpAttributes::with_axis(row_axis), vec![xa.into(), xb.into()])?;
+        let merged = pb.add_node(OpKind::MatMul, a.attrs.clone(), vec![concat.into(), weight.into()])?;
+        let out_rank = pb.shape(merged.into())?.rank();
+        let split = pb.add_node(OpKind::Split, OpAttributes::split(out_rank - 2, 2), vec![merged.into()])?;
+        pb.replace_all_uses(TensorRef::new(a_id), split.out(0))?;
+        pb.replace_all_uses(TensorRef::new(b_id), split.out(1))?;
+        Ok(pb.finish())
     }
 }
 
@@ -112,20 +114,20 @@ impl RewriteRule for MergeConvSharedInput {
             .collect()
     }
 
-    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+    fn build_patch(&self, graph: &Graph, site: &RuleMatch) -> Result<GraphPatch, GraphError> {
         let [a_id, b_id] = site.expect_nodes();
-        let mut g = graph.clone();
-        let a = g.node(a_id)?.clone();
-        let b = g.node(b_id)?.clone();
+        let a = graph.node(a_id)?;
+        let b = graph.node(b_id)?;
         let input = a.inputs[0];
         let (wa, wb) = (a.inputs[1], b.inputs[1]);
+        let mut pb = PatchBuilder::new(graph);
 
-        let concat = g.add_node(OpKind::Concat, OpAttributes::with_axis(0), vec![wa, wb])?;
-        let merged = g.add_node(OpKind::Conv2d, a.attrs.clone(), vec![input, concat.into()])?;
-        let split = g.add_node(OpKind::Split, OpAttributes::split(1, 2), vec![merged.into()])?;
-        g.replace_all_uses(TensorRef::new(a_id), TensorRef::with_port(split, 0))?;
-        g.replace_all_uses(TensorRef::new(b_id), TensorRef::with_port(split, 1))?;
-        Ok(g)
+        let concat = pb.add_node(OpKind::Concat, OpAttributes::with_axis(0), vec![wa.into(), wb.into()])?;
+        let merged = pb.add_node(OpKind::Conv2d, a.attrs.clone(), vec![input.into(), concat.into()])?;
+        let split = pb.add_node(OpKind::Split, OpAttributes::split(1, 2), vec![merged.into()])?;
+        pb.replace_all_uses(TensorRef::new(a_id), split.out(0))?;
+        pb.replace_all_uses(TensorRef::new(b_id), split.out(1))?;
+        Ok(pb.finish())
     }
 }
 
@@ -170,24 +172,32 @@ impl RewriteRule for EnlargeConvKernel {
         out
     }
 
-    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+    fn build_patch(&self, graph: &Graph, site: &RuleMatch) -> Result<GraphPatch, GraphError> {
         let [conv_id] = site.expect_nodes();
-        let mut g = graph.clone();
-        let conv = g.node(conv_id)?.clone();
+        let conv = graph.node(conv_id)?;
         let weight = conv.inputs[1];
-        let w_shape = g.tensor_shape(weight)?.clone();
+        let w_shape = graph.tensor_shape(weight)?;
         let padded_dims = vec![w_shape.dim(0), w_shape.dim(1), 3, 3];
-        let pad = g.add_node(
+        let mut pb = PatchBuilder::new(graph);
+        let pad = pb.add_node(
             OpKind::Pad,
             OpAttributes { target_shape: Some(padded_dims), ..Default::default() },
-            vec![weight],
+            vec![weight.into()],
         )?;
         let mut attrs = conv.attrs.clone();
         attrs.kernel = Some([3, 3]);
-        let enlarged = g.add_node(OpKind::Conv2d, attrs, vec![conv.inputs[0], pad.into()])?;
-        g.replace_all_uses(TensorRef::new(conv_id), TensorRef::new(enlarged))?;
-        Ok(g)
+        let enlarged = pb.add_node(OpKind::Conv2d, attrs, vec![conv.inputs[0].into(), pad.into()])?;
+        pb.replace_all_uses(TensorRef::new(conv_id), enlarged)?;
+        Ok(pb.finish())
     }
+}
+
+/// `true` when neither sibling's output depends on the other — merging two
+/// dataflow-dependent nodes would rewire one into a cycle through the merged
+/// kernel (the eager pipeline caught this via `validate()`; the patch
+/// pipeline must reject the match up front).
+fn independent_siblings(graph: &Graph, a: NodeId, b: NodeId) -> bool {
+    !depends_on(graph, a, b) && !depends_on(graph, b, a)
 }
 
 fn same_attrs(graph: &Graph, a: NodeId, b: NodeId) -> bool {
@@ -218,6 +228,7 @@ fn mergeable_matmuls(graph: &Graph, a: NodeId, b: NodeId) -> bool {
         && is_constant_derived(graph, nb.inputs[1])
         && same_shape_inputs(graph, a, b, 1)
         && graph.tensor_shape(na.inputs[1]).map(|s| s.rank() == 2).unwrap_or(false)
+        && independent_siblings(graph, a, b)
 }
 
 fn mergeable_convs(graph: &Graph, a: NodeId, b: NodeId) -> bool {
@@ -227,6 +238,7 @@ fn mergeable_convs(graph: &Graph, a: NodeId, b: NodeId) -> bool {
         && is_constant_derived(graph, na.inputs[1])
         && is_constant_derived(graph, nb.inputs[1])
         && same_shape_inputs(graph, a, b, 1)
+        && independent_siblings(graph, a, b)
 }
 
 #[cfg(test)]
@@ -258,8 +270,7 @@ mod tests {
         let matches = rule.find_matches(&g);
         // Three projections -> three unordered pairs.
         assert_eq!(matches.len(), 3);
-        let mut out = rule.apply(&g, &matches[0]).unwrap();
-        out.eliminate_dead_nodes();
+        let out = rule.apply(&g, &matches[0]).unwrap();
         assert!(out.validate().is_ok());
         // Two matmuls replaced by one merged matmul (plus the untouched third).
         assert_eq!(out.count_op(OpKind::MatMul), 2);
@@ -291,8 +302,7 @@ mod tests {
         let rule = MergeConvSharedInput;
         let matches = rule.find_matches(&g);
         assert_eq!(matches.len(), 1);
-        let mut out = rule.apply(&g, &matches[0]).unwrap();
-        out.eliminate_dead_nodes();
+        let out = rule.apply(&g, &matches[0]).unwrap();
         assert!(out.validate().is_ok());
         assert_eq!(out.count_op(OpKind::Conv2d), 1);
         assert_eq!(out.count_op(OpKind::Split), 1);
@@ -308,10 +318,18 @@ mod tests {
         let w1 = g.add_weight(shape(&[64, 32, 3, 3]));
         let w2 = g.add_weight(shape(&[64, 32, 1, 1]));
         let c1 = g
-            .add_node(OpKind::Conv2d, OpAttributes::conv2d([3, 3], [1, 1], Padding::Same, 1), vec![x.into(), w1.into()])
+            .add_node(
+                OpKind::Conv2d,
+                OpAttributes::conv2d([3, 3], [1, 1], Padding::Same, 1),
+                vec![x.into(), w1.into()],
+            )
             .unwrap();
         let c2 = g
-            .add_node(OpKind::Conv2d, OpAttributes::conv2d([1, 1], [1, 1], Padding::Same, 1), vec![x.into(), w2.into()])
+            .add_node(
+                OpKind::Conv2d,
+                OpAttributes::conv2d([1, 1], [1, 1], Padding::Same, 1),
+                vec![x.into(), w2.into()],
+            )
             .unwrap();
         g.mark_output(c1.into());
         g.mark_output(c2.into());
@@ -320,10 +338,30 @@ mod tests {
         let enlarge = EnlargeConvKernel;
         let matches = enlarge.find_matches(&g);
         assert_eq!(matches.len(), 1);
-        let mut out = enlarge.apply(&g, &matches[0]).unwrap();
-        out.eliminate_dead_nodes();
+        let out = enlarge.apply(&g, &matches[0]).unwrap();
         assert!(out.validate().is_ok());
         assert_eq!(MergeConvSharedInput.find_matches(&out).len(), 1);
+    }
+
+    #[test]
+    fn weight_tied_dependent_matmuls_do_not_merge() {
+        // a = MatMul(x, w); b = MatMul(Relu(a), w): the two matmuls share
+        // their weight but b depends on a, so merging would rewire a into a
+        // cycle through the merged kernel. The match must be rejected.
+        let mut g = Graph::new();
+        let x = g.add_input(shape(&[8, 64]));
+        let w = g.add_weight(shape(&[64, 64]));
+        let a = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![x.into(), w.into()]).unwrap();
+        let relu = g.add_node(OpKind::Relu, OpAttributes::default(), vec![a.into()]).unwrap();
+        let b = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![relu.into(), w.into()]).unwrap();
+        g.mark_output(b.into());
+        assert!(MergeMatMulSharedRhs.find_matches(&g).is_empty());
+        // And the full pipeline never surfaces an invalid candidate on it.
+        let rules = crate::RuleSet::standard();
+        for c in rules.generate_candidates(&g, 32) {
+            let out = c.materialize(&g).unwrap();
+            assert!(out.validate().is_ok(), "invalid candidate from {}", c.rule_name);
+        }
     }
 
     #[test]
@@ -339,8 +377,7 @@ mod tests {
         let rule = MergeMatMulSharedRhs;
         let matches = rule.find_matches(&g);
         assert_eq!(matches.len(), 1);
-        let mut out = rule.apply(&g, &matches[0]).unwrap();
-        out.eliminate_dead_nodes();
+        let out = rule.apply(&g, &matches[0]).unwrap();
         assert!(out.validate().is_ok());
         assert_eq!(out.count_op(OpKind::MatMul), 1);
         assert_eq!(out.count_op(OpKind::Concat), 1);

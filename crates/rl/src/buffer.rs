@@ -71,8 +71,8 @@ impl<O> RolloutBuffer<O> {
         let (mut advantages, returns) = gae(&rewards, &values, &dones, 0.0, gamma, lambda);
         if advantages.len() > 1 {
             let mean = advantages.iter().sum::<f32>() / advantages.len() as f32;
-            let var = advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>()
-                / advantages.len() as f32;
+            let var =
+                advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / advantages.len() as f32;
             let std = var.sqrt().max(1e-6);
             for a in &mut advantages {
                 *a = (*a - mean) / std;

@@ -27,11 +27,8 @@ impl MaskedCategorical {
     pub fn new(logits: Vec<f32>, mask: Vec<bool>) -> Self {
         assert_eq!(logits.len(), mask.len(), "logits and mask must have equal length");
         assert!(mask.iter().any(|&m| m), "at least one action must be valid");
-        let masked: Vec<f32> = logits
-            .iter()
-            .zip(&mask)
-            .map(|(&l, &m)| if m { l } else { MASK_VALUE })
-            .collect();
+        let masked: Vec<f32> =
+            logits.iter().zip(&mask).map(|(&l, &m)| if m { l } else { MASK_VALUE }).collect();
         let max = masked.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = masked.iter().map(|&l| (l - max).exp()).collect();
         let sum: f32 = exps.iter().sum();
@@ -66,12 +63,7 @@ impl MaskedCategorical {
 
     /// The most probable action.
     pub fn argmax(&self) -> usize {
-        self.probs
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        self.probs.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(0)
     }
 
     /// Log-probability of an action.

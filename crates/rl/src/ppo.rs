@@ -4,10 +4,8 @@
 //! scalar implementation here defines the reference semantics (Eq. 3–5) and
 //! is used to cross-check the differentiable version in integration tests.
 
-use serde::{Deserialize, Serialize};
-
 /// PPO hyper-parameters (defaults follow Table 4 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PpoHyperParams {
     /// Learning rate of the policy and value networks (Table 4: 5e-4).
     pub learning_rate: f32,
@@ -71,17 +69,13 @@ pub fn explained_variance(predicted: &[f32], targets: &[f32]) -> f32 {
     if var < 1e-12 {
         return 0.0;
     }
-    let residual: f32 = predicted
-        .iter()
-        .zip(targets)
-        .map(|(p, t)| (t - p) * (t - p))
-        .sum::<f32>()
-        / targets.len() as f32;
+    let residual: f32 =
+        predicted.iter().zip(targets).map(|(p, t)| (t - p) * (t - p)).sum::<f32>() / targets.len() as f32;
     1.0 - residual / var
 }
 
 /// Aggregate statistics of one PPO update, used for logging and tests.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TrainingStats {
     /// Mean total policy loss.
     pub policy_loss: f32,
@@ -131,7 +125,7 @@ mod tests {
     fn clip_objective_is_pessimistic_for_negative_advantage() {
         // With negative advantage and an increased ratio, the unclipped term is
         // more negative and must be chosen by the min.
-        let unclipped = (1.0f32).exp() * -1.0;
+        let unclipped = -(1.0f32).exp();
         let obj = ppo_clip_objective(0.0, -1.0, -1.0, 0.2);
         assert!((obj - unclipped).abs() < 1e-5);
     }

@@ -18,7 +18,9 @@
 use std::collections::HashMap;
 
 use xrlflow_cost::{CostModel, DeviceProfile};
-use xrlflow_graph::{Graph, GraphError, NodeId, OpAttributes, OpKind, Padding, TensorRef};
+use xrlflow_graph::{
+    Graph, GraphError, GraphPatch, NodeId, OpAttributes, OpKind, Padding, PatchBuilder, TensorRef,
+};
 use xrlflow_rewrite::{is_parameter, RewriteRule, RuleMatch, RuleSet};
 
 use crate::search::{GreedyOptimizer, OptimizationResult, SearchConfig};
@@ -60,24 +62,25 @@ impl RewriteRule for PartiallyEquivalentConv {
             .collect()
     }
 
-    fn apply(&self, graph: &Graph, site: &RuleMatch) -> Result<Graph, GraphError> {
+    fn build_patch(&self, graph: &Graph, site: &RuleMatch) -> Result<GraphPatch, GraphError> {
         let [conv_id] = site.expect_nodes();
-        let mut g = graph.clone();
-        let conv = g.node(conv_id)?.clone();
+        let conv = graph.node(conv_id)?;
         let input_ref = conv.inputs[0];
         let weight_ref = conv.inputs[1];
-        let in_shape = g.tensor_shape(input_ref)?.clone();
+        let in_shape = graph.tensor_shape(input_ref)?;
         let out_shape = conv.outputs[0].clone();
+        let mut pb = PatchBuilder::new(graph);
 
         // Slice the input to half resolution, convolve, pad back and correct.
         let half_in = vec![in_shape.dim(0), in_shape.dim(1), in_shape.dim(2) / 2, in_shape.dim(3) / 2];
-        let slice = g.add_node(
+        let slice = pb.add_node(
             OpKind::Slice,
             OpAttributes { target_shape: Some(half_in), ..Default::default() },
-            vec![input_ref],
+            vec![input_ref.into()],
         )?;
-        let small_conv = g.add_node(OpKind::Conv2d, conv.attrs.clone(), vec![slice.into(), weight_ref])?;
-        let pad = g.add_node(
+        let small_conv =
+            pb.add_node(OpKind::Conv2d, conv.attrs.clone(), vec![slice.into(), weight_ref.into()])?;
+        let pad = pb.add_node(
             OpKind::Pad,
             OpAttributes { target_shape: Some(out_shape.dims().to_vec()), ..Default::default() },
             vec![small_conv.into()],
@@ -85,12 +88,14 @@ impl RewriteRule for PartiallyEquivalentConv {
         // Correction kernels: element-wise operators restoring the missing
         // output region (structurally modelled as a multiply-add against
         // correction constants).
-        let correction = g.add_constant(out_shape.clone());
-        let corrected = g.add_node(OpKind::Mul, OpAttributes::default(), vec![pad.into(), correction.into()])?;
-        let residual = g.add_constant(out_shape);
-        let fixed = g.add_node(OpKind::Add, OpAttributes::default(), vec![corrected.into(), residual.into()])?;
-        g.replace_all_uses(TensorRef::new(conv_id), TensorRef::new(fixed))?;
-        Ok(g)
+        let correction = pb.add_constant(out_shape.clone());
+        let corrected =
+            pb.add_node(OpKind::Mul, OpAttributes::default(), vec![pad.into(), correction.into()])?;
+        let residual = pb.add_constant(out_shape);
+        let fixed =
+            pb.add_node(OpKind::Add, OpAttributes::default(), vec![corrected.into(), residual.into()])?;
+        pb.replace_all_uses(TensorRef::new(conv_id), fixed)?;
+        Ok(pb.finish())
     }
 }
 
@@ -168,15 +173,16 @@ impl PetOptimizer {
             candidates_evaluated += candidates.len();
             let best = candidates
                 .into_iter()
-                .map(|c| {
-                    let cost = blind.graph_cost_ms(&c.graph);
-                    (c, cost)
+                .filter_map(|c| {
+                    let graph = c.materialize(&current).ok()?;
+                    let cost = blind.graph_cost_ms(&graph);
+                    Some((c, graph, cost))
                 })
-                .min_by(|a, b| a.1.total_cmp(&b.1));
+                .min_by(|a, b| a.2.total_cmp(&b.2));
             match best {
-                Some((candidate, cost)) if cost < current_blind => {
+                Some((candidate, graph, cost)) if cost < current_blind => {
                     *rule_applications.entry(candidate.rule_name).or_insert(0) += 1;
-                    current = candidate.graph;
+                    current = graph;
                     current_blind = cost;
                     steps += 1;
                 }
@@ -198,11 +204,7 @@ impl PetOptimizer {
     /// A TASO greedy optimiser with the same budget, for side-by-side
     /// comparisons (Table 2).
     pub fn taso_counterpart(&self) -> GreedyOptimizer {
-        GreedyOptimizer::new(
-            RuleSet::standard(),
-            CostModel::new(self.profile.clone()),
-            self.config.clone(),
-        )
+        GreedyOptimizer::new(RuleSet::standard(), CostModel::new(self.profile.clone()), self.config.clone())
     }
 }
 
@@ -233,8 +235,7 @@ mod tests {
         let g = build_model(ModelKind::ResNet18, ModelScale::Bench).unwrap();
         let rule = PartiallyEquivalentConv;
         let matches = rule.find_matches(&g);
-        let mut out = rule.apply(&g, &matches[0]).unwrap();
-        out.eliminate_dead_nodes();
+        let out = rule.apply(&g, &matches[0]).unwrap();
         assert!(out.validate().is_ok());
         let blind = ElementwiseBlindCostModel::new(DeviceProfile::gtx1080());
         assert!(blind.graph_cost_ms(&out) < blind.graph_cost_ms(&g));

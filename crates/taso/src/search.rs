@@ -94,15 +94,16 @@ impl GreedyOptimizer {
             candidates_evaluated += candidates.len();
             let best = candidates
                 .into_iter()
-                .map(|c| {
-                    let cost = self.cost_model.graph_cost_ms(&c.graph);
-                    (c, cost)
+                .filter_map(|c| {
+                    let graph = c.materialize(&current).ok()?;
+                    let cost = self.cost_model.graph_cost_ms(&graph);
+                    Some((c, graph, cost))
                 })
-                .min_by(|a, b| a.1.total_cmp(&b.1));
+                .min_by(|a, b| a.2.total_cmp(&b.2));
             match best {
-                Some((candidate, cost)) if cost < current_cost => {
+                Some((candidate, graph, cost)) if cost < current_cost => {
                     *rule_applications.entry(candidate.rule_name).or_insert(0) += 1;
-                    current = candidate.graph;
+                    current = graph;
                     current_cost = cost;
                     steps += 1;
                 }
@@ -203,23 +204,18 @@ impl BacktrackingOptimizer {
             }
             for candidate in self.rules.generate_candidates(&entry.graph, self.config.max_candidates) {
                 candidates_evaluated += 1;
-                if !seen.insert(candidate.hash) {
+                let Ok(graph) = candidate.materialize(&entry.graph) else { continue };
+                if !seen.insert(graph.canonical_hash()) {
                     continue;
                 }
-                let cost = self.cost_model.graph_cost_ms(&candidate.graph);
+                let cost = self.cost_model.graph_cost_ms(&graph);
                 if cost > self.config.alpha * best_cost {
                     continue;
                 }
                 order += 1;
                 let mut rules = entry.rules.clone();
                 rules.push(candidate.rule_name);
-                queue.push(QueueEntry {
-                    cost,
-                    order,
-                    graph: candidate.graph,
-                    steps: entry.steps + 1,
-                    rules,
-                });
+                queue.push(QueueEntry { cost, order, graph, steps: entry.steps + 1, rules });
             }
         }
 

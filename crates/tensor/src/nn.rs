@@ -110,14 +110,7 @@ impl Mlp {
         let mut layers = Vec::new();
         for i in 0..dims.len() - 1 {
             let act = if i + 2 == dims.len() { Activation::Linear } else { Activation::Relu };
-            layers.push(Linear::new(
-                store,
-                &format!("{name}.{i}"),
-                dims[i],
-                dims[i + 1],
-                act,
-                rng,
-            ));
+            layers.push(Linear::new(store, &format!("{name}.{i}"), dims[i], dims[i + 1], act, rng));
         }
         Self { layers }
     }

@@ -507,10 +507,7 @@ impl Tape {
         let exps: Vec<f32> = av.data().iter().map(|&x| (x - max).exp()).collect();
         let sum: f32 = exps.iter().sum();
         let log_sum = sum.ln() + max;
-        let out = Tensor::from_vec(
-            av.data().iter().map(|&x| x - log_sum).collect(),
-            av.shape(),
-        );
+        let out = Tensor::from_vec(av.data().iter().map(|&x| x - log_sum).collect(), av.shape());
         self.push(Op::LogSoftmaxRow(a), out)
     }
 
@@ -639,11 +636,8 @@ impl Tape {
                 Op::SumRows(a) | Op::MeanRows(a) => {
                     let av = &self.nodes[a.0].value;
                     let (rows, cols) = (av.rows(), av.cols());
-                    let scale = if matches!(node.op, Op::MeanRows(_)) {
-                        1.0 / rows.max(1) as f32
-                    } else {
-                        1.0
-                    };
+                    let scale =
+                        if matches!(node.op, Op::MeanRows(_)) { 1.0 / rows.max(1) as f32 } else { 1.0 };
                     let mut ga = Tensor::zeros(&[rows, cols]);
                     for r in 0..rows {
                         for c in 0..cols {
@@ -676,8 +670,7 @@ impl Tape {
                     for &p in parts {
                         let rows = self.nodes[p.0].value.rows();
                         let mut gp = Tensor::zeros(&[rows, cols]);
-                        gp.data_mut()
-                            .copy_from_slice(&grad.data()[offset * cols..(offset + rows) * cols]);
+                        gp.data_mut().copy_from_slice(&grad.data()[offset * cols..(offset + rows) * cols]);
                         accumulate(&mut grads, p.0, &gp);
                         offset += rows;
                     }
@@ -727,8 +720,7 @@ impl Tape {
                         let mut dot = 0.0;
                         for c in 0..cols {
                             dot += grad.data()[r * cols + c] * mv.data()[r * cols + c];
-                            gmat.data_mut()[r * cols + c] =
-                                grad.data()[r * cols + c] * cv.data()[r];
+                            gmat.data_mut()[r * cols + c] = grad.data()[r * cols + c] * cv.data()[r];
                         }
                         gcol.data_mut()[r] = dot;
                     }
@@ -815,11 +807,7 @@ fn segment_softmax_forward(values: &Tensor, segments: &[usize], num_segments: us
         exps[i] = e;
         seg_sum[s] += e;
     }
-    let out: Vec<f32> = segments
-        .iter()
-        .enumerate()
-        .map(|(i, &s)| exps[i] / seg_sum[s].max(1e-12))
-        .collect();
+    let out: Vec<f32> = segments.iter().enumerate().map(|(i, &s)| exps[i] / seg_sum[s].max(1e-12)).collect();
     Tensor::from_vec(out, values.shape())
 }
 

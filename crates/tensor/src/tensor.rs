@@ -44,13 +44,7 @@ impl Tensor {
     /// shape dimensions.
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
         let numel: usize = shape.iter().product();
-        assert_eq!(
-            data.len(),
-            numel,
-            "data length {} does not match shape {:?}",
-            data.len(),
-            shape
-        );
+        assert_eq!(data.len(), numel, "data length {} does not match shape {:?}", data.len(), shape);
         Self { shape: shape.to_vec(), data }
     }
 

@@ -36,12 +36,16 @@ fn main() {
         );
     };
 
-    let greedy = GreedyOptimizer::new(RuleSet::standard(), CostModel::new(DeviceProfile::gtx1080()), config.clone());
+    let greedy =
+        GreedyOptimizer::new(RuleSet::standard(), CostModel::new(DeviceProfile::gtx1080()), config.clone());
     let r = greedy.optimize(&graph);
     report("TASO (greedy)", &r.graph, r.optimisation_time_s);
 
-    let backtracking =
-        BacktrackingOptimizer::new(RuleSet::standard(), CostModel::new(DeviceProfile::gtx1080()), config.clone());
+    let backtracking = BacktrackingOptimizer::new(
+        RuleSet::standard(),
+        CostModel::new(DeviceProfile::gtx1080()),
+        config.clone(),
+    );
     let r = backtracking.optimize(&graph);
     report("TASO (backtracking)", &r.graph, r.optimisation_time_s);
 
