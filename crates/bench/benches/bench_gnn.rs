@@ -1,14 +1,23 @@
-//! Micro-benchmarks for the GNN encoder: featurisation and the forward pass
-//! at different message-passing depths (the `k` ablation from DESIGN.md).
+//! Micro-benchmarks for the GNN encoder: featurisation, the forward pass at
+//! different message-passing depths (the `k` ablation from DESIGN.md), and
+//! the headline per-step policy-evaluation comparison — the serial
+//! materialise-and-encode baseline against the batched + delta-aware path
+//! the agent actually runs.
 
-use xrlflow_bench::{report, time_ns};
+use xrlflow_bench::{env_usize, finish, iters_from_env, report, report_ratio, time_ns};
+use xrlflow_core::{XrlflowAgent, XrlflowConfig};
+use xrlflow_cost::{DeviceProfile, InferenceSimulator};
+use xrlflow_env::Environment;
 use xrlflow_gnn::{EncoderConfig, GnnEncoder, GraphFeatures};
 use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+use xrlflow_rewrite::RuleSet;
 use xrlflow_tensor::{ParamStore, XorShiftRng};
 
 fn main() {
+    let iters = iters_from_env(10);
+
     let bert = build_model(ModelKind::Bert, ModelScale::Bench).unwrap();
-    report("featurize/bert", time_ns(3, 50, || GraphFeatures::from_graph(&bert).num_edges()));
+    report("featurize/bert", time_ns(3, iters.max(50), || GraphFeatures::from_graph(&bert).num_edges()));
 
     let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
     let features = GraphFeatures::from_graph(&graph);
@@ -20,7 +29,38 @@ fn main() {
             GnnEncoder::new(&mut store, EncoderConfig { hidden_dim: 32, num_gat_layers: k }, &mut rng);
         report(
             &format!("gnn_forward_by_depth/{k}"),
-            time_ns(2, 10, || encoder.encode_value(&store, &features).sum()),
+            time_ns(2, iters, || encoder.encode_value(&store, &features).sum()),
         );
     }
+
+    // Per-step policy evaluation: the full agent forward (featurise current
+    // graph + K candidates, encode, score all pairs, estimate the value) on
+    // one environment observation per workload. The serial baseline
+    // materialises every candidate and runs K + 1 encoder tapes; the batched
+    // path derives candidate features from patches and encodes one
+    // block-diagonal batch. `XRLFLOW_MAX_CANDIDATES` bounds K (CI smoke uses
+    // a small value).
+    println!("\n== per-step policy evaluation: serial baseline vs batched+delta ==");
+    let max_candidates = env_usize("XRLFLOW_MAX_CANDIDATES", 64);
+    let mut config = XrlflowConfig::bench();
+    config.env.max_candidates = max_candidates;
+    let agent = XrlflowAgent::new(&config, 0);
+    for kind in [ModelKind::SqueezeNet, ModelKind::Bert, ModelKind::InceptionV3] {
+        let graph = build_model(kind, ModelScale::Bench).unwrap();
+        let mut env = Environment::new(
+            graph,
+            RuleSet::standard(),
+            InferenceSimulator::new(DeviceProfile::gtx1080()),
+            config.env.clone(),
+        );
+        let obs = env.reset(0);
+        println!("-- {} ({} candidates)", kind.name(), obs.num_candidates());
+        let serial_ns = time_ns(1, iters, || agent.policy_logits_serial(&obs).1);
+        let batched_ns = time_ns(1, iters, || agent.policy_logits_batched(&obs).1);
+        report(&format!("policy_evaluation/serial/{}", kind.name()), serial_ns);
+        report(&format!("policy_evaluation/batched/{}", kind.name()), batched_ns);
+        report_ratio(&format!("policy_evaluation/speedup/{}", kind.name()), serial_ns / batched_ns);
+    }
+
+    finish("bench_gnn");
 }

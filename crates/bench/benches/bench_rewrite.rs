@@ -7,37 +7,36 @@
 //! full graph per candidate), which is kept as
 //! `RuleSet::generate_candidates_eager` for exactly this purpose.
 
-use xrlflow_bench::{report, time_ns};
+use xrlflow_bench::{finish, iters_from_env, report, report_ratio, time_ns};
 use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
 use xrlflow_rewrite::RuleSet;
 
 fn main() {
     let rules = RuleSet::standard();
+    let iters = iters_from_env(20);
 
     println!("== candidate generation: patch-based vs eager (the old clone-per-candidate path) ==");
     for kind in [ModelKind::SqueezeNet, ModelKind::Bert, ModelKind::InceptionV3] {
         let graph = build_model(kind, ModelScale::Bench).unwrap();
-        let patch_ns = time_ns(3, 20, || rules.generate_candidates(&graph, 64).len());
-        let eager_ns = time_ns(3, 20, || rules.generate_candidates_eager(&graph, 64).len());
+        let patch_ns = time_ns(3, iters, || rules.generate_candidates(&graph, 64).len());
+        let eager_ns = time_ns(3, iters, || rules.generate_candidates_eager(&graph, 64).len());
         report(&format!("candidate_generation/patch/{}", kind.name()), patch_ns);
         report(&format!("candidate_generation/eager/{}", kind.name()), eager_ns);
-        println!(
-            "{:<44} {:>11.2}x",
-            format!("candidate_generation/speedup/{}", kind.name()),
-            eager_ns / patch_ns
-        );
+        report_ratio(&format!("candidate_generation/speedup/{}", kind.name()), eager_ns / patch_ns);
     }
 
     println!("\n== pattern matching ==");
     let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
-    report("count_matches/squeezenet", time_ns(3, 50, || rules.count_matches(&graph)));
+    report("count_matches/squeezenet", time_ns(3, iters.max(50), || rules.count_matches(&graph)));
 
     println!("\n== single-candidate materialisation ==");
     let candidates = rules.generate_candidates(&graph, 64);
     if let Some(c) = candidates.first() {
         report(
             "materialize_one_candidate/squeezenet",
-            time_ns(3, 50, || c.materialize(&graph).unwrap().num_nodes()),
+            time_ns(3, iters.max(50), || c.materialize(&graph).unwrap().num_nodes()),
         );
     }
+
+    finish("bench_rewrite");
 }

@@ -6,18 +6,46 @@
 //! the same rows/series the paper reports; Criterion micro-benchmarks cover
 //! the substrates (rewrite engine, cost model, GNN, e-graph, optimisers).
 //!
-//! All binaries honour two environment variables:
+//! All binaries honour these environment variables:
 //!
 //! * `XRLFLOW_SCALE` — `bench` (default) or `paper`, selecting the model-zoo
 //!   depth preset;
 //! * `XRLFLOW_EPISODES` — RL training episodes per model for the figures that
-//!   train an agent (default: a CPU-friendly handful).
+//!   train an agent (default: a CPU-friendly handful);
+//! * `XRLFLOW_ITERS` — timed iterations per micro-benchmark (the CI
+//!   `bench-smoke` job sets a tiny value);
+//! * `XRLFLOW_BENCH_JSON` — when set, a path the binary writes its recorded
+//!   results to as JSON (uploaded as a CI artifact to track the perf
+//!   trajectory per PR).
 
 use std::collections::HashMap;
 use std::hint::black_box;
+use std::path::Path;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use xrlflow_graph::models::ModelScale;
+
+/// One recorded measurement: a metric name, its value and the value's unit
+/// (`"ns/iter"` for timings, `"x"` for speedup ratios).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Metric name, e.g. `"policy_evaluation/batched/BERT"`.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit of the value.
+    pub unit: &'static str,
+}
+
+/// Every result reported so far in this process, in report order. Collected
+/// so benchmark binaries can emit a machine-readable JSON artifact (the CI
+/// `bench-smoke` job uploads it to track the perf trajectory per PR).
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn record(name: &str, value: f64, unit: &'static str) {
+    RESULTS.lock().expect("bench result lock").push(BenchRecord { name: name.to_string(), value, unit });
+}
 
 /// Times `f` over `iters` iterations after `warmup` warmup runs and returns
 /// the mean wall-clock nanoseconds per iteration. The dependency-free
@@ -36,7 +64,8 @@ pub fn time_ns<R>(warmup: usize, iters: usize, mut f: impl FnMut() -> R) -> f64 
     start.elapsed().as_nanos() as f64 / iters as f64
 }
 
-/// Prints one benchmark result line in the harness's standard format.
+/// Prints one benchmark result line in the harness's standard format and
+/// records it for [`write_results_json`].
 pub fn report(name: &str, ns_per_iter: f64) {
     if ns_per_iter >= 1e6 {
         println!("{name:<44} {:>12.3} ms/iter", ns_per_iter / 1e6);
@@ -44,6 +73,69 @@ pub fn report(name: &str, ns_per_iter: f64) {
         println!("{name:<44} {:>12.3} µs/iter", ns_per_iter / 1e3);
     } else {
         println!("{name:<44} {:>12.1} ns/iter", ns_per_iter);
+    }
+    record(name, ns_per_iter, "ns/iter");
+}
+
+/// Prints a speedup ratio (e.g. serial over batched time) and records it for
+/// [`write_results_json`].
+pub fn report_ratio(name: &str, ratio: f64) {
+    println!("{name:<44} {ratio:>11.2}x");
+    record(name, ratio, "x");
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Writes every result reported so far as a JSON document:
+/// `{"bench": <name>, "results": [{"name", "value", "unit"}, ...]}`.
+/// Hand-rolled (the container has no serde) but escaped well enough for the
+/// metric names the harness produces.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating parent directories or writing.
+pub fn write_results_json(bench: &str, path: &Path) -> std::io::Result<()> {
+    let results = RESULTS.lock().expect("bench result lock");
+    let mut out = String::new();
+    out.push_str(&format!("{{\"bench\": \"{}\", \"results\": [", json_escape(bench)));
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"name\": \"{}\", \"value\": {}, \"unit\": \"{}\"}}",
+            json_escape(&r.name),
+            if r.value.is_finite() { r.value.to_string() } else { "null".to_string() },
+            json_escape(r.unit)
+        ));
+    }
+    out.push_str("]}\n");
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, out)
+}
+
+/// Called at the end of every benchmark binary: when `XRLFLOW_BENCH_JSON` is
+/// set, writes the recorded results there (the CI `bench-smoke` job uploads
+/// the file as a workflow artifact).
+pub fn finish(bench: &str) {
+    if let Ok(path) = std::env::var("XRLFLOW_BENCH_JSON") {
+        match write_results_json(bench, Path::new(&path)) {
+            Ok(()) => println!("\nwrote benchmark JSON to {path}"),
+            Err(e) => eprintln!("failed to write benchmark JSON to {path}: {e}"),
+        }
     }
 }
 
@@ -55,9 +147,21 @@ pub fn scale_from_env() -> ModelScale {
     }
 }
 
+/// Reads a `usize` configuration knob from the environment, falling back to
+/// `default` when the variable is unset or unparsable.
+pub fn env_usize(var: &str, default: usize) -> usize {
+    std::env::var(var).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
 /// Reads the per-model training-episode budget from `XRLFLOW_EPISODES`.
 pub fn episodes_from_env(default: usize) -> usize {
-    std::env::var("XRLFLOW_EPISODES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    env_usize("XRLFLOW_EPISODES", default)
+}
+
+/// Reads the timed-iteration budget for micro-benchmarks from
+/// `XRLFLOW_ITERS` (the CI smoke job sets a tiny value).
+pub fn iters_from_env(default: usize) -> usize {
+    env_usize("XRLFLOW_ITERS", default).max(1)
 }
 
 /// Formats a simple aligned text table.
@@ -171,6 +275,32 @@ mod tests {
 
     #[test]
     fn env_defaults() {
-        assert_eq!(episodes_from_env(6), 6);
+        assert_eq!(env_usize("XRLFLOW_NO_SUCH_VAR", 17), 17);
+        // iters_from_env reads ambient XRLFLOW_ITERS (which a developer
+        // reproducing the CI smoke environment may have set); it must always
+        // return a usable iteration count.
+        assert!(iters_from_env(20) >= 1);
+    }
+
+    #[test]
+    fn json_escaping_handles_special_characters() {
+        assert_eq!(json_escape("plain/name_1"), "plain/name_1");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
+    }
+
+    #[test]
+    fn report_records_and_write_results_json_emits_them() {
+        report("json_test/timing", 1234.5);
+        report_ratio("json_test/speedup", 2.5);
+        let path = std::env::temp_dir().join("xrlflow_bench_json_test/results.json");
+        write_results_json("bench_lib_test", &path).unwrap();
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.starts_with("{\"bench\": \"bench_lib_test\""));
+        assert!(
+            written.contains("{\"name\": \"json_test/timing\", \"value\": 1234.5, \"unit\": \"ns/iter\"}")
+        );
+        assert!(written.contains("{\"name\": \"json_test/speedup\", \"value\": 2.5, \"unit\": \"x\"}"));
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
     }
 }

@@ -1,14 +1,26 @@
 //! The X-RLflow agent: GNN encoder plus policy and value heads
 //! (Figure 3 of the paper).
 //!
-//! The encoder embeds the current graph and every candidate graph; the
-//! policy head scores each candidate against the current graph (plus a
-//! dedicated No-Op score) to form a masked categorical distribution over the
-//! padded action space, and the value head estimates the state value from
-//! the current graph's embedding.
+//! The encoder embeds the current graph and every candidate; the policy head
+//! scores each candidate against the current graph (plus a dedicated No-Op
+//! score) to form a masked categorical distribution over the padded action
+//! space, and the value head estimates the state value from the current
+//! graph's embedding.
+//!
+//! Policy evaluation is **delta-aware and batched**: candidate features are
+//! derived from the current graph's features plus each candidate's patch
+//! ([`GraphFeatures::delta_from_base_and_patch`] — no candidate graph is
+//! ever materialised on the inference path), and the current graph plus all
+//! `K` candidates run through the GAT stack in one batched pass
+//! ([`GnnEncoder::encode_candidates`]) that re-computes only each patch's
+//! dirty region per layer instead of `K + 1` serial full-graph tapes. The
+//! policy head then scores all `K + 1` pairs in a single stacked forward,
+//! so the `[1, K + 1]` logit row is assembled in one op. Only the action the
+//! environment actually takes materialises a graph, inside
+//! `Environment::step`.
 
 use xrlflow_env::Observation;
-use xrlflow_gnn::{GnnEncoder, GraphFeatures};
+use xrlflow_gnn::{CandidateDelta, GnnEncoder, GraphFeatures};
 use xrlflow_rl::MaskedCategorical;
 use xrlflow_tensor::{Mlp, ParamStore, Tape, Tensor, VarId, XorShiftRng};
 
@@ -78,33 +90,77 @@ impl XrlflowAgent {
 
     /// Builds the differentiable logits (one per valid action: candidates in
     /// order followed by No-Op) and the value estimate for an observation.
+    ///
+    /// One batched evaluation: candidate features are derived delta-wise
+    /// from the current graph's features (no candidate is materialised), the
+    /// current graph and all `K` candidates are encoded in one delta-aware
+    /// batched pass, and the policy head scores every `[current ‖ candidate]`
+    /// pair (plus the `[current ‖ current]` No-Op pair) in a single stacked
+    /// forward, yielding the `[1, K + 1]` logit row in one transpose.
     fn forward(&self, tape: &mut Tape, observation: &Observation) -> (VarId, VarId) {
         let current = GraphFeatures::from_graph(&observation.graph);
-        let current_emb = self.encoder.encode(tape, &self.store, &current);
+        let num_candidates = observation.candidates.len();
+        let deltas: Vec<CandidateDelta> = observation
+            .candidates
+            .iter()
+            .map(|c| GraphFeatures::delta_from_base_and_patch(&observation.graph, &current, c.patch()))
+            .collect();
+        // Row 0: the current graph; rows 1..=K: the candidates. Clean rows
+        // of every candidate are shared with the current graph's encoding;
+        // only each patch's dirty region is re-computed per GAT layer.
+        let embeddings = self.encoder.encode_candidates(tape, &self.store, &current, &deltas);
 
-        let mut logits: Vec<VarId> = Vec::with_capacity(observation.candidates.len() + 1);
-        for candidate in &observation.candidates {
-            // Materialised once per candidate and shared with the
-            // environment's step() and any later PPO re-evaluation.
-            let graph = candidate.graph(&observation.graph);
-            let features = GraphFeatures::from_graph(&graph);
-            let emb = self.encoder.encode(tape, &self.store, &features);
-            let pair = tape.concat_cols(current_emb, emb);
-            let score = self.policy_head.forward(tape, &self.store, pair);
-            logits.push(score);
-        }
-        // No-Op: score the current graph against itself.
-        let self_pair = tape.concat_cols(current_emb, current_emb);
-        let noop_score = self.policy_head.forward(tape, &self.store, self_pair);
-        logits.push(noop_score);
+        // Pair row i scores candidate i against the current graph; the last
+        // row is the No-Op pair (the current graph against itself).
+        let left = tape.gather_rows(embeddings, &vec![0; num_candidates + 1]);
+        let mut right_rows: Vec<usize> = (1..=num_candidates).collect();
+        right_rows.push(0);
+        let right = tape.gather_rows(embeddings, &right_rows);
+        let pairs = tape.concat_cols(left, right);
+        let scores = self.policy_head.forward(tape, &self.store, pairs);
+        let logits = tape.transpose(scores);
 
-        // Build a [1, K+1] logit row by concatenating the scalar scores.
-        let mut row = logits[0];
-        for &l in &logits[1..] {
-            row = tape.concat_cols(row, l);
-        }
+        let current_emb = tape.gather_rows(embeddings, &[0]);
         let value = self.value_head.forward(tape, &self.store, current_emb);
-        (row, value)
+        (logits, value)
+    }
+
+    /// Inference-only policy evaluation: the per-valid-action logits
+    /// (candidates in order, then No-Op) and the value estimate.
+    ///
+    /// This is the batched + delta-aware path [`XrlflowAgent::act`] uses,
+    /// exposed for benchmarks and differential tests against
+    /// [`XrlflowAgent::policy_logits_serial`].
+    pub fn policy_logits_batched(&self, observation: &Observation) -> (Vec<f32>, f32) {
+        let mut tape = Tape::new();
+        let (logits_var, value_var) = self.forward(&mut tape, observation);
+        (tape.value(logits_var).data().to_vec(), tape.value(value_var).item())
+    }
+
+    /// The pre-batching reference implementation of policy evaluation:
+    /// materialises every candidate graph, featurises it from scratch and
+    /// runs one serial encoder pass per graph. Kept (off the hot path) as
+    /// the differential-testing oracle and the benchmark baseline for
+    /// [`XrlflowAgent::policy_logits_batched`]; do not use it in training
+    /// loops.
+    pub fn policy_logits_serial(&self, observation: &Observation) -> (Vec<f32>, f32) {
+        let mut tape = Tape::new();
+        let current = GraphFeatures::from_graph(&observation.graph);
+        let current_emb = self.encoder.encode(&mut tape, &self.store, &current);
+        let mut logits = Vec::with_capacity(observation.candidates.len() + 1);
+        for candidate in &observation.candidates {
+            let graph = candidate.materialize(&observation.graph).expect("candidate applies to its base");
+            let features = GraphFeatures::from_graph(&graph);
+            let emb = self.encoder.encode(&mut tape, &self.store, &features);
+            let pair = tape.concat_cols(current_emb, emb);
+            let score = self.policy_head.forward(&mut tape, &self.store, pair);
+            logits.push(tape.value(score).item());
+        }
+        let self_pair = tape.concat_cols(current_emb, current_emb);
+        let noop_score = self.policy_head.forward(&mut tape, &self.store, self_pair);
+        logits.push(tape.value(noop_score).item());
+        let value = self.value_head.forward(&mut tape, &self.store, current_emb);
+        (logits, tape.value(value).item())
     }
 
     /// Chooses an action for an observation.
@@ -215,6 +271,37 @@ mod tests {
         );
         let entropy = tape.value(eval.entropy).item();
         assert!(entropy >= 0.0);
+    }
+
+    #[test]
+    fn batched_policy_evaluation_matches_serial_baseline() {
+        // The batched + delta-aware path must be bit-identical to the
+        // pre-batching serial implementation: same delta features, same
+        // per-graph encodings, same stacked policy-head rows.
+        let agent = XrlflowAgent::new(&XrlflowConfig::smoke_test(), 11);
+        let obs = observation();
+        assert!(obs.num_candidates() > 1, "test needs several candidates");
+        let (batched, batched_value) = agent.policy_logits_batched(&obs);
+        let (serial, serial_value) = agent.policy_logits_serial(&obs);
+        assert_eq!(batched, serial, "batched logits diverge from the serial baseline");
+        assert_eq!(batched_value, serial_value, "value estimates diverge");
+        assert_eq!(batched.len(), obs.num_candidates() + 1);
+    }
+
+    #[test]
+    fn act_does_not_materialise_candidates() {
+        // The delta featuriser must keep every unchosen candidate
+        // unmaterialised; only Environment::step() materialises the chosen
+        // one.
+        let agent = XrlflowAgent::new(&XrlflowConfig::smoke_test(), 2);
+        let obs = observation();
+        let mut rng = XorShiftRng::new(9);
+        let _ = agent.act(&obs, &mut rng, false);
+        let mut tape = Tape::new();
+        let _ = agent.evaluate(&mut tape, &obs, obs.noop_action());
+        for c in &obs.candidates {
+            assert!(!c.is_materialized(), "policy evaluation materialised a candidate ({})", c.rule_name);
+        }
     }
 
     #[test]

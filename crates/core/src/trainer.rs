@@ -6,6 +6,13 @@
 //! `J = L_clip + c1 * L_value + c2 * L_entropy`, back-propagating through
 //! the policy head, value head and GNN encoder in one pass (the paper's
 //! "end-to-end" training).
+//!
+//! Each stored transition is re-evaluated with the batched + delta-aware
+//! policy path ([`XrlflowAgent::evaluate`]): the observation's graph and all
+//! of its candidates run through the encoder as one delta-aware batch on the
+//! update tape (clean candidate rows share the current graph's sub-tree, so
+//! their gradient contributions route through it), instead of `K + 1` serial
+//! encoder tapes per transition.
 
 use xrlflow_env::{Environment, Observation};
 use xrlflow_rl::{explained_variance, RolloutBuffer, TrainingStats, Transition};

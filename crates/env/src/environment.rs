@@ -53,7 +53,9 @@ impl Default for EnvConfig {
 ///
 /// Cloning an observation (e.g. into a rollout buffer) is cheap: the graph is
 /// behind an [`Arc`] and each candidate shares its lazily-materialised
-/// transformed graph.
+/// transformed graph. Candidates stay unmaterialised through policy
+/// evaluation — the agent featurises them from the patch delta — so only the
+/// candidate [`Environment::step`] adopts ever becomes a full graph.
 #[derive(Debug, Clone)]
 pub struct Observation {
     /// The current computation graph.
@@ -243,9 +245,11 @@ impl Environment {
             };
         }
 
-        // Apply the selected candidate's patch. If the agent already
-        // materialised this candidate for featurisation, the graph is shared;
-        // otherwise the patch is applied now — either way nothing is cloned.
+        // Apply the selected candidate's patch. The agent featurises
+        // candidates delta-wise and never materialises them, so this is the
+        // single point where the chosen candidate's graph is built (and
+        // memoised — a later PPO re-evaluation or cost probe shares it).
+        // Unchosen candidates are dropped without ever becoming graphs.
         let candidate = &observation.candidates[action];
         self.current = candidate.graph(&observation.graph);
         self.applied_rules.push(candidate.rule_name);

@@ -8,7 +8,7 @@ use xrlflow_tensor::{
     xavier_uniform, Activation, Linear, ParamId, ParamStore, Tape, Tensor, VarId, XorShiftRng,
 };
 
-use crate::featurize::GraphFeatures;
+use crate::featurize::{CandidateDelta, GraphFeatures, GraphFeaturesBatch};
 
 /// Configuration of the graph encoder.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,35 +26,81 @@ impl Default for EncoderConfig {
 }
 
 /// One graph-attention layer (single head), Eq. 7.
+///
+/// The attention vector `a` of the GAT paper is stored split into its source
+/// and destination halves so the edge score `aᵀ [W h_src ‖ W h_dst]` can be
+/// computed as `(W h · a_src)_src + (W h · a_dst)_dst` — two `[N, 1]` node
+/// projections plus per-edge gathers, instead of materialising an `[E, 2H]`
+/// pair matrix per layer.
 #[derive(Debug, Clone)]
 struct GatLayer {
     /// Node projection `W`.
     proj: Linear,
-    /// Attention vector `a` of size `[2 * hidden, 1]`.
-    attention: ParamId,
+    /// Source half of the attention vector, `[hidden, 1]`.
+    attention_src: ParamId,
+    /// Destination half of the attention vector, `[hidden, 1]`.
+    attention_dst: ParamId,
 }
 
 impl GatLayer {
     fn new(store: &mut ParamStore, name: &str, hidden: usize, rng: &mut XorShiftRng) -> Self {
         let proj = Linear::new(store, &format!("{name}.proj"), hidden, hidden, Activation::Linear, rng);
-        let attention = store.register(&format!("{name}.attention"), xavier_uniform(2 * hidden, 1, rng));
-        Self { proj, attention }
+        let attention_src = store.register(&format!("{name}.attention_src"), xavier_uniform(hidden, 1, rng));
+        let attention_dst = store.register(&format!("{name}.attention_dst"), xavier_uniform(hidden, 1, rng));
+        Self { proj, attention_src, attention_dst }
     }
 
     /// Runs message passing: `h'_i = relu(sum_j alpha_ij W h_j)`, with
     /// attention coefficients normalised over each destination node's
     /// incoming edges.
-    fn forward(&self, tape: &mut Tape, store: &ParamStore, h: VarId, features: &GraphFeatures) -> VarId {
+    ///
+    /// Works unchanged on a block-diagonal batch: edges never cross graph
+    /// boundaries, so gathering, attention normalisation (grouped by
+    /// destination node) and aggregation are all per-graph operations.
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        h: VarId,
+        edge_src: &[usize],
+        edge_dst: &[usize],
+        num_nodes: usize,
+    ) -> VarId {
+        self.forward_plan(tape, store, h, edge_src, edge_dst, edge_dst, num_nodes)
+    }
+
+    /// The general form of [`GatLayer::forward`] used by delta-aware
+    /// evaluation: the rows of `h` an edge reads (`edge_src_rows` /
+    /// `edge_dst_rows`) are decoupled from the output row the edge
+    /// aggregates into (`edge_dst_slots`, over `out_rows` output rows), so a
+    /// layer can compute only a dirty subset of nodes while reading
+    /// neighbour embeddings shared with the base graph.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_plan(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        h: VarId,
+        edge_src_rows: &[usize],
+        edge_dst_rows: &[usize],
+        edge_dst_slots: &[usize],
+        out_rows: usize,
+    ) -> VarId {
         let wh = self.proj.forward(tape, store, h);
-        let wh_src = tape.gather_rows(wh, &features.edge_src);
-        let wh_dst = tape.gather_rows(wh, &features.edge_dst);
-        let pair = tape.concat_cols(wh_src, wh_dst);
-        let a = tape.param(store, self.attention);
-        let scores = tape.matmul(pair, a);
+        // Per-node attention contributions, gathered per edge — equivalent
+        // to scoring [W h_src ‖ W h_dst] against the full attention vector.
+        let a_src = tape.param(store, self.attention_src);
+        let a_dst = tape.param(store, self.attention_dst);
+        let node_src_score = tape.matmul(wh, a_src);
+        let node_dst_score = tape.matmul(wh, a_dst);
+        let edge_src_score = tape.gather_rows(node_src_score, edge_src_rows);
+        let edge_dst_score = tape.gather_rows(node_dst_score, edge_dst_rows);
+        let scores = tape.add(edge_src_score, edge_dst_score);
         let scores = tape.leaky_relu(scores, 0.2);
-        let alpha = tape.segment_softmax(scores, &features.edge_dst, features.num_nodes);
+        let alpha = tape.segment_softmax(scores, edge_dst_slots, out_rows);
+        let wh_src = tape.gather_rows(wh, edge_src_rows);
         let messages = tape.broadcast_mul_col(alpha, wh_src);
-        let aggregated = tape.scatter_add_rows(messages, &features.edge_dst, features.num_nodes);
+        let aggregated = tape.scatter_add_rows(messages, edge_dst_slots, out_rows);
         tape.relu(aggregated)
     }
 }
@@ -102,6 +148,10 @@ impl GnnEncoder {
 
     /// Encodes a featurised graph into a `[1, hidden_dim]` embedding on the
     /// given tape.
+    ///
+    /// This is the serial reference path; the agent's per-step policy
+    /// evaluation uses [`GnnEncoder::encode_batch`], which embeds a whole
+    /// batch of graphs in one forward pass and is bit-identical per graph.
     pub fn encode(&self, tape: &mut Tape, store: &ParamStore, features: &GraphFeatures) -> VarId {
         // Eq. 6: update node attributes from incoming edge attributes.
         let edge_feats = tape.constant(features.edge_features.clone());
@@ -112,7 +162,7 @@ impl GnnEncoder {
 
         // Eq. 7: k rounds of graph attention.
         for layer in &self.gat_layers {
-            h = layer.forward(tape, store, h, features);
+            h = layer.forward(tape, store, h, &features.edge_src, &features.edge_dst, features.num_nodes);
         }
 
         // Eq. 8: global readout over all node embeddings plus the (zero)
@@ -123,11 +173,195 @@ impl GnnEncoder {
         self.global_update.forward(tape, store, readout_in)
     }
 
+    /// Encodes a block-diagonal batch of graphs into a `[num_graphs,
+    /// hidden_dim]` embedding matrix — one GAT-stack forward pass for the
+    /// whole batch instead of one tape walk per graph.
+    ///
+    /// All layers are shared with [`GnnEncoder::encode`]: the stacked linear
+    /// layers compute each row independently and the edge/segment operations
+    /// never cross graph boundaries, so row `g` of the result is
+    /// bit-identical to serially encoding graph `g` (asserted by the
+    /// differential tests).
+    pub fn encode_batch(&self, tape: &mut Tape, store: &ParamStore, batch: &GraphFeaturesBatch) -> VarId {
+        let num_nodes = batch.num_nodes();
+        // Eq. 6 over the stacked node/edge rows.
+        let edge_feats = tape.constant(batch.edge_features.clone());
+        let incoming = tape.scatter_add_rows(edge_feats, &batch.edge_dst, num_nodes);
+        let node_feats = tape.constant(batch.node_features.clone());
+        let combined = tape.concat_cols(incoming, node_feats);
+        let mut h = self.node_update.forward(tape, store, combined);
+
+        // Eq. 7: message passing over the disconnected union graph.
+        for layer in &self.gat_layers {
+            h = layer.forward(tape, store, h, &batch.edge_src, &batch.edge_dst, num_nodes);
+        }
+
+        // Eq. 8: per-graph readout — segment-sum node embeddings by graph
+        // index, then apply the shared global-update layer to every graph row.
+        let summed = tape.segment_sum_rows(h, &batch.node_graph, batch.num_graphs);
+        let global0 = tape.constant(Tensor::zeros(&[batch.num_graphs, self.config.hidden_dim]));
+        let readout_in = tape.concat_cols(summed, global0);
+        self.global_update.forward(tape, store, readout_in)
+    }
+
+    /// Delta-aware batched policy evaluation: encodes the current graph and
+    /// all of its rewrite candidates in one pass, returning a
+    /// `[1 + num_candidates, hidden_dim]` embedding matrix (the current
+    /// graph's embedding in row 0, candidates in order after it).
+    ///
+    /// Each candidate differs from the current graph by a small patch, so
+    /// per message-passing layer only the candidate rows inside the patch's
+    /// grown *dirty region* are re-computed; every other row provably carries
+    /// the identical computation tree (same one-hot, same incoming edge
+    /// attributes, same neighbour identities — certified by
+    /// [`CandidateDelta`]) and is *reused* from the current graph's rows.
+    /// Dirtiness is structural, not value-based, so the reuse holds for any
+    /// parameter values: results are bit-identical to serially encoding each
+    /// materialised candidate, and gradients of a downstream loss are exactly
+    /// those of the full computation (clean rows simply route their
+    /// contributions through the shared sub-tree).
+    ///
+    /// The dirty region starts at the patch's changed rows (added nodes and
+    /// rewired consumers) and expands one in-neighbourhood hop per GAT layer;
+    /// the layer maths itself runs through the same GAT-layer code as
+    /// [`GnnEncoder::encode`] on a compact `[rows(current) + dirty]` block.
+    pub fn encode_candidates(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        current: &GraphFeatures,
+        deltas: &[CandidateDelta],
+    ) -> VarId {
+        let n = current.num_nodes;
+        let in_dim = GraphFeatures::node_feature_dim() + 4;
+
+        // Dirty flags after the node-update layer: only added rows have
+        // inputs differing from their base row. `slots[k][row]` is the
+        // absolute row of candidate k's dirty `row` in the current compact
+        // block (rows 0..n belong to the current graph).
+        let mut dirty: Vec<Vec<bool>> =
+            deltas.iter().map(|d| d.base_rows.iter().map(Option::is_none).collect()).collect();
+        let mut slots: Vec<Vec<usize>> = deltas.iter().map(|d| vec![usize::MAX; d.base_rows.len()]).collect();
+
+        // Node-update inputs for the unique rows: the current graph's rows
+        // followed by every candidate's added rows (`[incoming ‖ one-hot]`,
+        // accumulated exactly like the serial scatter-add path).
+        let mut input_data: Vec<f32> = Vec::with_capacity((n + 8) * in_dim);
+        for row in 0..n {
+            current.push_node_input_row(row, &mut input_data);
+        }
+        let mut rows = n;
+        for (k, delta) in deltas.iter().enumerate() {
+            for row in 0..delta.features.num_nodes {
+                if dirty[k][row] {
+                    slots[k][row] = rows;
+                    rows += 1;
+                    delta.features.push_node_input_row(row, &mut input_data);
+                }
+            }
+        }
+        let inputs = tape.constant(Tensor::from_vec(input_data, &[rows, in_dim]));
+        let mut h = self.node_update.forward(tape, store, inputs);
+
+        for (layer_index, layer) in self.gat_layers.iter().enumerate() {
+            // Grow the dirty region: a row is dirty after this layer when its
+            // incoming-edge identities changed (seeded once, from the patch)
+            // or any in-neighbour — including itself, via its self-loop — was
+            // dirty before the layer.
+            let mut next_dirty: Vec<Vec<bool>> = deltas
+                .iter()
+                .map(|d| {
+                    let mut flags = vec![false; d.base_rows.len()];
+                    if layer_index == 0 {
+                        for &row in &d.changed_rows {
+                            flags[row] = true;
+                        }
+                    }
+                    flags
+                })
+                .collect();
+            for (k, delta) in deltas.iter().enumerate() {
+                let f = &delta.features;
+                for (&src, &dst) in f.edge_src.iter().zip(&f.edge_dst) {
+                    if dirty[k][src] {
+                        next_dirty[k][dst] = true;
+                    }
+                }
+            }
+
+            // The layer's edge plan: the current graph's full edge list, then
+            // every edge into a dirty destination. Clean neighbours read the
+            // current graph's rows (their embeddings are identical), dirty
+            // neighbours read their compact slots.
+            let mut next_slots: Vec<Vec<usize>> =
+                deltas.iter().map(|d| vec![usize::MAX; d.base_rows.len()]).collect();
+            let mut out_rows = n;
+            let mut edge_src_rows = current.edge_src.clone();
+            let mut edge_dst_rows = current.edge_dst.clone();
+            let mut edge_dst_slots = current.edge_dst.clone();
+            for (k, delta) in deltas.iter().enumerate() {
+                let f = &delta.features;
+                let row_of = |row: usize, dirty: &[bool], slots: &[usize]| -> usize {
+                    if dirty[row] {
+                        slots[row]
+                    } else {
+                        delta.base_rows[row].expect("clean rows always mirror a base row")
+                    }
+                };
+                for row in 0..f.num_nodes {
+                    if !next_dirty[k][row] {
+                        continue;
+                    }
+                    next_slots[k][row] = out_rows;
+                    out_rows += 1;
+                    let dst_row = row_of(row, &dirty[k], &slots[k]);
+                    for e in f.edge_offsets[row]..f.edge_offsets[row + 1] {
+                        edge_src_rows.push(row_of(f.edge_src[e], &dirty[k], &slots[k]));
+                        edge_dst_rows.push(dst_row);
+                        edge_dst_slots.push(next_slots[k][row]);
+                    }
+                }
+            }
+            h = layer.forward_plan(tape, store, h, &edge_src_rows, &edge_dst_rows, &edge_dst_slots, out_rows);
+            dirty = next_dirty;
+            slots = next_slots;
+        }
+
+        // Per-graph readout: gather every graph's rows (clean candidate rows
+        // from the current graph's block) in row order and segment-sum them,
+        // reproducing the serial row-order accumulation bit for bit.
+        let mut gather: Vec<usize> = (0..n).collect();
+        let mut segments: Vec<usize> = vec![0; n];
+        for (k, delta) in deltas.iter().enumerate() {
+            for row in 0..delta.features.num_nodes {
+                gather.push(if dirty[k][row] {
+                    slots[k][row]
+                } else {
+                    delta.base_rows[row].expect("clean rows always mirror a base row")
+                });
+                segments.push(k + 1);
+            }
+        }
+        let all_rows = tape.gather_rows(h, &gather);
+        let summed = tape.segment_sum_rows(all_rows, &segments, deltas.len() + 1);
+        let global0 = tape.constant(Tensor::zeros(&[deltas.len() + 1, self.config.hidden_dim]));
+        let readout_in = tape.concat_cols(summed, global0);
+        self.global_update.forward(tape, store, readout_in)
+    }
+
     /// Convenience: encodes a graph without keeping the tape (inference
     /// only), returning the raw embedding values.
     pub fn encode_value(&self, store: &ParamStore, features: &GraphFeatures) -> Tensor {
         let mut tape = Tape::new();
         let z = self.encode(&mut tape, store, features);
+        tape.value(z).clone()
+    }
+
+    /// Convenience: encodes a batch without keeping the tape (inference
+    /// only), returning the raw `[num_graphs, hidden_dim]` embedding values.
+    pub fn encode_batch_value(&self, store: &ParamStore, batch: &GraphFeaturesBatch) -> Tensor {
+        let mut tape = Tape::new();
+        let z = self.encode_batch(&mut tape, store, batch);
         tape.value(z).clone()
     }
 }
@@ -183,6 +417,110 @@ mod tests {
         let encoder = GnnEncoder::new(&mut store, tiny_config(), &mut rng);
         let features = GraphFeatures::from_graph(&small_graph());
         assert_eq!(encoder.encode_value(&store, &features), encoder.encode_value(&store, &features));
+    }
+
+    #[test]
+    fn batched_encoding_matches_serial_per_graph() {
+        // The block-diagonal batch must reproduce the serial path exactly —
+        // bit-identical rows, not approximately equal ones.
+        let mut store = ParamStore::new();
+        let mut rng = XorShiftRng::new(5);
+        let encoder = GnnEncoder::new(&mut store, tiny_config(), &mut rng);
+        let graphs = [
+            small_graph(),
+            build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap(),
+            build_model(ModelKind::Bert, ModelScale::Bench).unwrap(),
+        ];
+        let features: Vec<GraphFeatures> = graphs.iter().map(GraphFeatures::from_graph).collect();
+        let refs: Vec<&GraphFeatures> = features.iter().collect();
+        let batch = GraphFeaturesBatch::new(&refs);
+        let batched = encoder.encode_batch_value(&store, &batch);
+        assert_eq!(batched.shape(), &[graphs.len(), encoder.embedding_dim()]);
+        for (g, f) in features.iter().enumerate() {
+            let serial = encoder.encode_value(&store, f);
+            assert_eq!(
+                batched.row(g),
+                serial.data(),
+                "batched embedding of graph {g} differs from the serial encode"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_aware_candidate_encoding_matches_serial_per_candidate() {
+        // encode_candidates reuses clean rows across the batch; every
+        // embedding must still be bit-identical to serially encoding the
+        // materialised candidate from scratch.
+        use xrlflow_rewrite::RuleSet;
+        let mut store = ParamStore::new();
+        let mut rng = XorShiftRng::new(7);
+        let encoder = GnnEncoder::new(&mut store, tiny_config(), &mut rng);
+        for kind in [ModelKind::SqueezeNet, ModelKind::Bert] {
+            let g = build_model(kind, ModelScale::Bench).unwrap();
+            let current = GraphFeatures::from_graph(&g);
+            let candidates = RuleSet::standard().generate_candidates(&g, 16);
+            assert!(!candidates.is_empty());
+            let deltas: Vec<_> = candidates
+                .iter()
+                .map(|c| GraphFeatures::delta_from_base_and_patch(&g, &current, c.patch()))
+                .collect();
+            let mut tape = Tape::new();
+            let z = encoder.encode_candidates(&mut tape, &store, &current, &deltas);
+            let embeddings = tape.value(z).clone();
+            assert_eq!(embeddings.shape(), &[candidates.len() + 1, encoder.embedding_dim()]);
+            let serial_current = encoder.encode_value(&store, &current);
+            assert_eq!(embeddings.row(0), serial_current.data(), "{kind}: current-graph embedding");
+            for (i, c) in candidates.iter().enumerate() {
+                let materialised = c.materialize(&g).unwrap();
+                let serial = encoder.encode_value(&store, &GraphFeatures::from_graph(&materialised));
+                assert_eq!(
+                    embeddings.row(i + 1),
+                    serial.data(),
+                    "{kind}: candidate {i} ({}) embedding diverges from the serial encode",
+                    c.rule_name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_aware_candidate_encoding_gradients_flow() {
+        use xrlflow_rewrite::RuleSet;
+        let mut store = ParamStore::new();
+        let mut rng = XorShiftRng::new(8);
+        let encoder = GnnEncoder::new(&mut store, tiny_config(), &mut rng);
+        let g = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+        let current = GraphFeatures::from_graph(&g);
+        let candidates = RuleSet::standard().generate_candidates(&g, 4);
+        let deltas: Vec<_> = candidates
+            .iter()
+            .map(|c| GraphFeatures::delta_from_base_and_patch(&g, &current, c.patch()))
+            .collect();
+        let mut tape = Tape::new();
+        let z = encoder.encode_candidates(&mut tape, &store, &current, &deltas);
+        let sq = tape.mul(z, z);
+        let loss = tape.sum_all(sq);
+        store.zero_grad();
+        tape.backward(loss, &mut store);
+        assert!(store.grad_norm() > 0.0, "no gradient reached the encoder through encode_candidates");
+    }
+
+    #[test]
+    fn batched_encoding_gradients_flow() {
+        // Backward through encode_batch must reach the encoder parameters.
+        let mut store = ParamStore::new();
+        let mut rng = XorShiftRng::new(6);
+        let encoder = GnnEncoder::new(&mut store, tiny_config(), &mut rng);
+        let a = GraphFeatures::from_graph(&small_graph());
+        let b = GraphFeatures::from_graph(&build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap());
+        let batch = GraphFeaturesBatch::new(&[&a, &b]);
+        let mut tape = Tape::new();
+        let z = encoder.encode_batch(&mut tape, &store, &batch);
+        let sq = tape.mul(z, z);
+        let loss = tape.sum_all(sq);
+        store.zero_grad();
+        tape.backward(loss, &mut store);
+        assert!(store.grad_norm() > 0.0, "no gradient reached the encoder through encode_batch");
     }
 
     #[test]

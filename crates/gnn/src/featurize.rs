@@ -5,8 +5,19 @@
 //! tensor shape padded to rank 4 and normalised by the constant `M = 4096`
 //! (Table 4); the global attribute is initialised to zero and updated by a
 //! learnable layer.
+//!
+//! Two inference-path optimisations live here:
+//!
+//! * [`GraphFeatures::from_base_and_patch`] derives a rewrite candidate's
+//!   features *incrementally* from the base graph's features plus the
+//!   candidate's [`GraphPatch`] — no candidate graph is ever materialised.
+//! * [`GraphFeaturesBatch`] stacks many featurised graphs into one
+//!   block-diagonal batch so the encoder can embed the current graph and all
+//!   of its candidates in a single forward pass.
 
-use xrlflow_graph::{Graph, NodeId, OpKind};
+use std::collections::{HashMap, HashSet};
+
+use xrlflow_graph::{Graph, GraphPatch, NodeId, OpKind, PatchRef, TensorRef, TensorShape};
 use xrlflow_tensor::Tensor;
 
 /// The edge-attribute normalisation constant `M` from Table 4.
@@ -25,6 +36,55 @@ pub struct GraphFeatures {
     pub edge_dst: Vec<usize>,
     /// Number of nodes.
     pub num_nodes: usize,
+    /// Start of each node row's contiguous edge block (its incoming dataflow
+    /// edges in input order, then its self-loop); length `num_nodes + 1`.
+    /// Lets [`GraphFeatures::from_base_and_patch`] copy a node's edge
+    /// attributes without re-deriving them from shapes.
+    pub edge_offsets: Vec<usize>,
+}
+
+/// A node of a patched graph before materialisation: either a surviving base
+/// node or the `i`-th node added by the patch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PatchedNode {
+    Base(NodeId),
+    New(usize),
+}
+
+/// A tensor of a patched graph before materialisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PatchedTensor {
+    Base(TensorRef),
+    New { node: usize, port: usize },
+}
+
+impl PatchedTensor {
+    fn from_patch_ref(r: PatchRef) -> Self {
+        match r {
+            PatchRef::Base(t) => PatchedTensor::Base(t),
+            PatchRef::New { node, port } => PatchedTensor::New { node, port },
+        }
+    }
+
+    fn node(self) -> PatchedNode {
+        match self {
+            PatchedTensor::Base(t) => PatchedNode::Base(t.node),
+            PatchedTensor::New { node, .. } => PatchedNode::New(node),
+        }
+    }
+}
+
+/// Applies the patch's consumer rewires, in recorded order, to a tensor
+/// reference — exactly what `Graph::apply_patch` does to every input slot and
+/// graph output when the candidate is materialised. Rewire sources are always
+/// base tensors, so references to added nodes are never rewired further.
+fn resolve_through_rewires(patch: &GraphPatch, mut r: PatchedTensor) -> PatchedTensor {
+    for (from, to) in patch.rewires() {
+        if r == PatchedTensor::Base(*from) {
+            r = PatchedTensor::from_patch_ref(*to);
+        }
+    }
+    r
 }
 
 impl GraphFeatures {
@@ -53,8 +113,10 @@ impl GraphFeatures {
         let mut edge_src = Vec::new();
         let mut edge_dst = Vec::new();
         let mut edge_rows: Vec<[f32; 4]> = Vec::new();
+        let mut edge_offsets = Vec::with_capacity(num_nodes + 1);
 
         for (row, &id) in ids.iter().enumerate() {
+            edge_offsets.push(edge_rows.len());
             let node = graph.node(id).expect("live node");
             node_features.set(&[row, node.op.index()], 1.0);
             // Dataflow edges: producer -> this node, attributed with the
@@ -73,6 +135,7 @@ impl GraphFeatures {
                 edge_rows.push(shape.padded4());
             }
         }
+        edge_offsets.push(edge_rows.len());
 
         let mut edge_features = Tensor::zeros(&[edge_rows.len(), 4]);
         for (i, row) in edge_rows.iter().enumerate() {
@@ -80,14 +143,297 @@ impl GraphFeatures {
                 edge_features.set(&[i, j], v / EDGE_NORMALISER);
             }
         }
-        Self { node_features, edge_features, edge_src, edge_dst, num_nodes }
+        Self { node_features, edge_features, edge_src, edge_dst, num_nodes, edge_offsets }
+    }
+
+    /// Derives the features of the graph a [`GraphPatch`] produces, from the
+    /// *base* graph's features — without materialising the patched graph.
+    ///
+    /// This is the delta-aware half of batched policy evaluation: every
+    /// rewrite candidate differs from the current graph by a handful of added
+    /// nodes and rewires, so its node one-hots and edge attributes are copied
+    /// from `base_features` (rewires preserve tensor shapes by construction,
+    /// so edge attributes never change) and only the patch's own nodes are
+    /// featurised from scratch. Dead-node elimination and rewire resolution
+    /// are replayed symbolically to reproduce the exact row/edge ordering of
+    /// [`GraphFeatures::from_graph`] on the materialised graph — the two are
+    /// bit-identical, which the per-rule differential tests assert.
+    ///
+    /// `base_features` must be `GraphFeatures::from_graph(base)`, and `patch`
+    /// must have been built against `base`.
+    pub fn from_base_and_patch(base: &Graph, base_features: &GraphFeatures, patch: &GraphPatch) -> Self {
+        Self::delta_from_base_and_patch(base, base_features, patch).features
+    }
+
+    /// Like [`GraphFeatures::from_base_and_patch`], but also returns the
+    /// row-level delta bookkeeping ([`CandidateDelta`]) the delta-aware
+    /// encoder ([`crate::GnnEncoder::encode_candidates`]) uses to reuse
+    /// unchanged node computations across the candidate batch.
+    pub fn delta_from_base_and_patch(
+        base: &Graph,
+        base_features: &GraphFeatures,
+        patch: &GraphPatch,
+    ) -> CandidateDelta {
+        let ids: Vec<NodeId> = base.iter().map(|(id, _)| id).collect();
+        debug_assert_eq!(ids.len(), base_features.num_nodes, "base_features must match the base graph");
+        let base_row_of =
+            |id: NodeId| -> usize { ids.binary_search(&id).expect("node id present in sorted id list") };
+        let added = patch.added_nodes();
+
+        // Replay dead-node elimination symbolically: the patched graph's
+        // outputs are the base outputs with rewires applied, and a node is
+        // live iff it is backwards-reachable from one of them.
+        let mut live: HashSet<PatchedNode> = HashSet::new();
+        let mut stack: Vec<PatchedNode> = base
+            .outputs()
+            .iter()
+            .map(|&r| resolve_through_rewires(patch, PatchedTensor::Base(r)).node())
+            .collect();
+        while let Some(n) = stack.pop() {
+            if !live.insert(n) {
+                continue;
+            }
+            match n {
+                PatchedNode::Base(id) => {
+                    let node = base.node(id).expect("live base node");
+                    for &r in &node.inputs {
+                        stack.push(resolve_through_rewires(patch, PatchedTensor::Base(r)).node());
+                    }
+                }
+                PatchedNode::New(i) => {
+                    for &r in &added[i].inputs {
+                        stack.push(resolve_through_rewires(patch, PatchedTensor::from_patch_ref(r)).node());
+                    }
+                }
+            }
+        }
+
+        // Row order of the materialised graph: surviving base nodes keep
+        // their ids (ascending), added nodes splice after all of them in
+        // patch order.
+        let mut rows: Vec<PatchedNode> = ids
+            .iter()
+            .filter(|&&id| live.contains(&PatchedNode::Base(id)))
+            .map(|&id| PatchedNode::Base(id))
+            .collect();
+        rows.extend((0..added.len()).filter(|&i| live.contains(&PatchedNode::New(i))).map(PatchedNode::New));
+        let row_of: HashMap<PatchedNode, usize> = rows.iter().enumerate().map(|(r, &n)| (n, r)).collect();
+
+        let num_nodes = rows.len();
+        let feat_dim = OpKind::count();
+        let mut node_features = Tensor::zeros(&[num_nodes, feat_dim]);
+        let mut edge_src = Vec::new();
+        let mut edge_dst = Vec::new();
+        let mut edge_rows: Vec<[f32; 4]> = Vec::new();
+        let mut edge_offsets = Vec::with_capacity(num_nodes + 1);
+
+        // The shape of a patched tensor, for featurising added-node edges.
+        let shape_of = |t: PatchedTensor| -> Option<&TensorShape> {
+            match t {
+                PatchedTensor::Base(r) => base.tensor_shape(r).ok(),
+                PatchedTensor::New { node, port } => added.get(node).and_then(|n| n.outputs.get(port)),
+            }
+        };
+
+        let mut base_rows: Vec<Option<usize>> = Vec::with_capacity(num_nodes);
+        let mut changed_rows: Vec<usize> = Vec::new();
+        for (row, &n) in rows.iter().enumerate() {
+            edge_offsets.push(edge_rows.len());
+            match n {
+                PatchedNode::Base(id) => {
+                    let base_row = base_row_of(id);
+                    base_rows.push(Some(base_row));
+                    // One-hot row: copy from the base features.
+                    node_features.data_mut()[row * feat_dim..(row + 1) * feat_dim]
+                        .copy_from_slice(base_features.node_features.row(base_row));
+                    // Edge attributes: rewires preserve shapes, so the node's
+                    // whole edge block (dataflow edges + self-loop) is copied
+                    // verbatim; only the source indices are re-resolved.
+                    let node = base.node(id).expect("live base node");
+                    let block_start = base_features.edge_offsets[base_row];
+                    let block_end = base_features.edge_offsets[base_row + 1];
+                    let mut copied = 0usize;
+                    let mut rewired = false;
+                    for input in &node.inputs {
+                        if base.tensor_shape(*input).is_ok() {
+                            let resolved = resolve_through_rewires(patch, PatchedTensor::Base(*input));
+                            rewired |= resolved != PatchedTensor::Base(*input);
+                            edge_src.push(row_of[&resolved.node()]);
+                            edge_dst.push(row);
+                            copied += 1;
+                        }
+                    }
+                    if !node.outputs.is_empty() {
+                        edge_src.push(row);
+                        edge_dst.push(row);
+                        copied += 1;
+                    }
+                    if rewired {
+                        changed_rows.push(row);
+                    }
+                    debug_assert_eq!(copied, block_end - block_start, "edge block length mismatch");
+                    for e in block_start..block_end {
+                        let r = base_features.edge_features.row(e);
+                        edge_rows.push([r[0], r[1], r[2], r[3]]);
+                    }
+                }
+                PatchedNode::New(i) => {
+                    base_rows.push(None);
+                    changed_rows.push(row);
+                    let pn = &added[i];
+                    node_features.set(&[row, pn.op.index()], 1.0);
+                    for &input in &pn.inputs {
+                        let resolved = resolve_through_rewires(patch, PatchedTensor::from_patch_ref(input));
+                        if let Some(shape) = shape_of(resolved) {
+                            edge_src.push(row_of[&resolved.node()]);
+                            edge_dst.push(row);
+                            // Already normalised: the copied base rows carry
+                            // `padded4() / M`, so new rows must match.
+                            let p = shape.padded4();
+                            edge_rows.push([
+                                p[0] / EDGE_NORMALISER,
+                                p[1] / EDGE_NORMALISER,
+                                p[2] / EDGE_NORMALISER,
+                                p[3] / EDGE_NORMALISER,
+                            ]);
+                        }
+                    }
+                    if let Some(shape) = pn.outputs.first() {
+                        edge_src.push(row);
+                        edge_dst.push(row);
+                        let p = shape.padded4();
+                        edge_rows.push([
+                            p[0] / EDGE_NORMALISER,
+                            p[1] / EDGE_NORMALISER,
+                            p[2] / EDGE_NORMALISER,
+                            p[3] / EDGE_NORMALISER,
+                        ]);
+                    }
+                }
+            }
+        }
+        edge_offsets.push(edge_rows.len());
+
+        let mut edge_features = Tensor::zeros(&[edge_rows.len(), 4]);
+        for (i, row) in edge_rows.iter().enumerate() {
+            edge_features.data_mut()[i * 4..(i + 1) * 4].copy_from_slice(row);
+        }
+        let features = Self { node_features, edge_features, edge_src, edge_dst, num_nodes, edge_offsets };
+        CandidateDelta { features, base_rows, changed_rows }
+    }
+
+    /// Sums a node row's incoming edge attributes (its contiguous edge block,
+    /// in block order — the same accumulation the encoder's scatter-add
+    /// performs) and appends `[incoming ‖ one-hot]` to `out`: one row of the
+    /// node-update layer's input matrix.
+    pub(crate) fn push_node_input_row(&self, row: usize, out: &mut Vec<f32>) {
+        let mut incoming = [0.0f32; 4];
+        for e in self.edge_offsets[row]..self.edge_offsets[row + 1] {
+            for (acc, &v) in incoming.iter_mut().zip(self.edge_features.row(e)) {
+                *acc += v;
+            }
+        }
+        out.extend_from_slice(&incoming);
+        out.extend_from_slice(self.node_features.row(row));
+    }
+}
+
+/// A rewrite candidate's features plus the row-level delta against the base
+/// graph, produced by [`GraphFeatures::delta_from_base_and_patch`].
+///
+/// `base_rows` certifies, per candidate row, which base row carries the
+/// *identical* local computation (same one-hot, same incoming edge
+/// attributes, same edge-block layout); `changed_rows` lists the rows whose
+/// incoming-edge identities differ from the base (rewired consumers and
+/// added nodes) — the seed of the dirty region that
+/// [`crate::GnnEncoder::encode_candidates`] re-computes per message-passing
+/// layer while reusing every other row from the base graph's encoding.
+#[derive(Debug, Clone)]
+pub struct CandidateDelta {
+    /// The candidate's full features (bit-identical to featurising the
+    /// materialised candidate).
+    pub features: GraphFeatures,
+    /// For each candidate row, the base row it mirrors (`None` for rows the
+    /// patch added).
+    pub base_rows: Vec<Option<usize>>,
+    /// Candidate rows whose incoming edges differ from their base row's
+    /// (rewired consumers plus all added rows), in ascending order.
+    pub changed_rows: Vec<usize>,
+}
+
+/// Many featurised graphs stacked into one block-diagonal batch.
+///
+/// Node and edge rows are concatenated in graph order and edge indices are
+/// shifted by each graph's node offset, so the batch is itself one large
+/// disconnected graph: message passing never crosses graph boundaries, and a
+/// segment index (`node_graph`) maps every node row back to its graph for the
+/// per-graph readout. [`crate::GnnEncoder::encode_batch`] runs the whole
+/// batch through the GAT stack in a single forward pass.
+#[derive(Debug, Clone)]
+pub struct GraphFeaturesBatch {
+    /// `[total_nodes, OpKind::count()]` stacked one-hot operator encodings.
+    pub node_features: Tensor,
+    /// `[total_edges, 4]` stacked normalised edge attributes.
+    pub edge_features: Tensor,
+    /// Source node index of each edge, shifted into batch coordinates.
+    pub edge_src: Vec<usize>,
+    /// Destination node index of each edge, shifted into batch coordinates.
+    pub edge_dst: Vec<usize>,
+    /// Graph index of each node row (the readout segment index).
+    pub node_graph: Vec<usize>,
+    /// Number of graphs in the batch.
+    pub num_graphs: usize,
+}
+
+impl GraphFeaturesBatch {
+    /// Stacks featurised graphs into one block-diagonal batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graphs` is empty.
+    pub fn new(graphs: &[&GraphFeatures]) -> Self {
+        assert!(!graphs.is_empty(), "a feature batch needs at least one graph");
+        let total_nodes: usize = graphs.iter().map(|g| g.num_nodes).sum();
+        let total_edges: usize = graphs.iter().map(|g| g.num_edges()).sum();
+        let mut edge_src = Vec::with_capacity(total_edges);
+        let mut edge_dst = Vec::with_capacity(total_edges);
+        let mut node_graph = Vec::with_capacity(total_nodes);
+        let mut offset = 0usize;
+        for (g, f) in graphs.iter().enumerate() {
+            edge_src.extend(f.edge_src.iter().map(|&s| s + offset));
+            edge_dst.extend(f.edge_dst.iter().map(|&d| d + offset));
+            node_graph.extend(std::iter::repeat_n(g, f.num_nodes));
+            offset += f.num_nodes;
+        }
+        let node_tensors: Vec<&Tensor> = graphs.iter().map(|g| &g.node_features).collect();
+        let edge_tensors: Vec<&Tensor> = graphs.iter().map(|g| &g.edge_features).collect();
+        Self {
+            node_features: Tensor::concat_rows(&node_tensors),
+            edge_features: Tensor::concat_rows(&edge_tensors),
+            edge_src,
+            edge_dst,
+            node_graph,
+            num_graphs: graphs.len(),
+        }
+    }
+
+    /// Total number of node rows across the batch.
+    pub fn num_nodes(&self) -> usize {
+        self.node_graph.len()
+    }
+
+    /// Total number of edges across the batch.
+    pub fn num_edges(&self) -> usize {
+        self.edge_src.len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xrlflow_graph::{OpAttributes, TensorShape};
+    use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+    use xrlflow_graph::OpAttributes;
+    use xrlflow_rewrite::{rules::standard_rules, RuleSet};
 
     fn small_graph() -> Graph {
         let mut g = Graph::new();
@@ -140,5 +486,202 @@ mod tests {
     #[test]
     fn feature_dim_matches_operator_count() {
         assert_eq!(GraphFeatures::node_feature_dim(), OpKind::count());
+    }
+
+    #[test]
+    fn edge_offsets_delimit_per_node_blocks() {
+        let g = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+        let f = GraphFeatures::from_graph(&g);
+        assert_eq!(f.edge_offsets.len(), f.num_nodes + 1);
+        assert_eq!(*f.edge_offsets.last().unwrap(), f.num_edges());
+        for row in 0..f.num_nodes {
+            for e in f.edge_offsets[row]..f.edge_offsets[row + 1] {
+                assert_eq!(f.edge_dst[e], row, "edge {e} not grouped under its destination row");
+            }
+        }
+    }
+
+    /// A synthetic graph triggering the rule families the model zoo does not
+    /// exercise (pass-through/pair eliminations, matmul/conv epilogue
+    /// fusions, re-association, shared-weight merging), so the differential
+    /// test covers every rule of the default rule set.
+    fn rule_zoo_graph() -> Graph {
+        use xrlflow_graph::Padding;
+        let mut g = Graph::new();
+        let shape = |d: &[usize]| TensorShape::new(d.to_vec());
+        let unary = |g: &mut Graph, op, attrs, input: TensorRef| -> TensorRef {
+            g.add_node(op, attrs, vec![input]).unwrap().into()
+        };
+
+        // Identity + squeeze/unsqueeze + transpose-pair + reshape-pair chain.
+        let x = g.add_input(shape(&[2, 1, 4]));
+        let id = unary(&mut g, OpKind::Identity, OpAttributes::default(), x.into());
+        let s = unary(&mut g, OpKind::Squeeze, OpAttributes::with_axis(1), id);
+        let u = unary(&mut g, OpKind::Unsqueeze, OpAttributes::with_axis(1), s);
+        let t1 = unary(&mut g, OpKind::Transpose, OpAttributes::transpose(vec![1, 2, 0]), u);
+        let t2 = unary(&mut g, OpKind::Transpose, OpAttributes::transpose(vec![2, 0, 1]), t1);
+        let r1 = unary(&mut g, OpKind::Reshape, OpAttributes::reshape(vec![2, 4]), t2);
+        let r2 = unary(&mut g, OpKind::Reshape, OpAttributes::reshape(vec![4, 2]), r1);
+        g.mark_output(r2);
+
+        // Split–concat round trip.
+        let y = g.add_input(shape(&[1, 8, 4, 4]));
+        let split = g.add_node(OpKind::Split, OpAttributes::split(1, 2), vec![y.into()]).unwrap();
+        let cat = g
+            .add_node(
+                OpKind::Concat,
+                OpAttributes::with_axis(1),
+                vec![TensorRef::with_port(split, 0), TensorRef::with_port(split, 1)],
+            )
+            .unwrap();
+        g.mark_output(cat.into());
+
+        // MatMul epilogue fusions, one per fused activation.
+        for act in [OpKind::Relu, OpKind::Sigmoid, OpKind::Tanh, OpKind::Gelu] {
+            let a = g.add_input(shape(&[4, 16]));
+            let w = g.add_weight(shape(&[16, 8]));
+            let mm = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![a.into(), w.into()]).unwrap();
+            let out = unary(&mut g, act, OpAttributes::default(), mm.into());
+            g.mark_output(out);
+        }
+
+        // Conv epilogues: sigmoid fusion, bias-add fusion, double batch-norm.
+        let img = g.add_input(shape(&[1, 3, 8, 8]));
+        let wc1 = g.add_weight(shape(&[16, 3, 3, 3]));
+        let conv_attrs = OpAttributes::conv2d([3, 3], [1, 1], Padding::Same, 1);
+        let c1 = g.add_node(OpKind::Conv2d, conv_attrs.clone(), vec![img.into(), wc1.into()]).unwrap();
+        let sig = unary(&mut g, OpKind::Sigmoid, OpAttributes::default(), c1.into());
+        g.mark_output(sig);
+        let wc2 = g.add_weight(shape(&[16, 3, 3, 3]));
+        let c2 = g.add_node(OpKind::Conv2d, conv_attrs, vec![img.into(), wc2.into()]).unwrap();
+        let bias = g.add_weight(shape(&[1, 16, 1, 1]));
+        let biased = g.add_node(OpKind::Add, OpAttributes::default(), vec![c2.into(), bias.into()]).unwrap();
+        g.mark_output(biased.into());
+        let bn_in = g.add_input(shape(&[1, 8, 4, 4]));
+        let bn1 = unary(&mut g, OpKind::BatchNorm, OpAttributes::default(), bn_in.into());
+        let bn2 = unary(&mut g, OpKind::BatchNorm, OpAttributes::default(), bn1);
+        g.mark_output(bn2);
+
+        // MatMul re-association, both directions.
+        let a = g.add_input(shape(&[8, 16]));
+        let b = g.add_weight(shape(&[16, 32]));
+        let c = g.add_weight(shape(&[32, 4]));
+        let ab = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![a.into(), b.into()]).unwrap();
+        let abc = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![ab.into(), c.into()]).unwrap();
+        g.mark_output(abc.into());
+        let bc = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![b.into(), c.into()]).unwrap();
+        let a2 = g.add_input(shape(&[8, 16]));
+        let abc2 = g.add_node(OpKind::MatMul, OpAttributes::default(), vec![a2.into(), bc.into()]).unwrap();
+        g.mark_output(abc2.into());
+
+        // Two MatMuls sharing their weight (right operand).
+        let w_shared = g.add_weight(shape(&[16, 8]));
+        let in1 = g.add_input(shape(&[4, 16]));
+        let in2 = g.add_input(shape(&[4, 16]));
+        let m1 =
+            g.add_node(OpKind::MatMul, OpAttributes::default(), vec![in1.into(), w_shared.into()]).unwrap();
+        let m2 =
+            g.add_node(OpKind::MatMul, OpAttributes::default(), vec![in2.into(), w_shared.into()]).unwrap();
+        g.mark_output(m1.into());
+        g.mark_output(m2.into());
+
+        assert!(g.validate().is_ok());
+        g
+    }
+
+    fn assert_features_identical(delta: &GraphFeatures, eager: &GraphFeatures, context: &str) {
+        assert_eq!(delta.num_nodes, eager.num_nodes, "{context}: node count");
+        assert_eq!(delta.edge_src, eager.edge_src, "{context}: edge sources");
+        assert_eq!(delta.edge_dst, eager.edge_dst, "{context}: edge destinations");
+        assert_eq!(delta.edge_offsets, eager.edge_offsets, "{context}: edge offsets");
+        // Bit-identical tensors, not approximately equal ones.
+        assert_eq!(delta.node_features, eager.node_features, "{context}: node features");
+        assert_eq!(delta.edge_features, eager.edge_features, "{context}: edge features");
+    }
+
+    #[test]
+    fn delta_features_match_materialised_features_for_every_rule() {
+        // The per-rule differential property (mirroring the patch-vs-eager
+        // test in xrlflow-rewrite): for every rule and application site on
+        // the evaluated workloads, featurising via base features + patch must
+        // be bit-identical to featurising the materialised candidate.
+        let mut covered = std::collections::BTreeSet::new();
+        let mut sites_checked = 0usize;
+        let mut workloads: Vec<(String, Graph)> =
+            [ModelKind::SqueezeNet, ModelKind::Bert, ModelKind::InceptionV3]
+                .into_iter()
+                .map(|kind| (kind.to_string(), build_model(kind, ModelScale::Bench).unwrap()))
+                .collect();
+        workloads.push(("rule-zoo".to_string(), rule_zoo_graph()));
+        for (name, g) in &workloads {
+            let base_features = GraphFeatures::from_graph(g);
+            for rule in standard_rules() {
+                for site in rule.find_matches(g) {
+                    let Ok(patch) = rule.build_patch(g, &site) else { continue };
+                    let delta = GraphFeatures::from_base_and_patch(g, &base_features, &patch);
+                    let eager = GraphFeatures::from_graph(&g.apply_patch(&patch).unwrap());
+                    assert_features_identical(&delta, &eager, &format!("{name}/{}", rule.name()));
+                    covered.insert(rule.name());
+                    sites_checked += 1;
+                }
+            }
+        }
+        assert!(sites_checked >= 20, "expected many application sites, got {sites_checked}");
+        // Every rule of the default rule set must be exercised somewhere.
+        let all: std::collections::BTreeSet<_> = standard_rules().iter().map(|r| r.name()).collect();
+        let missing: Vec<_> = all.difference(&covered).collect();
+        assert!(missing.is_empty(), "rules never exercised by the differential test: {missing:?}");
+    }
+
+    #[test]
+    fn delta_features_match_along_a_trajectory() {
+        // Deeper property: keep applying candidates (so the base graph has
+        // id holes from dead-node elimination) and re-check the differential
+        // at every step.
+        let mut g = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+        let rules = RuleSet::standard();
+        for step in 0..5 {
+            let base_features = GraphFeatures::from_graph(&g);
+            let candidates = rules.generate_candidates(&g, 16);
+            if candidates.is_empty() {
+                break;
+            }
+            for (i, c) in candidates.iter().enumerate() {
+                let delta = GraphFeatures::from_base_and_patch(&g, &base_features, c.patch());
+                let eager = GraphFeatures::from_graph(&c.materialize(&g).unwrap());
+                assert_features_identical(&delta, &eager, &format!("step {step}, candidate {i}"));
+            }
+            let chosen = &candidates[step % candidates.len()];
+            g = chosen.materialize(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn batch_stacks_block_diagonally() {
+        let a = GraphFeatures::from_graph(&small_graph());
+        let bert = build_model(ModelKind::Bert, ModelScale::Bench).unwrap();
+        let b = GraphFeatures::from_graph(&bert);
+        let batch = GraphFeaturesBatch::new(&[&a, &b]);
+        assert_eq!(batch.num_graphs, 2);
+        assert_eq!(batch.num_nodes(), a.num_nodes + b.num_nodes);
+        assert_eq!(batch.num_edges(), a.num_edges() + b.num_edges());
+        assert_eq!(batch.node_features.shape(), &[batch.num_nodes(), OpKind::count()]);
+        assert_eq!(batch.edge_features.shape(), &[batch.num_edges(), 4]);
+        // Graph 0's edges stay in graph 0's node range; graph 1's are shifted.
+        for e in 0..a.num_edges() {
+            assert!(batch.edge_src[e] < a.num_nodes && batch.edge_dst[e] < a.num_nodes);
+        }
+        for e in a.num_edges()..batch.num_edges() {
+            assert!(batch.edge_src[e] >= a.num_nodes && batch.edge_dst[e] >= a.num_nodes);
+        }
+        // The segment index partitions node rows by graph.
+        assert!(batch.node_graph[..a.num_nodes].iter().all(|&g| g == 0));
+        assert!(batch.node_graph[a.num_nodes..].iter().all(|&g| g == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one graph")]
+    fn empty_batch_is_rejected() {
+        let _ = GraphFeaturesBatch::new(&[]);
     }
 }

@@ -27,4 +27,4 @@ mod encoder;
 mod featurize;
 
 pub use encoder::{EncoderConfig, GnnEncoder};
-pub use featurize::{GraphFeatures, EDGE_NORMALISER};
+pub use featurize::{CandidateDelta, GraphFeatures, GraphFeaturesBatch, EDGE_NORMALISER};

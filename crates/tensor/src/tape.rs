@@ -236,7 +236,9 @@ enum Op {
     ConcatRows(Vec<VarId>),
     GatherRows(VarId, Vec<usize>),
     ScatterAddRows(VarId, Vec<usize>),
+    SegmentMeanRows(VarId, Vec<usize>, usize),
     SegmentSoftmax(VarId, Vec<usize>, usize),
+    Transpose(VarId),
     BroadcastMulCol(VarId, VarId),
     LogSoftmaxRow(VarId),
     Pick(VarId, usize),
@@ -470,6 +472,105 @@ impl Tape {
         self.push(Op::ScatterAddRows(a, indices.to_vec()), out)
     }
 
+    /// Segment-wise sum pooling over a batch index: sums the rows of a
+    /// `[k, cols]` matrix that share a segment id into a `[num_segments,
+    /// cols]` matrix. This is the readout primitive of block-diagonal batched
+    /// graph encoding — `segments` maps each node row to its graph index, and
+    /// the result holds one pooled row per graph.
+    ///
+    /// Rows of a segment are accumulated in row order, so a single-segment
+    /// call is bit-identical to [`Tape::sum_rows`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xrlflow_tensor::{Tape, Tensor};
+    ///
+    /// let mut tape = Tape::new();
+    /// // Two graphs stacked row-wise: graph 0 has rows 0-1, graph 1 has row 2.
+    /// let h = tape.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]));
+    /// let pooled = tape.segment_sum_rows(h, &[0, 0, 1], 2);
+    /// assert_eq!(tape.value(pooled).data(), &[4.0, 6.0, 5.0, 6.0]);
+    /// ```
+    pub fn segment_sum_rows(&mut self, a: VarId, segments: &[usize], num_segments: usize) -> VarId {
+        self.scatter_add_rows(a, segments, num_segments)
+    }
+
+    /// Segment-wise mean pooling over a batch index: like
+    /// [`Tape::segment_sum_rows`] but averaging each segment's rows. Empty
+    /// segments produce zero rows.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xrlflow_tensor::{Tape, Tensor};
+    ///
+    /// let mut tape = Tape::new();
+    /// let h = tape.constant(Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[2, 2]));
+    /// let pooled = tape.segment_mean_rows(h, &[0, 0], 1);
+    /// assert_eq!(tape.value(pooled).data(), &[3.0, 5.0]);
+    /// ```
+    pub fn segment_mean_rows(&mut self, a: VarId, segments: &[usize], num_segments: usize) -> VarId {
+        let av = self.value(a);
+        let cols = av.cols();
+        assert_eq!(av.rows(), segments.len(), "segment_mean_rows index length mismatch");
+        let mut counts = vec![0usize; num_segments];
+        for &s in segments {
+            assert!(s < num_segments, "segment index {} out of bounds ({})", s, num_segments);
+            counts[s] += 1;
+        }
+        let mut out = Tensor::zeros(&[num_segments, cols]);
+        for (i, &s) in segments.iter().enumerate() {
+            for c in 0..cols {
+                out.data_mut()[s * cols + c] += av.data()[i * cols + c];
+            }
+        }
+        for (s, &count) in counts.iter().enumerate() {
+            if count > 1 {
+                let inv = 1.0 / count as f32;
+                for c in 0..cols {
+                    out.data_mut()[s * cols + c] *= inv;
+                }
+            }
+        }
+        self.push(Op::SegmentMeanRows(a, segments.to_vec(), num_segments), out)
+    }
+
+    /// Batched (stacked) matrix multiplication over row blocks: stacks `B`
+    /// blocks of shape `[N_i, k]` into one `[sum N_i, k]` matrix and
+    /// multiplies by a shared `[k, n]` right-hand side in a single matmul —
+    /// the `[B, N, H]`-style batched matmul for running separately-held row
+    /// blocks through one shared linear layer. (The graph encoder keeps its
+    /// batches pre-stacked and calls [`Tape::matmul`] directly; this is the
+    /// convenience form for callers holding per-block variables.) Each output
+    /// row is computed exactly as it would be in a per-block matmul, so
+    /// results are bit-identical to the serial path.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xrlflow_tensor::{Tape, Tensor};
+    ///
+    /// let mut tape = Tape::new();
+    /// let block_a = tape.constant(Tensor::from_vec(vec![1.0, 0.0], &[1, 2]));
+    /// let block_b = tape.constant(Tensor::from_vec(vec![0.0, 1.0, 1.0, 1.0], &[2, 2]));
+    /// let rhs = tape.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+    /// let out = tape.stacked_matmul(&[block_a, block_b], rhs);
+    /// assert_eq!(tape.value(out).shape(), &[3, 2]);
+    /// assert_eq!(tape.value(out).row(0), &[1.0, 2.0]);
+    /// ```
+    pub fn stacked_matmul(&mut self, blocks: &[VarId], rhs: VarId) -> VarId {
+        let stacked = self.concat_rows(blocks);
+        self.matmul(stacked, rhs)
+    }
+
+    /// Transposes a rank-2 variable, turning `[m, n]` into `[n, m]` (used to
+    /// reshape a batched `[K, 1]` score column into a `[1, K]` logit row).
+    pub fn transpose(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).transpose();
+        self.push(Op::Transpose(a), v)
+    }
+
     /// Softmax over segments of a `[k, 1]` column vector: entries sharing the
     /// same segment id are normalised together. Used for GAT attention
     /// coefficients grouped by destination node.
@@ -696,6 +797,25 @@ impl Tape {
                         }
                     }
                     accumulate(&mut grads, a.0, &ga);
+                }
+                Op::SegmentMeanRows(a, segments, num_segments) => {
+                    let av = &self.nodes[a.0].value;
+                    let cols = av.cols();
+                    let mut counts = vec![0usize; *num_segments];
+                    for &s in segments {
+                        counts[s] += 1;
+                    }
+                    let mut ga = Tensor::zeros(av.shape());
+                    for (i, &s) in segments.iter().enumerate() {
+                        let inv = 1.0 / counts[s] as f32;
+                        for c in 0..cols {
+                            ga.data_mut()[i * cols + c] = grad.data()[s * cols + c] * inv;
+                        }
+                    }
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Transpose(a) => {
+                    accumulate(&mut grads, a.0, &grad.transpose());
                 }
                 Op::SegmentSoftmax(a, segments, num_segments) => {
                     let y = &node.value;
@@ -988,6 +1108,55 @@ mod tests {
             Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]),
             1e-2,
         );
+    }
+
+    #[test]
+    fn grad_of_segment_sum_and_mean_rows() {
+        check_gradient(
+            |tape, store, pid| {
+                let x = tape.param(store, pid);
+                let pooled = tape.segment_sum_rows(x, &[0, 0, 1], 2);
+                let sq = tape.mul(pooled, pooled);
+                tape.sum_all(sq)
+            },
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]),
+            1e-2,
+        );
+        check_gradient(
+            |tape, store, pid| {
+                let x = tape.param(store, pid);
+                let pooled = tape.segment_mean_rows(x, &[0, 0, 1], 2);
+                let sq = tape.mul(pooled, pooled);
+                tape.sum_all(sq)
+            },
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_of_transpose_and_stacked_matmul() {
+        check_gradient(
+            |tape, store, pid| {
+                let x = tape.param(store, pid);
+                let t = tape.transpose(x);
+                let rhs = tape.constant(Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0, 1.5, -1.0], &[3, 2]));
+                let y = tape.stacked_matmul(&[t, t], rhs);
+                let sq = tape.mul(y, y);
+                tape.sum_all(sq)
+            },
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn segment_sum_rows_matches_sum_rows_for_one_segment() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(vec![1.5, -2.0, 0.25, 4.0, 3.0, -1.0], &[3, 2]));
+        let seg = tape.segment_sum_rows(x, &[0, 0, 0], 1);
+        let sum = tape.sum_rows(x);
+        assert_eq!(tape.value(seg), tape.value(sum));
     }
 
     #[test]

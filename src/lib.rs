@@ -12,7 +12,7 @@
 //! * [`taso`] — greedy / backtracking / PET baselines,
 //! * [`egraph`] — the equality-saturation (Tensat) baseline,
 //! * [`tensor`], [`gnn`], [`rl`] — the learning stack,
-//! * [`env`] — the Gym-style graph-transformation environment,
+//! * [`mod@env`] — the Gym-style graph-transformation environment,
 //! * [`core`] — the X-RLflow agent, trainer and optimiser.
 //!
 //! ## Quickstart
