@@ -84,6 +84,14 @@ pub fn report_ratio(name: &str, ratio: f64) {
     record(name, ratio, "x");
 }
 
+/// Prints a throughput value in events per second (e.g. rollout
+/// episodes/sec) and records it for [`write_results_json`] with unit
+/// `"eps/s"`.
+pub fn report_rate(name: &str, per_sec: f64) {
+    println!("{name:<44} {per_sec:>11.2} eps/s");
+    record(name, per_sec, "eps/s");
+}
+
 fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {

@@ -22,7 +22,7 @@
 use xrlflow_env::Observation;
 use xrlflow_gnn::{CandidateDelta, GnnEncoder, GraphFeatures};
 use xrlflow_rl::MaskedCategorical;
-use xrlflow_tensor::{Mlp, ParamStore, Tape, Tensor, VarId, XorShiftRng};
+use xrlflow_tensor::{Mlp, ParamSnapshot, ParamStore, SnapshotError, Tape, Tensor, VarId, XorShiftRng};
 
 use crate::config::XrlflowConfig;
 
@@ -76,6 +76,33 @@ impl XrlflowAgent {
         value_dims.push(1);
         let value_head = Mlp::new(&mut store, "value_head", &value_dims, &mut rng);
         Self { store, encoder, policy_head, value_head }
+    }
+
+    /// Builds an agent with the architecture of `config` whose parameters
+    /// are loaded from `snapshot` — the worker-side half of the parallel
+    /// rollout engine's snapshot-based parameter broadcast.
+    ///
+    /// The replica is bit-identical to the agent the snapshot was captured
+    /// from: construction seeds fresh parameters (seed 0) and then
+    /// overwrites every value, and the forward pass depends only on values
+    /// and architecture. Optimiser state is *not* part of a snapshot;
+    /// replicas are for inference (rollout collection), not for training.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SnapshotError`] describing the first name/shape/count
+    /// mismatch when the snapshot was captured under a different
+    /// architecture configuration.
+    pub fn from_snapshot(config: &XrlflowConfig, snapshot: &ParamSnapshot) -> Result<Self, SnapshotError> {
+        let mut agent = Self::new(config, 0);
+        agent.store.load_snapshot(snapshot)?;
+        Ok(agent)
+    }
+
+    /// Captures a named-tensor snapshot of every parameter's current value
+    /// (see [`XrlflowAgent::from_snapshot`] and `ParamSnapshot::save`).
+    pub fn snapshot(&self) -> ParamSnapshot {
+        self.store.snapshot()
     }
 
     /// Number of scalar parameters in the agent.
@@ -302,6 +329,27 @@ mod tests {
         for c in &obs.candidates {
             assert!(!c.is_materialized(), "policy evaluation materialised a candidate ({})", c.rule_name);
         }
+    }
+
+    #[test]
+    fn snapshot_replica_is_bit_identical() {
+        let config = XrlflowConfig::smoke_test();
+        let agent = XrlflowAgent::new(&config, 17);
+        let replica = XrlflowAgent::from_snapshot(&config, &agent.snapshot()).unwrap();
+        let obs = observation();
+        let (logits_a, value_a) = agent.policy_logits_batched(&obs);
+        let (logits_b, value_b) = replica.policy_logits_batched(&obs);
+        assert_eq!(logits_a, logits_b, "replica logits diverge from the source agent");
+        assert_eq!(value_a, value_b);
+    }
+
+    #[test]
+    fn snapshot_from_different_architecture_is_rejected() {
+        let config = XrlflowConfig::smoke_test();
+        let agent = XrlflowAgent::new(&config, 0);
+        let mut wider = config.clone();
+        wider.encoder.hidden_dim *= 2;
+        assert!(XrlflowAgent::from_snapshot(&wider, &agent.snapshot()).is_err());
     }
 
     #[test]

@@ -23,6 +23,14 @@ pub struct XrlflowConfig {
     pub env: EnvConfig,
     /// Total number of training episodes.
     pub training_episodes: usize,
+    /// Number of rollout worker threads used by the parallel collection
+    /// engine (`xrlflow-rollout`). `1` keeps collection serial; any value is
+    /// transition-for-transition equivalent — workers replay a fixed
+    /// per-episode seed schedule against snapshot-built agent replicas, so
+    /// the worker count changes wall-clock time only, never a learned
+    /// number. Overridable at run time via the `XRLFLOW_WORKERS` environment
+    /// variable (see [`XrlflowConfig::effective_num_workers`]).
+    pub num_workers: usize,
 }
 
 impl XrlflowConfig {
@@ -37,6 +45,7 @@ impl XrlflowConfig {
             head_dims: vec![256, 64],
             env: EnvConfig::default(),
             training_episodes: 1000,
+            num_workers: 1,
         }
     }
 
@@ -54,6 +63,7 @@ impl XrlflowConfig {
             head_dims: vec![64, 32],
             env: EnvConfig { max_steps: 25, max_candidates: 32, ..EnvConfig::default() },
             training_episodes: 24,
+            num_workers: 4,
         }
     }
 
@@ -71,7 +81,20 @@ impl XrlflowConfig {
             head_dims: vec![32, 16],
             env: EnvConfig { max_steps: 4, max_candidates: 8, feedback_frequency: 2, ..EnvConfig::default() },
             training_episodes: 2,
+            num_workers: 2,
         }
+    }
+
+    /// The rollout worker count actually in effect: the `XRLFLOW_WORKERS`
+    /// environment variable when set to a positive integer, otherwise
+    /// [`XrlflowConfig::num_workers`], floored at 1.
+    pub fn effective_num_workers(&self) -> usize {
+        std::env::var("XRLFLOW_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&w| w > 0)
+            .unwrap_or(self.num_workers)
+            .max(1)
     }
 }
 
@@ -145,5 +168,17 @@ mod tests {
         assert!(cfg.encoder.hidden_dim <= 16);
         assert!(cfg.env.max_steps <= 5);
         assert!(cfg.training_episodes <= 4);
+    }
+
+    #[test]
+    fn effective_num_workers_is_at_least_one() {
+        // XRLFLOW_WORKERS may or may not be set in the ambient environment
+        // (CI sets it for bench jobs); whatever its value, the effective
+        // count must be usable as a thread count.
+        let mut cfg = XrlflowConfig::smoke_test();
+        cfg.num_workers = 0;
+        assert!(cfg.effective_num_workers() >= 1);
+        cfg.num_workers = 3;
+        assert!(cfg.effective_num_workers() >= 1);
     }
 }

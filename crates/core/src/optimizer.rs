@@ -77,6 +77,13 @@ impl XrlflowSystem {
         &self.agent
     }
 
+    /// Mutable access to the underlying agent, e.g. to load a checkpointed
+    /// policy before [`XrlflowSystem::optimize`] (the agent must keep the
+    /// architecture described by the system's configuration).
+    pub fn agent_mut(&mut self) -> &mut XrlflowAgent {
+        &mut self.agent
+    }
+
     /// Builds an environment for a graph using the system's configuration.
     pub fn make_environment(&self, graph: &Graph) -> Environment {
         self.make_environment_with(graph, self.config.env.clone())

@@ -14,12 +14,25 @@
 //! their gradient contributions route through it), instead of `K + 1` serial
 //! encoder tapes per transition.
 
+use std::path::Path;
+use std::time::Instant;
+
 use xrlflow_env::{Environment, Observation};
 use xrlflow_rl::{explained_variance, RolloutBuffer, TrainingStats, Transition};
-use xrlflow_tensor::{Adam, Tape, Tensor, XorShiftRng};
+use xrlflow_tensor::{Adam, ParamSnapshot, SnapshotError, Tape, Tensor, XorShiftRng};
 
 use crate::agent::XrlflowAgent;
 use crate::config::XrlflowConfig;
+
+/// Wall-clock breakdown of one collect-then-update round, so the speedup
+/// from parallel episode collection is observable in training reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UpdateTiming {
+    /// Milliseconds spent collecting the episodes consumed by this update.
+    pub collect_ms: f64,
+    /// Milliseconds spent in the PPO update itself.
+    pub update_ms: f64,
+}
 
 /// Report of a full training run.
 #[derive(Debug, Clone, Default)]
@@ -28,6 +41,9 @@ pub struct TrainReport {
     pub episodes: Vec<xrlflow_env::EpisodeStats>,
     /// Statistics of every PPO update performed.
     pub updates: Vec<TrainingStats>,
+    /// Wall-clock collection/update split per entry of
+    /// [`TrainReport::updates`].
+    pub timings: Vec<UpdateTiming>,
 }
 
 impl TrainReport {
@@ -40,6 +56,42 @@ impl TrainReport {
             tail.iter().sum::<f64>() / tail.len() as f64
         }
     }
+}
+
+/// The canonical episode-collection loop: resets `env` with `reset_seed`,
+/// samples actions from `rng` until the episode terminates, and pushes every
+/// transition into `buffer`.
+///
+/// This single function is shared by [`Trainer::collect_episode`] (which
+/// feeds it the trainer's continuous RNG stream) and the parallel rollout
+/// engine (which feeds it a fresh per-episode-seeded RNG), so the two paths
+/// record identical transitions by construction.
+pub fn collect_episode_with_rng(
+    agent: &XrlflowAgent,
+    env: &mut Environment,
+    rng: &mut XorShiftRng,
+    buffer: &mut RolloutBuffer<Observation>,
+    reset_seed: u64,
+) -> xrlflow_env::EpisodeStats {
+    let mut obs = env.reset(reset_seed);
+    loop {
+        let decision = agent.act(&obs, rng, false);
+        let result = env.step(&obs, decision.action);
+        buffer.push(Transition {
+            observation: obs,
+            action: decision.action,
+            log_prob: decision.log_prob,
+            value: decision.value,
+            reward: result.reward,
+            done: result.done,
+            action_mask: result.observation.action_mask.clone(),
+        });
+        if result.done {
+            break;
+        }
+        obs = result.observation;
+    }
+    env.episode_stats()
 }
 
 /// The PPO trainer driving an [`XrlflowAgent`] against an [`Environment`].
@@ -63,7 +115,8 @@ impl Trainer {
         &self.config
     }
 
-    /// Collects one episode with the current (stochastic) policy.
+    /// Collects one episode with the current (stochastic) policy, sampling
+    /// actions from the trainer's own RNG stream.
     pub fn collect_episode(
         &mut self,
         agent: &XrlflowAgent,
@@ -71,25 +124,7 @@ impl Trainer {
         buffer: &mut RolloutBuffer<Observation>,
         seed: u64,
     ) -> xrlflow_env::EpisodeStats {
-        let mut obs = env.reset(seed);
-        loop {
-            let decision = agent.act(&obs, &mut self.rng, false);
-            let result = env.step(&obs, decision.action);
-            buffer.push(Transition {
-                observation: obs,
-                action: decision.action,
-                log_prob: decision.log_prob,
-                value: decision.value,
-                reward: result.reward,
-                done: result.done,
-                action_mask: result.observation.action_mask.clone(),
-            });
-            if result.done {
-                break;
-            }
-            obs = result.observation;
-        }
-        env.episode_stats()
+        collect_episode_with_rng(agent, env, &mut self.rng, buffer, seed)
     }
 
     /// Performs one PPO update over the collected rollouts.
@@ -186,20 +221,62 @@ impl Trainer {
         stats
     }
 
-    /// Runs the full training loop: collect `update_frequency` episodes,
-    /// update, repeat until `episodes` episodes have been collected.
+    /// Runs the full serial training loop: collect `update_frequency`
+    /// episodes, update, repeat until `episodes` episodes have been
+    /// collected.
+    ///
+    /// Collection here is strictly sequential in one thread; the
+    /// `xrlflow-rollout` crate's `ParallelTrainer` drives the same
+    /// [`Trainer::update`] with episodes collected by a worker pool instead
+    /// (the update path is identical — it consumes whatever merged
+    /// [`RolloutBuffer`] it is given).
     pub fn train(&mut self, agent: &mut XrlflowAgent, env: &mut Environment, episodes: usize) -> TrainReport {
         let mut report = TrainReport::default();
         let mut buffer = RolloutBuffer::new();
+        let mut collect_ms = 0.0;
         for episode in 0..episodes {
+            let collect_start = Instant::now();
             let stats = self.collect_episode(agent, env, &mut buffer, episode as u64);
+            collect_ms += collect_start.elapsed().as_secs_f64() * 1e3;
             report.episodes.push(stats);
             let is_last = episode + 1 == episodes;
             if (episode + 1) % self.config.ppo.update_frequency == 0 || is_last {
+                let update_start = Instant::now();
                 report.updates.push(self.update(agent, &mut buffer));
+                let update_ms = update_start.elapsed().as_secs_f64() * 1e3;
+                report.timings.push(UpdateTiming { collect_ms, update_ms });
+                collect_ms = 0.0;
             }
         }
         report
+    }
+
+    /// Persists the agent's parameters as a versioned on-disk
+    /// [`ParamSnapshot`] so long runs can resume and trained agents can be
+    /// shipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the file.
+    pub fn save_checkpoint(&self, agent: &XrlflowAgent, path: impl AsRef<Path>) -> std::io::Result<()> {
+        agent.snapshot().save(path)
+    }
+
+    /// Restores the agent's parameters from a checkpoint written by
+    /// [`Trainer::save_checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] when the file cannot be read, is not a
+    /// valid snapshot, or was captured under a different architecture (the
+    /// name/shape mismatch is reported and the agent is left untouched).
+    pub fn load_checkpoint(
+        &self,
+        agent: &mut XrlflowAgent,
+        path: impl AsRef<Path>,
+    ) -> Result<(), SnapshotError> {
+        let snapshot = ParamSnapshot::load(path)?;
+        agent.store.load_snapshot(&snapshot)
     }
 }
 
@@ -233,6 +310,11 @@ mod tests {
 
         assert_eq!(report.episodes.len(), config.training_episodes);
         assert!(!report.updates.is_empty());
+        assert_eq!(report.timings.len(), report.updates.len());
+        for timing in &report.timings {
+            assert!(timing.collect_ms > 0.0, "episode collection takes measurable time");
+            assert!(timing.update_ms > 0.0, "the PPO update takes measurable time");
+        }
         for update in &report.updates {
             assert!(update.transitions > 0);
             assert!(update.entropy.is_finite());
@@ -267,5 +349,46 @@ mod tests {
     fn recent_mean_speedup_handles_empty_report() {
         let report = TrainReport::default();
         assert_eq!(report.recent_mean_speedup(5), 0.0);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_restores_the_policy() {
+        let config = XrlflowConfig::smoke_test();
+        let agent = XrlflowAgent::new(&config, 21);
+        let trainer = Trainer::new(config.clone(), 0);
+        let path = std::env::temp_dir().join("xrlflow_trainer_ckpt_test/agent.snap");
+        trainer.save_checkpoint(&agent, &path).unwrap();
+
+        let mut restored = XrlflowAgent::new(&config, 99);
+        let probe = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+        assert_ne!(agent.embed_graph(&probe).data(), restored.embed_graph(&probe).data());
+        trainer.load_checkpoint(&mut restored, &path).unwrap();
+        assert_eq!(
+            agent.embed_graph(&probe).data(),
+            restored.embed_graph(&probe).data(),
+            "restored agent must be bit-identical to the checkpointed one"
+        );
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn checkpoint_mismatch_fails_gracefully() {
+        let config = XrlflowConfig::smoke_test();
+        let trainer = Trainer::new(config.clone(), 0);
+        let path = std::env::temp_dir().join("xrlflow_trainer_ckpt_mismatch/agent.snap");
+        trainer.save_checkpoint(&XrlflowAgent::new(&config, 0), &path).unwrap();
+
+        let mut wider = config.clone();
+        wider.encoder.hidden_dim *= 2;
+        let mut victim = XrlflowAgent::new(&wider, 1);
+        let probe = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+        let before = victim.embed_graph(&probe);
+        let err = Trainer::new(wider, 0).load_checkpoint(&mut victim, &path).unwrap_err();
+        assert!(!err.to_string().is_empty());
+        // The failed load must leave the agent untouched.
+        assert_eq!(victim.embed_graph(&probe).data(), before.data());
+        // A missing file is an error, not a panic.
+        assert!(trainer.load_checkpoint(&mut victim, path.parent().unwrap().join("missing.snap")).is_err());
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
     }
 }

@@ -132,11 +132,18 @@ impl EpisodeStats {
 }
 
 /// The tensor-graph transformation environment.
+///
+/// The initial graph, the rule set and the latency simulator are held behind
+/// [`Arc`]s so parallel rollout workers can build per-worker environments
+/// over one shared model-zoo entry, one rule library and one memoised
+/// simulator (its measurement cache is internally synchronised and
+/// measurements are deterministic per seed regardless of cache state) — see
+/// [`Environment::from_shared`].
 #[derive(Debug)]
 pub struct Environment {
     initial_graph: Arc<Graph>,
-    rules: RuleSet,
-    simulator: InferenceSimulator,
+    rules: Arc<RuleSet>,
+    simulator: Arc<InferenceSimulator>,
     config: EnvConfig,
 
     current: Arc<Graph>,
@@ -151,7 +158,22 @@ pub struct Environment {
 impl Environment {
     /// Creates an environment for optimising `graph`.
     pub fn new(graph: Graph, rules: RuleSet, simulator: InferenceSimulator, config: EnvConfig) -> Self {
-        let graph = Arc::new(graph);
+        Self::from_shared(Arc::new(graph), Arc::new(rules), Arc::new(simulator), config)
+    }
+
+    /// Creates an environment over shared components: the initial graph
+    /// (e.g. a model-zoo entry), the rule set and the latency simulator.
+    ///
+    /// This is the constructor the parallel rollout engine uses — `W`
+    /// workers build `W` environments over the *same* three `Arc`s, so
+    /// nothing graph- or rule-sized is duplicated per worker and latency
+    /// measurements memoised by one worker are reused by all.
+    pub fn from_shared(
+        graph: Arc<Graph>,
+        rules: Arc<RuleSet>,
+        simulator: Arc<InferenceSimulator>,
+        config: EnvConfig,
+    ) -> Self {
         let mut env = Self {
             current: Arc::clone(&graph),
             initial_graph: graph,

@@ -27,11 +27,19 @@ pub struct Transition<O> {
 }
 
 /// A rollout buffer accumulating transitions across episodes.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RolloutBuffer<O> {
     transitions: Vec<Transition<O>>,
     advantages: Vec<f32>,
     returns: Vec<f32>,
+}
+
+// Manual impl: an empty buffer needs no `O: Default` (the derive would
+// demand one even though no `O` value is ever constructed).
+impl<O> Default for RolloutBuffer<O> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<O> RolloutBuffer<O> {
@@ -58,6 +66,23 @@ impl<O> RolloutBuffer<O> {
     /// The stored transitions.
     pub fn transitions(&self) -> &[Transition<O>] {
         &self.transitions
+    }
+
+    /// Moves every transition of `other` onto the end of this buffer,
+    /// leaving `other` empty.
+    ///
+    /// This is the merge primitive of the parallel rollout engine: workers
+    /// collect per-episode buffers and the engine appends them **in episode
+    /// order** (not completion order), so a merged buffer is
+    /// transition-for-transition identical to serial collection. Derived
+    /// advantages/returns on either buffer are cleared — call
+    /// [`RolloutBuffer::compute_advantages`] on the merged result.
+    pub fn append(&mut self, other: &mut RolloutBuffer<O>) {
+        self.transitions.append(&mut other.transitions);
+        self.advantages.clear();
+        self.returns.clear();
+        other.advantages.clear();
+        other.returns.clear();
     }
 
     /// Computes GAE advantages and returns over the stored transitions
@@ -196,6 +221,24 @@ mod tests {
         }
         assert_eq!(buf.minibatch_indices(4, 7), buf.minibatch_indices(4, 7));
         assert_ne!(buf.minibatch_indices(4, 7), buf.minibatch_indices(4, 8));
+    }
+
+    #[test]
+    fn append_moves_transitions_and_invalidates_derived_data() {
+        let mut a = RolloutBuffer::new();
+        a.push(transition(1.0, true));
+        a.compute_advantages(0.99, 0.95);
+        let mut b = RolloutBuffer::new();
+        b.push(transition(2.0, false));
+        b.push(transition(3.0, true));
+        b.compute_advantages(0.99, 0.95);
+        a.append(&mut b);
+        assert_eq!(a.len(), 3);
+        assert!(b.is_empty());
+        assert_eq!(a.transitions()[1].reward, 2.0);
+        // Stale advantages must not survive the merge on either side.
+        assert!(a.advantages().is_empty());
+        assert!(b.advantages().is_empty());
     }
 
     #[test]

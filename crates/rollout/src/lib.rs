@@ -1,0 +1,513 @@
+//! # xrlflow-rollout
+//!
+//! Parallel episode collection for the X-RLflow PPO loop: a thread-based
+//! worker pool that turns multi-core hardware into rollout throughput
+//! without changing a single learned number.
+//!
+//! After the per-step hot paths were delta-ified (patch-based candidates,
+//! batched delta-aware GNN evaluation), wall-clock training time is
+//! dominated by strictly serial episode collection — one environment, one
+//! thread, `update_frequency` episodes in a row. This crate parallelises
+//! that phase the way large-scale graph-rewrite RL systems do (cf. Amazon's
+//! RL-based XLA optimiser), under a strict determinism contract:
+//!
+//! * **Snapshot-based parameter broadcast.** The trainer captures one
+//!   [`ParamSnapshot`] of the live agent per PPO update; every worker builds
+//!   its own read-only replica from it ([`XrlflowAgent::from_snapshot`]).
+//!   Workers never share a live `ParamStore` or a `Tape`.
+//! * **Shared immutable world.** Workers build their environments from one
+//!   [`EnvSpec`] — the same `Arc<Graph>` model-zoo entry, `Arc<RuleSet>` and
+//!   `Arc<InferenceSimulator>` (whose memoised measurement cache is
+//!   internally synchronised and seed-deterministic regardless of cache
+//!   state).
+//! * **Per-episode seed schedule.** Episode `e` always resets its
+//!   environment with seed `e` and samples actions from a fresh
+//!   `XorShiftRng` seeded by `mix(base_seed, e)`, no matter which worker
+//!   runs it or in what order episodes finish.
+//! * **Ordered merge.** Workers hand back per-episode buffers; the engine
+//!   merges them **by episode index**, not completion order.
+//!
+//! Together these make [`collect_parallel`] with any worker count
+//! transition-for-transition bit-identical to the retained serial path
+//! [`collect_serial`] — asserted by differential tests in the same spirit
+//! as `policy_logits_serial`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xrlflow_core::{XrlflowAgent, XrlflowConfig};
+//! use xrlflow_cost::DeviceProfile;
+//! use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+//! use xrlflow_rewrite::RuleSet;
+//! use xrlflow_rollout::{collect_parallel, EnvSpec};
+//!
+//! let config = XrlflowConfig::smoke_test();
+//! let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+//! let spec = EnvSpec::new(graph, RuleSet::standard(), DeviceProfile::gtx1080(), config.env.clone());
+//! let agent = XrlflowAgent::new(&config, 0);
+//! let rollouts = collect_parallel(&config, &agent.snapshot(), &spec, 0, 2, 7, 2).unwrap();
+//! assert_eq!(rollouts.episodes.len(), 2);
+//! assert!(!rollouts.buffer.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use xrlflow_core::{
+    collect_episode_with_rng, TrainReport, Trainer, UpdateTiming, XrlflowAgent, XrlflowConfig,
+};
+use xrlflow_cost::{DeviceProfile, InferenceSimulator};
+use xrlflow_env::{EnvConfig, Environment, EpisodeStats, Observation};
+use xrlflow_graph::Graph;
+use xrlflow_rewrite::RuleSet;
+use xrlflow_rl::RolloutBuffer;
+use xrlflow_tensor::{ParamSnapshot, SnapshotError, XorShiftRng};
+
+/// Everything a worker needs to build its own [`Environment`]: the initial
+/// graph (one shared model-zoo entry), the rule library, the latency
+/// simulator and the environment configuration.
+///
+/// All three heavyweight components sit behind [`Arc`]s, so building one
+/// environment per worker duplicates nothing graph- or rule-sized, and
+/// latency measurements memoised by one worker are reused by all.
+#[derive(Debug, Clone)]
+pub struct EnvSpec {
+    /// The graph to optimise (shared, never mutated).
+    pub graph: Arc<Graph>,
+    /// The rewrite-rule library (stateless, shared).
+    pub rules: Arc<RuleSet>,
+    /// The end-to-end latency simulator (shared; its measurement memo is
+    /// internally synchronised and deterministic per seed).
+    pub simulator: Arc<InferenceSimulator>,
+    /// Reward-shaping and termination configuration.
+    pub env: EnvConfig,
+}
+
+impl EnvSpec {
+    /// Creates a spec from owned components.
+    pub fn new(graph: Graph, rules: RuleSet, profile: DeviceProfile, env: EnvConfig) -> Self {
+        Self {
+            graph: Arc::new(graph),
+            rules: Arc::new(rules),
+            simulator: Arc::new(InferenceSimulator::new(profile)),
+            env,
+        }
+    }
+
+    /// Builds a fresh environment over the shared components.
+    pub fn build_env(&self) -> Environment {
+        Environment::from_shared(
+            Arc::clone(&self.graph),
+            Arc::clone(&self.rules),
+            Arc::clone(&self.simulator),
+            self.env.clone(),
+        )
+    }
+}
+
+/// The merged result of collecting a batch of episodes: one rollout buffer
+/// holding every transition in episode order, plus per-episode statistics in
+/// the same order.
+#[derive(Debug, Clone, Default)]
+pub struct CollectedRollouts {
+    /// Transitions of all episodes, concatenated in episode-index order.
+    pub buffer: RolloutBuffer<Observation>,
+    /// Per-episode statistics, indexed by episode order.
+    pub episodes: Vec<EpisodeStats>,
+}
+
+/// SplitMix64 finaliser — decorrelates the per-episode action-sampling seed
+/// from the (sequential) episode index and the run's base seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The deterministic seed of episode `episode`'s action-sampling RNG.
+///
+/// Part of the determinism contract: every path that collects episode `e`
+/// under base seed `b` — serial or any worker of any pool size — derives its
+/// `XorShiftRng` from this value.
+pub fn episode_rng_seed(base_seed: u64, episode: u64) -> u64 {
+    splitmix64(base_seed ^ episode.wrapping_mul(0xA24B_AED4_963E_E407))
+}
+
+/// Collects exactly one episode: resets `env` with seed `episode`, samples
+/// actions from a fresh RNG seeded by [`episode_rng_seed`], and pushes every
+/// transition into `buffer`.
+///
+/// The stepping loop itself is `xrlflow_core`'s [`collect_episode_with_rng`]
+/// — the same function `Trainer::collect_episode` runs — so the serial and
+/// parallel paths record identical transitions by construction; this wrapper
+/// only pins the determinism contract's seeds.
+pub fn collect_episode_seeded(
+    agent: &XrlflowAgent,
+    env: &mut Environment,
+    episode: u64,
+    base_seed: u64,
+    buffer: &mut RolloutBuffer<Observation>,
+) -> EpisodeStats {
+    let mut rng = XorShiftRng::new(episode_rng_seed(base_seed, episode));
+    collect_episode_with_rng(agent, env, &mut rng, buffer, episode)
+}
+
+/// The retained serial collection path: episodes `first_episode ..
+/// first_episode + num_episodes` collected one after another in the calling
+/// thread, against the live agent.
+///
+/// This is the differential-testing oracle for [`collect_parallel`] (same
+/// spirit as `policy_logits_serial`) and the degenerate one-worker fast path
+/// — no snapshot, no replica, no thread spawn.
+pub fn collect_serial(
+    agent: &XrlflowAgent,
+    spec: &EnvSpec,
+    first_episode: u64,
+    num_episodes: usize,
+    base_seed: u64,
+) -> CollectedRollouts {
+    let mut env = spec.build_env();
+    let mut out = CollectedRollouts::default();
+    for episode in first_episode..first_episode + num_episodes as u64 {
+        let stats = collect_episode_seeded(agent, &mut env, episode, base_seed, &mut out.buffer);
+        out.episodes.push(stats);
+    }
+    out
+}
+
+/// Collects episodes `first_episode .. first_episode + num_episodes` with a
+/// pool of `num_workers` threads.
+///
+/// Each worker builds a read-only agent replica from `snapshot` (broadcast —
+/// workers never touch a live `ParamStore`) and its own environment from
+/// `spec`, then round-robins over the episode indices assigned to it
+/// (`episode % num_workers == worker`). Results are merged **by episode
+/// index**, so the output is transition-for-transition bit-identical to
+/// [`collect_serial`] over the same range and base seed, for any worker
+/// count.
+///
+/// # Errors
+///
+/// Returns a [`SnapshotError`] when `snapshot` does not match the
+/// architecture described by `config`.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads (a worker panicking mid-episode is
+/// a bug, not a recoverable condition).
+pub fn collect_parallel(
+    config: &XrlflowConfig,
+    snapshot: &ParamSnapshot,
+    spec: &EnvSpec,
+    first_episode: u64,
+    num_episodes: usize,
+    base_seed: u64,
+    num_workers: usize,
+) -> Result<CollectedRollouts, SnapshotError> {
+    let num_workers = num_workers.clamp(1, num_episodes.max(1));
+    if num_workers <= 1 {
+        let replica = XrlflowAgent::from_snapshot(config, snapshot)?;
+        return Ok(collect_serial(&replica, spec, first_episode, num_episodes, base_seed));
+    }
+
+    type WorkerOutput = Vec<(u64, RolloutBuffer<Observation>, EpisodeStats)>;
+    let mut per_episode: Vec<(u64, RolloutBuffer<Observation>, EpisodeStats)> =
+        std::thread::scope(|scope| -> Result<WorkerOutput, SnapshotError> {
+            let mut handles = Vec::with_capacity(num_workers);
+            for worker in 0..num_workers {
+                handles.push(scope.spawn(move || -> Result<WorkerOutput, SnapshotError> {
+                    // Broadcast: a private replica per worker, built once per
+                    // collection round from the snapshot.
+                    let replica = XrlflowAgent::from_snapshot(config, snapshot)?;
+                    let mut env = spec.build_env();
+                    let mut out = Vec::new();
+                    let mut episode = first_episode + worker as u64;
+                    let end = first_episode + num_episodes as u64;
+                    while episode < end {
+                        let mut buffer = RolloutBuffer::new();
+                        let stats =
+                            collect_episode_seeded(&replica, &mut env, episode, base_seed, &mut buffer);
+                        out.push((episode, buffer, stats));
+                        episode += num_workers as u64;
+                    }
+                    Ok(out)
+                }));
+            }
+            let mut merged = Vec::with_capacity(num_episodes);
+            for handle in handles {
+                merged.extend(handle.join().expect("rollout worker panicked")?);
+            }
+            Ok(merged)
+        })?;
+
+    // Merge is ordered by episode index, not completion order — the last
+    // piece of the determinism contract.
+    per_episode.sort_by_key(|(episode, _, _)| *episode);
+    let mut out = CollectedRollouts::default();
+    for (_, mut buffer, stats) in per_episode {
+        out.buffer.append(&mut buffer);
+        out.episodes.push(stats);
+    }
+    Ok(out)
+}
+
+/// A PPO trainer whose collection phase runs on the worker pool.
+///
+/// Wraps the serial [`Trainer`] and drives the identical update path
+/// ([`Trainer::update`] consuming a merged [`RolloutBuffer`]); only the
+/// episode-collection phase differs, and only in wall-clock time.
+#[derive(Debug)]
+pub struct ParallelTrainer {
+    trainer: Trainer,
+    num_workers: usize,
+    base_seed: u64,
+}
+
+impl ParallelTrainer {
+    /// Creates a parallel trainer; the worker count comes from
+    /// [`XrlflowConfig::effective_num_workers`] (the `num_workers` field,
+    /// overridable via `XRLFLOW_WORKERS`).
+    pub fn new(config: XrlflowConfig, seed: u64) -> Self {
+        let num_workers = config.effective_num_workers();
+        Self { trainer: Trainer::new(config, seed), num_workers, base_seed: seed }
+    }
+
+    /// The number of rollout workers in use.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// The wrapped serial trainer (PPO update path, checkpointing).
+    pub fn trainer(&self) -> &Trainer {
+        &self.trainer
+    }
+
+    /// Persists the agent's parameters (see [`Trainer::save_checkpoint`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the file.
+    pub fn save_checkpoint(
+        &self,
+        agent: &XrlflowAgent,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<()> {
+        self.trainer.save_checkpoint(agent, path)
+    }
+
+    /// Restores the agent's parameters (see [`Trainer::load_checkpoint`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] on read failure or architecture mismatch.
+    pub fn load_checkpoint(
+        &self,
+        agent: &mut XrlflowAgent,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), SnapshotError> {
+        self.trainer.load_checkpoint(agent, path)
+    }
+
+    /// Runs the full training loop: broadcast a parameter snapshot, collect
+    /// `update_frequency` episodes across the worker pool, merge in episode
+    /// order, update, repeat until `episodes` episodes have been collected.
+    ///
+    /// With the same seed this produces bit-identical episodes, updates and
+    /// final parameters for any worker count; [`TrainReport::timings`]
+    /// records the wall-clock collection/update split per round so the
+    /// parallel speedup is observable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] when the agent does not match the
+    /// trainer's architecture configuration.
+    pub fn train(
+        &mut self,
+        agent: &mut XrlflowAgent,
+        spec: &EnvSpec,
+        episodes: usize,
+    ) -> Result<TrainReport, SnapshotError> {
+        let mut report = TrainReport::default();
+        let frequency = self.trainer.config().ppo.update_frequency.max(1);
+        let mut next_episode = 0usize;
+        while next_episode < episodes {
+            let batch = frequency.min(episodes - next_episode);
+            let collect_start = Instant::now();
+            let mut rollouts = if self.num_workers <= 1 {
+                collect_serial(agent, spec, next_episode as u64, batch, self.base_seed)
+            } else {
+                // Broadcast the current parameters once per update round.
+                let snapshot = agent.snapshot();
+                collect_parallel(
+                    self.trainer.config(),
+                    &snapshot,
+                    spec,
+                    next_episode as u64,
+                    batch,
+                    self.base_seed,
+                    self.num_workers,
+                )?
+            };
+            let collect_ms = collect_start.elapsed().as_secs_f64() * 1e3;
+            report.episodes.append(&mut rollouts.episodes);
+            let update_start = Instant::now();
+            report.updates.push(self.trainer.update(agent, &mut rollouts.buffer));
+            let update_ms = update_start.elapsed().as_secs_f64() * 1e3;
+            report.timings.push(UpdateTiming { collect_ms, update_ms });
+            next_episode += batch;
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+
+    fn smoke_spec(config: &XrlflowConfig) -> EnvSpec {
+        let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+        EnvSpec::new(graph, RuleSet::standard(), DeviceProfile::gtx1080(), config.env.clone())
+    }
+
+    fn assert_transitions_identical(
+        a: &RolloutBuffer<Observation>,
+        b: &RolloutBuffer<Observation>,
+        label: &str,
+    ) {
+        assert_eq!(a.len(), b.len(), "{label}: transition counts differ");
+        for (i, (ta, tb)) in a.transitions().iter().zip(b.transitions()).enumerate() {
+            assert_eq!(ta.action, tb.action, "{label}: action differs at transition {i}");
+            assert_eq!(
+                ta.log_prob.to_bits(),
+                tb.log_prob.to_bits(),
+                "{label}: log-prob differs at transition {i}"
+            );
+            assert_eq!(ta.value.to_bits(), tb.value.to_bits(), "{label}: value differs at transition {i}");
+            assert_eq!(ta.reward.to_bits(), tb.reward.to_bits(), "{label}: reward differs at transition {i}");
+            assert_eq!(ta.done, tb.done, "{label}: done flag differs at transition {i}");
+            assert_eq!(ta.action_mask, tb.action_mask, "{label}: action mask differs at transition {i}");
+            assert_eq!(
+                ta.observation.graph.canonical_hash(),
+                tb.observation.graph.canonical_hash(),
+                "{label}: observation graph differs at transition {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_collection_is_bit_identical_to_serial_for_1_2_4_workers() {
+        // The tentpole determinism contract: W workers with the same
+        // episode-seed schedule produce transition-for-transition the same
+        // rollouts as the serial path, merged in episode order.
+        let config = XrlflowConfig::smoke_test();
+        let spec = smoke_spec(&config);
+        let agent = XrlflowAgent::new(&config, 5);
+        let snapshot = agent.snapshot();
+        let episodes = 4;
+        let base_seed = 99;
+
+        let serial = collect_serial(&agent, &spec, 0, episodes, base_seed);
+        assert_eq!(serial.episodes.len(), episodes);
+
+        for workers in [1usize, 2, 4] {
+            let parallel =
+                collect_parallel(&config, &snapshot, &spec, 0, episodes, base_seed, workers).unwrap();
+            let label = format!("{workers} workers");
+            assert_transitions_identical(&serial.buffer, &parallel.buffer, &label);
+            assert_eq!(serial.episodes.len(), parallel.episodes.len(), "{label}: episode counts differ");
+            for (ea, eb) in serial.episodes.iter().zip(&parallel.episodes) {
+                assert_eq!(ea.total_reward.to_bits(), eb.total_reward.to_bits(), "{label}: reward differs");
+                assert_eq!(ea.steps, eb.steps, "{label}: step counts differ");
+                assert_eq!(ea.applied_rules, eb.applied_rules, "{label}: applied rules differ");
+                assert_eq!(
+                    ea.final_latency_ms.to_bits(),
+                    eb.final_latency_ms.to_bits(),
+                    "{label}: final latency differs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_collection_feeds_bit_identical_ppo_updates() {
+        // Running the identical update path over serially- and
+        // parallel-collected buffers must produce the same TrainingStats —
+        // the "no learned number changes" half of the contract.
+        let config = XrlflowConfig::smoke_test();
+        let spec = smoke_spec(&config);
+        let agent = XrlflowAgent::new(&config, 5);
+        let episodes = 3;
+
+        let serial = collect_serial(&agent, &spec, 0, episodes, 42);
+        let parallel = collect_parallel(&config, &agent.snapshot(), &spec, 0, episodes, 42, 2).unwrap();
+
+        let mut stats = Vec::new();
+        for rollouts in [serial, parallel] {
+            let mut trainer = Trainer::new(config.clone(), 7);
+            let mut update_agent = XrlflowAgent::new(&config, 5);
+            let mut buffer = rollouts.buffer;
+            stats.push(trainer.update(&mut update_agent, &mut buffer));
+        }
+        assert_eq!(stats[0], stats[1], "TrainingStats diverge between serial and parallel collection");
+    }
+
+    #[test]
+    fn parallel_trainer_matches_serial_trainer_bit_for_bit() {
+        // End to end: same seed, same episode schedule, 1-worker vs
+        // 2-worker ParallelTrainer runs land on identical parameters.
+        let config = XrlflowConfig::smoke_test();
+        let spec = smoke_spec(&config);
+        let probe = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+        let mut embeddings = Vec::new();
+        for workers in [1usize, 2] {
+            let mut cfg = config.clone();
+            cfg.num_workers = workers;
+            // Guard against an ambient XRLFLOW_WORKERS override skewing the
+            // comparison.
+            let mut trainer = ParallelTrainer::new(cfg.clone(), 11);
+            trainer.num_workers = workers;
+            let mut agent = XrlflowAgent::new(&cfg, 3);
+            let report = trainer.train(&mut agent, &spec, cfg.training_episodes).unwrap();
+            assert_eq!(report.episodes.len(), cfg.training_episodes);
+            assert!(!report.updates.is_empty());
+            assert_eq!(report.timings.len(), report.updates.len());
+            embeddings.push(agent.embed_graph(&probe));
+        }
+        assert_eq!(
+            embeddings[0].data(),
+            embeddings[1].data(),
+            "trained parameters diverge between worker counts"
+        );
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_episode_count() {
+        let config = XrlflowConfig::smoke_test();
+        let spec = smoke_spec(&config);
+        let agent = XrlflowAgent::new(&config, 1);
+        // More workers than episodes must not spawn idle threads or panic.
+        let rollouts = collect_parallel(&config, &agent.snapshot(), &spec, 0, 2, 0, 16).unwrap();
+        assert_eq!(rollouts.episodes.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_architecture_mismatch_is_reported() {
+        let config = XrlflowConfig::smoke_test();
+        let spec = smoke_spec(&config);
+        let mut wider = config.clone();
+        wider.encoder.hidden_dim *= 2;
+        let snapshot = XrlflowAgent::new(&wider, 0).snapshot();
+        assert!(collect_parallel(&config, &snapshot, &spec, 0, 2, 0, 2).is_err());
+    }
+
+    #[test]
+    fn episode_rng_seeds_are_stable_and_distinct() {
+        assert_eq!(episode_rng_seed(7, 3), episode_rng_seed(7, 3));
+        let seeds: std::collections::HashSet<u64> = (0..64).map(|e| episode_rng_seed(123, e)).collect();
+        assert_eq!(seeds.len(), 64, "adjacent episodes must get decorrelated RNG seeds");
+    }
+}

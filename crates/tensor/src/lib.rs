@@ -32,10 +32,12 @@
 
 mod nn;
 mod rng;
+mod snapshot;
 mod tape;
 mod tensor;
 
 pub use nn::{xavier_uniform, Activation, Linear, Mlp};
 pub use rng::XorShiftRng;
+pub use snapshot::{ParamSnapshot, SnapshotError};
 pub use tape::{Adam, ParamId, ParamStore, Sgd, Tape, VarId};
 pub use tensor::Tensor;

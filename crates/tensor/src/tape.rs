@@ -9,6 +9,7 @@
 //! Parameters live in the [`ParamStore`] across forward passes; each forward
 //! pass imports them as leaves via [`Tape::param`].
 
+use crate::snapshot::{ParamSnapshot, SnapshotError};
 use crate::tensor::Tensor;
 
 /// Identifier of a value on a [`Tape`].
@@ -120,6 +121,55 @@ impl ParamStore {
     fn accumulate(&mut self, id: ParamId, grad: &Tensor) {
         let e = &mut self.entries[id.0];
         e.grad = e.grad.add(grad);
+    }
+
+    /// Captures a [`ParamSnapshot`] of every parameter's current value, in
+    /// registration order (gradients and Adam state are not captured).
+    ///
+    /// The parallel rollout engine broadcasts one snapshot per PPO update so
+    /// worker threads can build read-only agent replicas without ever
+    /// sharing a live store; the same snapshot type backs checkpointing.
+    pub fn snapshot(&self) -> ParamSnapshot {
+        ParamSnapshot::new(self.entries.iter().map(|e| (e.name.clone(), e.value.clone())).collect())
+    }
+
+    /// Overwrites every parameter's value from a snapshot captured on a
+    /// store with the identical architecture.
+    ///
+    /// The check is strict — same parameter count, same names in
+    /// registration order, same shapes — and nothing is written when any
+    /// entry mismatches, so a failed load leaves the store untouched.
+    /// Gradients and Adam state are left as they are.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::CountMismatch`], [`SnapshotError::NameMismatch`]
+    /// or [`SnapshotError::ShapeMismatch`] describing the first difference.
+    pub fn load_snapshot(&mut self, snapshot: &ParamSnapshot) -> Result<(), SnapshotError> {
+        let entries = snapshot.entries();
+        if entries.len() != self.entries.len() {
+            return Err(SnapshotError::CountMismatch { expected: self.entries.len(), found: entries.len() });
+        }
+        for (index, (own, (name, value))) in self.entries.iter().zip(entries).enumerate() {
+            if own.name != *name {
+                return Err(SnapshotError::NameMismatch {
+                    index,
+                    expected: own.name.clone(),
+                    found: name.clone(),
+                });
+            }
+            if own.value.shape() != value.shape() {
+                return Err(SnapshotError::ShapeMismatch {
+                    name: name.clone(),
+                    expected: own.value.shape().to_vec(),
+                    found: value.shape().to_vec(),
+                });
+            }
+        }
+        for (own, (_, value)) in self.entries.iter_mut().zip(entries) {
+            own.value = value.clone();
+        }
+        Ok(())
     }
 }
 

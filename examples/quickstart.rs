@@ -1,30 +1,52 @@
-//! Quickstart: build a DNN from the model zoo, train an X-RLflow agent for a
-//! few episodes and optimise the graph with the learned policy.
+//! Quickstart: build a DNN from the model zoo, train an X-RLflow agent with
+//! the parallel rollout engine, checkpoint it, and optimise the graph with
+//! the reloaded policy.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//! (`XRLFLOW_WORKERS=N` overrides the rollout worker count; any value
+//! produces bit-identical training, only wall-clock time changes.)
 
-use xrlflow::core::{XrlflowConfig, XrlflowSystem};
+use xrlflow::core::{XrlflowAgent, XrlflowConfig, XrlflowSystem};
+use xrlflow::cost::DeviceProfile;
 use xrlflow::graph::models::{build_model, ModelKind, ModelScale};
+use xrlflow::rewrite::RuleSet;
+use xrlflow::rollout::{EnvSpec, ParallelTrainer};
 
 fn main() {
     // 1. Build the computation graph of SqueezeNet (structure + shapes only).
     let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).expect("model builds");
     println!("SqueezeNet: {} operator nodes, {} edges", graph.num_nodes(), graph.num_edges());
 
-    // 2. Create the X-RLflow system (GNN encoder + PPO agent + environment).
-    let mut system = XrlflowSystem::new(XrlflowConfig::bench(), 42);
-    println!("agent has {} parameters", system.agent().num_parameters());
+    // 2. Create the agent and the parallel trainer. Workers collect episodes
+    //    from snapshot-built replicas, so the worker count never changes a
+    //    learned number.
+    let config = XrlflowConfig::bench();
+    let mut agent = XrlflowAgent::new(&config, 42);
+    let mut trainer = ParallelTrainer::new(config.clone(), 42);
+    println!("agent has {} parameters; {} rollout workers", agent.num_parameters(), trainer.num_workers());
 
-    // 3. Train for a handful of episodes on this graph.
-    let episodes = 4;
-    let report = system.train_on(&graph, episodes);
-    println!(
-        "trained for {} episodes; mean reward of last update: {:.3}",
-        report.episodes.len(),
-        report.updates.last().map(|u| u.mean_episode_reward).unwrap_or(0.0)
-    );
+    // 3. Train for a handful of episodes, watching the collect/update split
+    //    per PPO round (parallel collection shrinks the collect column).
+    let spec = EnvSpec::new(graph.clone(), RuleSet::standard(), DeviceProfile::gtx1080(), config.env.clone());
+    let episodes = 8;
+    let report = trainer.train(&mut agent, &spec, episodes).expect("agent matches trainer config");
+    for (i, (update, timing)) in report.updates.iter().zip(&report.timings).enumerate() {
+        println!(
+            "update {i}: collect {:7.1} ms | update {:7.1} ms | mean episode reward {:+.3}",
+            timing.collect_ms, timing.update_ms, update.mean_episode_reward
+        );
+    }
 
-    // 4. Optimise the graph with the learned policy acting greedily.
+    // 4. Checkpoint the trained agent — the snapshot format is what long
+    //    runs resume from.
+    let checkpoint = std::env::temp_dir().join("xrlflow-quickstart").join("agent.snap");
+    trainer.save_checkpoint(&agent, &checkpoint).expect("checkpoint writes");
+    println!("checkpointed {} parameters to {}", agent.num_parameters(), checkpoint.display());
+
+    // 5. Reload the checkpoint into a fresh system and optimise the graph
+    //    with the restored policy acting greedily.
+    let mut system = XrlflowSystem::new(config, 0);
+    trainer.load_checkpoint(system.agent_mut(), &checkpoint).expect("checkpoint loads");
     let result = system.optimize(&graph);
     println!(
         "optimised graph: {} -> {} nodes, latency {:.3} ms -> {:.3} ms ({:+.1}% speedup) in {:.2}s",

@@ -13,7 +13,9 @@
 //! * [`egraph`] — the equality-saturation (Tensat) baseline,
 //! * [`tensor`], [`gnn`], [`rl`] — the learning stack,
 //! * [`mod@env`] — the Gym-style graph-transformation environment,
-//! * [`core`] — the X-RLflow agent, trainer and optimiser.
+//! * [`core`] — the X-RLflow agent, trainer and optimiser,
+//! * [`rollout`] — the parallel rollout engine (multi-worker episode
+//!   collection with snapshot-based parameter broadcast).
 //!
 //! ## Quickstart
 //!
@@ -35,5 +37,6 @@ pub use xrlflow_gnn as gnn;
 pub use xrlflow_graph as graph;
 pub use xrlflow_rewrite as rewrite;
 pub use xrlflow_rl as rl;
+pub use xrlflow_rollout as rollout;
 pub use xrlflow_taso as taso;
 pub use xrlflow_tensor as tensor;
