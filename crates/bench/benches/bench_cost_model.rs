@@ -4,7 +4,7 @@
 //! both cold (fresh instance per iteration) and warm (memoised by canonical
 //! hash), since the RL loop overwhelmingly re-measures known graphs.
 
-use xrlflow_bench::{report, time_ns};
+use xrlflow_bench::{finish, report, time_ns};
 use xrlflow_cost::{CostModel, DeviceProfile, InferenceSimulator};
 use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
 
@@ -26,4 +26,6 @@ fn main() {
         report(&format!("e2e_simulator/cold/{}", kind.name()), cold);
         report(&format!("e2e_simulator/memoized/{}", kind.name()), warm);
     }
+
+    finish("bench_cost_model");
 }

@@ -1,7 +1,7 @@
 //! Micro-benchmarks for the e-graph substrate: conversion, saturation and
 //! extraction (the Tensat baseline's inner loop).
 
-use xrlflow_bench::{report, time_ns};
+use xrlflow_bench::{finish, report, time_ns};
 use xrlflow_cost::DeviceProfile;
 use xrlflow_egraph::{EGraph, TensatConfig, TensatOptimizer};
 use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
@@ -18,4 +18,6 @@ fn main() {
         "tensat/saturate_and_extract/squeezenet",
         time_ns(2, 10, || tensat.optimize(&graph).unwrap().graph.num_nodes()),
     );
+
+    finish("bench_egraph");
 }

@@ -3,7 +3,7 @@
 //! These are the per-figure building blocks; the table/figure binaries in
 //! `src/bin` print the paper-formatted results.
 
-use xrlflow_bench::{report, time_ns};
+use xrlflow_bench::{finish, report, time_ns};
 use xrlflow_core::{XrlflowConfig, XrlflowSystem};
 use xrlflow_cost::{CostModel, DeviceProfile};
 use xrlflow_egraph::{TensatConfig, TensatOptimizer};
@@ -53,4 +53,6 @@ fn main() {
             system.optimize(&graph).steps
         }),
     );
+
+    finish("bench_optimizers");
 }

@@ -1,0 +1,80 @@
+//! Baseline diff gate for the CI `bench-smoke` job.
+//!
+//! Usage: `bench_diff <baseline.json> <current.json> [threshold]`
+//!
+//! Compares a fresh bench-smoke JSON artifact against the committed
+//! `BENCH_*.json` baseline (both in the schema `xrlflow_bench::finish`
+//! writes), prints a per-metric trend table — appended to
+//! `$GITHUB_STEP_SUMMARY` when set, so the trend line shows up in the job
+//! summary — and exits non-zero only on *gross* regressions (worse than
+//! `threshold`×, default 3×) or on metrics that silently vanished.
+//! Shared-runner noise stays a trend line; catastrophic regressions become
+//! a gate.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use xrlflow_bench::{diff_reports, parse_results_json, render_trend_markdown, trends_pass, BenchReport};
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_results_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = || {
+        eprintln!("usage: bench_diff <baseline.json> <current.json> [threshold]");
+        ExitCode::from(2)
+    };
+    let (baseline_path, current_path) = match args.as_slice() {
+        [b, c] | [b, c, _] => (b.as_str(), c.as_str()),
+        _ => return usage(),
+    };
+    let threshold: f64 = match args.get(2) {
+        None => 3.0,
+        // A malformed threshold must not silently fall back to the default
+        // — the operator would believe they changed the gate.
+        Some(t) => match t.parse() {
+            Ok(v) if v > 0.0 => v,
+            _ => {
+                eprintln!("bench_diff: invalid threshold {t:?}");
+                return usage();
+            }
+        },
+    };
+
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_diff: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let trends = diff_reports(&baseline, &current, threshold);
+    let table = render_trend_markdown(&current.bench, &trends, threshold);
+    println!("{table}");
+    if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        match std::fs::OpenOptions::new().create(true).append(true).open(&summary_path) {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{table}");
+            }
+            Err(e) => eprintln!("bench_diff: cannot append to job summary {summary_path}: {e}"),
+        }
+    }
+
+    if trends_pass(&trends) {
+        println!("bench_diff: {} within the {threshold}x gate against {baseline_path}", current.bench);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_diff: {} FAILED the {threshold}x gate against {baseline_path} (see table above; \
+             if the change is intentional, regenerate the committed baseline)",
+            current.bench
+        );
+        ExitCode::FAILURE
+    }
+}

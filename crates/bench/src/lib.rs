@@ -137,7 +137,13 @@ pub fn write_results_json(bench: &str, path: &Path) -> std::io::Result<()> {
 
 /// Called at the end of every benchmark binary: when `XRLFLOW_BENCH_JSON` is
 /// set, writes the recorded results there (the CI `bench-smoke` job uploads
-/// the file as a workflow artifact).
+/// the file as a workflow artifact and diffs it against the committed
+/// `BENCH_<bench>.json` baseline).
+///
+/// This is the **single** producer of the benchmark JSON schema; the
+/// consumer side is [`parse_results_json`] / [`diff_reports`], so the
+/// binaries, the committed baselines and the CI diff gate can never drift
+/// apart on format.
 pub fn finish(bench: &str) {
     if let Ok(path) = std::env::var("XRLFLOW_BENCH_JSON") {
         match write_results_json(bench, Path::new(&path)) {
@@ -145,6 +151,388 @@ pub fn finish(bench: &str) {
             Err(e) => eprintln!("failed to write benchmark JSON to {path}: {e}"),
         }
     }
+}
+
+/// One metric parsed back from a benchmark JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedRecord {
+    /// Metric name, e.g. `"policy_evaluation/batched/BERT"`.
+    pub name: String,
+    /// Measured value; `None` when the binary recorded a non-finite value.
+    pub value: Option<f64>,
+    /// Unit string (`"ns/iter"`, `"x"`, `"eps/s"`).
+    pub unit: String,
+}
+
+/// A benchmark JSON document parsed back into memory — the read side of the
+/// schema [`write_results_json`] produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// The benchmark binary's name.
+    pub bench: String,
+    /// Every recorded metric, in report order.
+    pub results: Vec<ParsedRecord>,
+}
+
+/// Parses a benchmark JSON document produced by [`write_results_json`].
+///
+/// Hand-rolled like the writer (no serde in the container); accepts
+/// arbitrary whitespace and key order but only the schema's own shape.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax or schema violation.
+pub fn parse_results_json(text: &str) -> Result<BenchReport, String> {
+    let mut parser = JsonParser { bytes: text.as_bytes(), pos: 0 };
+    let report = parser.parse_report()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing content at byte {}", parser.pos));
+    }
+    Ok(report)
+}
+
+/// Minimal JSON reader for the benchmark result schema.
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex =
+                                self.bytes.get(self.pos + 1..self.pos + 5).ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "non-ASCII \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "invalid \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number_or_null(&mut self) -> Result<Option<f64>, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            return Ok(None);
+        }
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Some)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn parse_report(&mut self) -> Result<BenchReport, String> {
+        self.expect(b'{')?;
+        let mut bench = None;
+        let mut results = None;
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "bench" => bench = Some(self.string()?),
+                "results" => results = Some(self.parse_results()?),
+                other => return Err(format!("unknown key {other:?}")),
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+        Ok(BenchReport {
+            bench: bench.ok_or("missing \"bench\" key")?,
+            results: results.ok_or("missing \"results\" key")?,
+        })
+    }
+
+    fn parse_results(&mut self) -> Result<Vec<ParsedRecord>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.parse_record()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_record(&mut self) -> Result<ParsedRecord, String> {
+        self.expect(b'{')?;
+        let mut name = None;
+        let mut value = None;
+        let mut unit = None;
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "name" => name = Some(self.string()?),
+                "value" => value = Some(self.number_or_null()?),
+                "unit" => unit = Some(self.string()?),
+                other => return Err(format!("unknown result key {other:?}")),
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+        Ok(ParsedRecord {
+            name: name.ok_or("result missing \"name\"")?,
+            value: value.ok_or("result missing \"value\"")?,
+            unit: unit.ok_or("result missing \"unit\"")?,
+        })
+    }
+}
+
+/// Verdict of one metric's baseline comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrendStatus {
+    /// Within the regression threshold (or not judgeable: null/zero values).
+    Ok,
+    /// Worse than the baseline by more than the threshold factor.
+    Regressed,
+    /// Present in the baseline but absent from the fresh run — the binary
+    /// dropped or renamed a metric without regenerating the baseline.
+    MissingInCurrent,
+    /// Present in both but with different units — the values are
+    /// incommensurate, so no trend can be computed; regenerate the baseline.
+    UnitChanged,
+    /// Present only in the fresh run (a newly added metric; informational).
+    NewInCurrent,
+}
+
+/// One row of a baseline-vs-current trend comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricTrend {
+    /// Metric name.
+    pub name: String,
+    /// Unit string (drives the comparison direction).
+    pub unit: String,
+    /// Baseline value, when the metric exists in the baseline.
+    pub baseline: Option<f64>,
+    /// Fresh value, when the metric exists in the current run.
+    pub current: Option<f64>,
+    /// Direction-normalised regression factor: how many times *worse* the
+    /// current value is than the baseline (`> 1` is worse, `< 1` is better,
+    /// regardless of whether the unit is higher- or lower-is-better).
+    pub factor: Option<f64>,
+    /// The comparison verdict.
+    pub status: TrendStatus,
+}
+
+/// `true` for units where a larger value is an improvement (`"x"` ratios,
+/// `"eps/s"` throughput); timings (`"ns/iter"`) are lower-is-better.
+pub fn higher_is_better(unit: &str) -> bool {
+    matches!(unit, "x" | "eps/s")
+}
+
+/// Compares a fresh benchmark report against its committed baseline.
+///
+/// Shared-runner numbers are noisy, so the comparison is a *trend line with
+/// a catastrophe gate*: a metric only counts as [`TrendStatus::Regressed`]
+/// when it is worse than the baseline by more than `threshold` (the CI gate
+/// uses 3×). Metrics that vanished from the current run are flagged
+/// [`TrendStatus::MissingInCurrent`] (regenerate the baseline when renaming
+/// metrics); new metrics are informational. Rows follow baseline order, then
+/// any new metrics in current-run order.
+pub fn diff_reports(baseline: &BenchReport, current: &BenchReport, threshold: f64) -> Vec<MetricTrend> {
+    let mut trends = Vec::new();
+    for base in &baseline.results {
+        let fresh = current.results.iter().find(|r| r.name == base.name);
+        let Some(fresh) = fresh else {
+            trends.push(MetricTrend {
+                name: base.name.clone(),
+                unit: base.unit.clone(),
+                baseline: base.value,
+                current: None,
+                factor: None,
+                status: TrendStatus::MissingInCurrent,
+            });
+            continue;
+        };
+        if fresh.unit != base.unit {
+            // Incommensurate values: comparing them with the baseline's
+            // direction would read a unit change as a huge regression (or
+            // mask a real one).
+            trends.push(MetricTrend {
+                name: base.name.clone(),
+                unit: format!("{} -> {}", base.unit, fresh.unit),
+                baseline: base.value,
+                current: fresh.value,
+                factor: None,
+                status: TrendStatus::UnitChanged,
+            });
+            continue;
+        }
+        let factor = match (base.value, fresh.value) {
+            (Some(b), Some(c)) if b > 0.0 && c > 0.0 => {
+                Some(if higher_is_better(&base.unit) { b / c } else { c / b })
+            }
+            _ => None,
+        };
+        let status = match (base.value, fresh.value, factor) {
+            // A real baseline measurement that became non-finite (recorded
+            // as null) is a broken metric, not an unjudgeable one.
+            (Some(_), None, _) => TrendStatus::Regressed,
+            (_, _, Some(f)) if f > threshold => TrendStatus::Regressed,
+            _ => TrendStatus::Ok,
+        };
+        trends.push(MetricTrend {
+            name: base.name.clone(),
+            unit: base.unit.clone(),
+            baseline: base.value,
+            current: fresh.value,
+            factor,
+            status,
+        });
+    }
+    for fresh in &current.results {
+        if !baseline.results.iter().any(|r| r.name == fresh.name) {
+            trends.push(MetricTrend {
+                name: fresh.name.clone(),
+                unit: fresh.unit.clone(),
+                baseline: None,
+                current: fresh.value,
+                factor: None,
+                status: TrendStatus::NewInCurrent,
+            });
+        }
+    }
+    trends
+}
+
+/// `true` when no trend row fails the gate (no gross regression, no metric
+/// silently dropped).
+pub fn trends_pass(trends: &[MetricTrend]) -> bool {
+    trends.iter().all(|t| {
+        !matches!(t.status, TrendStatus::Regressed | TrendStatus::MissingInCurrent | TrendStatus::UnitChanged)
+    })
+}
+
+/// Renders the trend comparison as a GitHub-flavoured Markdown table
+/// (written to the CI job summary by the `bench_diff` tool).
+pub fn render_trend_markdown(bench: &str, trends: &[MetricTrend], threshold: f64) -> String {
+    let fmt_value = |v: Option<f64>| v.map_or_else(|| "—".to_string(), |v| format!("{v:.4}"));
+    let mut out = format!(
+        "### Bench trend: `{bench}` (gate: >{threshold:.0}× regression)\n\n\
+         | metric | unit | baseline | current | trend | status |\n\
+         |---|---|---:|---:|---:|---|\n"
+    );
+    for t in trends {
+        let trend = t.factor.map_or_else(
+            || "—".to_string(),
+            |f| {
+                if (f - 1.0).abs() < 0.005 {
+                    "≈1.00×".to_string()
+                } else if f > 1.0 {
+                    format!("{f:.2}× worse")
+                } else {
+                    format!("{:.2}× better", 1.0 / f)
+                }
+            },
+        );
+        let status = match t.status {
+            TrendStatus::Ok => "ok",
+            TrendStatus::Regressed => "**REGRESSED**",
+            TrendStatus::MissingInCurrent => "**MISSING** (regenerate baseline?)",
+            TrendStatus::UnitChanged => "**UNIT CHANGED** (regenerate baseline)",
+            TrendStatus::NewInCurrent => "new",
+        };
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} | {} | {} |\n",
+            t.name,
+            t.unit,
+            fmt_value(t.baseline),
+            fmt_value(t.current),
+            trend,
+            status
+        ));
+    }
+    out
 }
 
 /// Reads the model-scale preset from `XRLFLOW_SCALE` (default: bench).
@@ -295,6 +683,131 @@ mod tests {
         assert_eq!(json_escape("plain/name_1"), "plain/name_1");
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("tab\there"), "tab\\u0009here");
+    }
+
+    #[test]
+    fn parse_results_json_round_trips_the_writer_schema() {
+        report("roundtrip/timing", 987.25);
+        report_ratio("roundtrip/speedup", 4.5);
+        report_rate("roundtrip/rate", 12.0);
+        let path = std::env::temp_dir().join("xrlflow_bench_parse_test/results.json");
+        write_results_json("bench_roundtrip", &path).unwrap();
+        let parsed = parse_results_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed.bench, "bench_roundtrip");
+        let find = |name: &str| parsed.results.iter().find(|r| r.name == name).unwrap().clone();
+        assert_eq!(
+            find("roundtrip/timing"),
+            ParsedRecord { name: "roundtrip/timing".into(), value: Some(987.25), unit: "ns/iter".into() }
+        );
+        assert_eq!(find("roundtrip/speedup").value, Some(4.5));
+        assert_eq!(find("roundtrip/rate").unit, "eps/s");
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn parse_results_json_handles_escapes_null_and_rejects_garbage() {
+        let parsed = parse_results_json(
+            "{\"bench\": \"b\", \"results\": [{\"name\": \"a\\\"b\\u0009\", \"value\": null, \"unit\": \"x\"}]}",
+        )
+        .unwrap();
+        assert_eq!(parsed.results[0].name, "a\"b\t");
+        assert_eq!(parsed.results[0].value, None);
+        assert!(parse_results_json("not json").is_err());
+        assert!(parse_results_json("{\"bench\": \"b\"}").is_err(), "missing results must be rejected");
+        assert!(
+            parse_results_json("{\"bench\": \"b\", \"results\": []} extra").is_err(),
+            "trailing content must be rejected"
+        );
+    }
+
+    fn record_with(name: &str, value: Option<f64>, unit: &str) -> ParsedRecord {
+        ParsedRecord { name: name.into(), value, unit: unit.into() }
+    }
+
+    #[test]
+    fn diff_reports_gates_on_gross_regressions_only() {
+        let baseline = BenchReport {
+            bench: "b".into(),
+            results: vec![
+                record_with("timing", Some(100.0), "ns/iter"),
+                record_with("rate", Some(10.0), "eps/s"),
+                record_with("ratio", Some(2.0), "x"),
+            ],
+        };
+        // Noise-level wobble passes; only >3x counts.
+        let noisy = BenchReport {
+            bench: "b".into(),
+            results: vec![
+                record_with("timing", Some(250.0), "ns/iter"), // 2.5x slower: noise
+                record_with("rate", Some(4.0), "eps/s"),       // 2.5x slower: noise
+                record_with("ratio", Some(5.0), "x"),          // better
+            ],
+        };
+        let trends = diff_reports(&baseline, &noisy, 3.0);
+        assert!(trends_pass(&trends));
+        assert!(trends.iter().all(|t| t.status == TrendStatus::Ok));
+
+        let regressed = BenchReport {
+            bench: "b".into(),
+            results: vec![
+                record_with("timing", Some(500.0), "ns/iter"), // 5x slower: gate
+                record_with("rate", Some(2.0), "eps/s"),       // 5x slower: gate
+                record_with("ratio", Some(2.1), "x"),
+            ],
+        };
+        let trends = diff_reports(&baseline, &regressed, 3.0);
+        assert!(!trends_pass(&trends));
+        assert_eq!(trends[0].status, TrendStatus::Regressed);
+        assert_eq!(trends[1].status, TrendStatus::Regressed, "lower eps/s must regress");
+        assert_eq!(trends[2].status, TrendStatus::Ok);
+        assert!((trends[0].factor.unwrap() - 5.0).abs() < 1e-9);
+        assert!((trends[1].factor.unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diff_reports_flags_missing_and_new_metrics() {
+        let baseline =
+            BenchReport { bench: "b".into(), results: vec![record_with("old", Some(1.0), "ns/iter")] };
+        let current =
+            BenchReport { bench: "b".into(), results: vec![record_with("new", Some(1.0), "ns/iter")] };
+        let trends = diff_reports(&baseline, &current, 3.0);
+        assert_eq!(trends.len(), 2);
+        assert_eq!(trends[0].status, TrendStatus::MissingInCurrent);
+        assert_eq!(trends[1].status, TrendStatus::NewInCurrent);
+        assert!(!trends_pass(&trends), "a silently dropped metric must fail the gate");
+        // A finite baseline degrading to null (non-finite measurement) is a
+        // broken metric and must fail the gate...
+        let nulls = BenchReport { bench: "b".into(), results: vec![record_with("old", None, "ns/iter")] };
+        let trends = diff_reports(&baseline, &nulls, 3.0);
+        assert_eq!(trends[0].status, TrendStatus::Regressed);
+        assert_eq!(trends[0].factor, None);
+        assert!(!trends_pass(&trends));
+        // ...while a null-to-null metric stays unjudgeable.
+        let null_base = BenchReport { bench: "b".into(), results: vec![record_with("old", None, "ns/iter")] };
+        let trends = diff_reports(&null_base, &nulls, 3.0);
+        assert_eq!(trends[0].status, TrendStatus::Ok);
+        // A same-named metric with a different unit is incommensurate: no
+        // factor, and the gate fails until the baseline is regenerated.
+        let changed =
+            BenchReport { bench: "b".into(), results: vec![record_with("old", Some(1e9), "eps/s")] };
+        let trends = diff_reports(&baseline, &changed, 3.0);
+        assert_eq!(trends[0].status, TrendStatus::UnitChanged);
+        assert_eq!(trends[0].factor, None);
+        assert!(!trends_pass(&trends));
+    }
+
+    #[test]
+    fn trend_markdown_renders_every_row() {
+        let baseline =
+            BenchReport { bench: "b".into(), results: vec![record_with("m", Some(100.0), "ns/iter")] };
+        let current =
+            BenchReport { bench: "b".into(), results: vec![record_with("m", Some(450.0), "ns/iter")] };
+        let trends = diff_reports(&baseline, &current, 3.0);
+        let md = render_trend_markdown("bench_x", &trends, 3.0);
+        assert!(md.contains("`bench_x`"));
+        assert!(md.contains("| `m` |"));
+        assert!(md.contains("REGRESSED"));
+        assert!(md.contains("4.50× worse"));
     }
 
     #[test]

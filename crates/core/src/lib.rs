@@ -34,4 +34,4 @@ pub use agent::{AgentDecision, PolicyEvaluation, XrlflowAgent};
 pub use config::{HyperParameterTable, XrlflowConfig};
 pub use generalization::{run_generalization, GeneralizationPoint, GeneralizationReport};
 pub use optimizer::{XrlflowResult, XrlflowSystem};
-pub use trainer::{collect_episode_with_rng, TrainReport, Trainer, UpdateTiming};
+pub use trainer::{collect_episode_with_rng, ModelBreakdown, TrainReport, Trainer, UpdateTiming};

@@ -34,6 +34,51 @@ pub struct UpdateTiming {
     pub update_ms: f64,
 }
 
+/// Per-model aggregate of a multi-model (curriculum) training run: how one
+/// model-zoo entry fared across every episode it contributed to the shared
+/// agent's updates.
+#[derive(Debug, Clone)]
+pub struct ModelBreakdown {
+    /// The curriculum entry's name (e.g. `"SqueezeNet"`).
+    pub name: String,
+    /// Episodes this model contributed.
+    pub episodes: usize,
+    /// Mean shaped reward per episode.
+    pub mean_reward: f64,
+    /// Mean end-to-end latency reduction over the model's episodes, in
+    /// percent of the initial latency (positive = faster final graph).
+    pub mean_latency_reduction_percent: f64,
+    /// Mean final-graph latency (ms) over the model's episodes.
+    pub mean_final_latency_ms: f64,
+}
+
+impl ModelBreakdown {
+    /// Aggregates episode statistics for one named model.
+    pub fn from_episodes(name: impl Into<String>, episodes: &[xrlflow_env::EpisodeStats]) -> Self {
+        let n = episodes.len().max(1) as f64;
+        let mean_reward = episodes.iter().map(|e| e.total_reward as f64).sum::<f64>() / n;
+        let mean_latency_reduction_percent = episodes
+            .iter()
+            .map(|e| {
+                if e.initial_latency_ms == 0.0 {
+                    0.0
+                } else {
+                    (e.initial_latency_ms - e.final_latency_ms) / e.initial_latency_ms * 100.0
+                }
+            })
+            .sum::<f64>()
+            / n;
+        let mean_final_latency_ms = episodes.iter().map(|e| e.final_latency_ms).sum::<f64>() / n;
+        Self {
+            name: name.into(),
+            episodes: episodes.len(),
+            mean_reward,
+            mean_latency_reduction_percent,
+            mean_final_latency_ms,
+        }
+    }
+}
+
 /// Report of a full training run.
 #[derive(Debug, Clone, Default)]
 pub struct TrainReport {
@@ -44,6 +89,9 @@ pub struct TrainReport {
     /// Wall-clock collection/update split per entry of
     /// [`TrainReport::updates`].
     pub timings: Vec<UpdateTiming>,
+    /// Per-model reward/latency-reduction breakdowns, one entry per
+    /// curriculum model in curriculum order. Empty for single-model runs.
+    pub per_model: Vec<ModelBreakdown>,
 }
 
 impl TrainReport {
@@ -133,8 +181,24 @@ impl Trainer {
         agent: &mut XrlflowAgent,
         buffer: &mut RolloutBuffer<Observation>,
     ) -> TrainingStats {
+        self.update_with_segments(agent, buffer, &[])
+    }
+
+    /// Performs one PPO update over a merged multi-model buffer, normalising
+    /// advantages *per segment* (one segment per curriculum model, in merge
+    /// order) instead of globally, so a large graph's long high-variance
+    /// episodes don't dominate the gradient of smaller models sharing the
+    /// update. Every other step — GAE, minibatching, the clipped objective —
+    /// is identical to [`Trainer::update`]; an empty `segments` slice *is*
+    /// [`Trainer::update`].
+    pub fn update_with_segments(
+        &mut self,
+        agent: &mut XrlflowAgent,
+        buffer: &mut RolloutBuffer<Observation>,
+        segments: &[std::ops::Range<usize>],
+    ) -> TrainingStats {
         let ppo = self.config.ppo;
-        buffer.compute_advantages(ppo.gamma, ppo.gae_lambda);
+        buffer.compute_advantages_segmented(ppo.gamma, ppo.gae_lambda, segments);
         let advantages = buffer.advantages().to_vec();
         let returns = buffer.returns().to_vec();
 

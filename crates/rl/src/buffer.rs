@@ -90,19 +90,55 @@ impl<O> RolloutBuffer<O> {
     /// Advantages are normalised to zero mean and unit variance, the usual
     /// PPO stabilisation.
     pub fn compute_advantages(&mut self, gamma: f32, lambda: f32) {
+        self.compute_advantages_segmented(gamma, lambda, &[]);
+    }
+
+    /// Like [`RolloutBuffer::compute_advantages`], but normalises the
+    /// advantages *within each segment* of transition indices instead of
+    /// globally.
+    ///
+    /// This is the multi-model curriculum's per-spec normalisation: a merged
+    /// buffer holds each model's episodes as one contiguous segment, and
+    /// normalising per segment stops a large graph's long, high-variance
+    /// episodes from drowning the gradient signal of smaller models sharing
+    /// the update. GAE itself is unaffected (episode boundaries come from
+    /// `done` flags); only the normalisation statistics are per-segment.
+    ///
+    /// An empty `segments` slice means one segment spanning the whole buffer
+    /// — exactly [`RolloutBuffer::compute_advantages`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the segments are not disjoint, in order, and covering
+    /// every transition exactly once.
+    pub fn compute_advantages_segmented(
+        &mut self,
+        gamma: f32,
+        lambda: f32,
+        segments: &[std::ops::Range<usize>],
+    ) {
         let rewards: Vec<f32> = self.transitions.iter().map(|t| t.reward).collect();
         let values: Vec<f32> = self.transitions.iter().map(|t| t.value).collect();
         let dones: Vec<bool> = self.transitions.iter().map(|t| t.done).collect();
         let (mut advantages, returns) = gae(&rewards, &values, &dones, 0.0, gamma, lambda);
-        if advantages.len() > 1 {
-            let mean = advantages.iter().sum::<f32>() / advantages.len() as f32;
-            let var =
-                advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / advantages.len() as f32;
-            let std = var.sqrt().max(1e-6);
-            for a in &mut advantages {
-                *a = (*a - mean) / std;
+        let whole = 0..advantages.len();
+        let segments = if segments.is_empty() { std::slice::from_ref(&whole) } else { segments };
+        let mut covered = 0;
+        for segment in segments {
+            assert_eq!(segment.start, covered, "segments must partition the buffer in order");
+            assert!(segment.end <= advantages.len(), "segment exceeds the buffer");
+            covered = segment.end;
+            let slice = &mut advantages[segment.clone()];
+            if slice.len() > 1 {
+                let mean = slice.iter().sum::<f32>() / slice.len() as f32;
+                let var = slice.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / slice.len() as f32;
+                let std = var.sqrt().max(1e-6);
+                for a in slice {
+                    *a = (*a - mean) / std;
+                }
             }
         }
+        assert_eq!(covered, advantages.len(), "segments must cover every transition");
         self.advantages = advantages;
         self.returns = returns;
     }
@@ -199,6 +235,53 @@ mod tests {
         assert!(mean.abs() < 1e-4);
         assert!((var - 1.0).abs() < 1e-3);
         assert_eq!(buf.returns().len(), 10);
+    }
+
+    #[test]
+    fn segmented_normalisation_with_one_segment_matches_global() {
+        let mut global = RolloutBuffer::new();
+        let mut segmented = RolloutBuffer::new();
+        for i in 0..12 {
+            global.push(transition(i as f32 * 0.3 - 1.0, i % 4 == 3));
+            segmented.push(transition(i as f32 * 0.3 - 1.0, i % 4 == 3));
+        }
+        global.compute_advantages(0.99, 0.95);
+        segmented.compute_advantages_segmented(0.99, 0.95, std::slice::from_ref(&(0..12)));
+        assert_eq!(global.advantages(), segmented.advantages());
+        assert_eq!(global.returns(), segmented.returns());
+    }
+
+    #[test]
+    fn segmented_normalisation_is_per_segment() {
+        let mut buf = RolloutBuffer::new();
+        // Segment 0: small rewards; segment 1: rewards two orders larger
+        // (a "big model dominating the merge" in miniature).
+        for i in 0..6 {
+            buf.push(transition(i as f32 * 0.1, i == 5));
+        }
+        for i in 0..6 {
+            buf.push(transition(i as f32 * 10.0, i == 5));
+        }
+        buf.compute_advantages_segmented(0.99, 0.95, &[0..6, 6..12]);
+        for segment in [0..6usize, 6..12] {
+            let adv = &buf.advantages()[segment];
+            let mean: f32 = adv.iter().sum::<f32>() / adv.len() as f32;
+            let var: f32 = adv.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / adv.len() as f32;
+            assert!(mean.abs() < 1e-4, "segment mean {mean} not centred");
+            assert!((var - 1.0).abs() < 1e-3, "segment variance {var} not unit");
+        }
+        // GAE/returns are segment-independent.
+        assert_eq!(buf.returns().len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "segments must cover every transition")]
+    fn segmented_normalisation_rejects_partial_cover() {
+        let mut buf = RolloutBuffer::new();
+        for i in 0..4 {
+            buf.push(transition(i as f32, i == 3));
+        }
+        buf.compute_advantages_segmented(0.99, 0.95, std::slice::from_ref(&(0..2)));
     }
 
     #[test]

@@ -52,11 +52,18 @@
 
 #![warn(missing_docs)]
 
+mod curriculum;
+
+pub use curriculum::{
+    collect_curriculum_parallel, collect_curriculum_serial, curriculum_rng_seed, evaluate_curriculum,
+    Curriculum, CurriculumEntry, CurriculumEpisode, CurriculumRollouts, ModelEvaluation,
+};
+
 use std::sync::Arc;
 use std::time::Instant;
 
 use xrlflow_core::{
-    collect_episode_with_rng, TrainReport, Trainer, UpdateTiming, XrlflowAgent, XrlflowConfig,
+    collect_episode_with_rng, ModelBreakdown, TrainReport, Trainer, UpdateTiming, XrlflowAgent, XrlflowConfig,
 };
 use xrlflow_cost::{DeviceProfile, InferenceSimulator};
 use xrlflow_env::{EnvConfig, Environment, EpisodeStats, Observation};
@@ -120,7 +127,7 @@ pub struct CollectedRollouts {
 
 /// SplitMix64 finaliser — decorrelates the per-episode action-sampling seed
 /// from the (sequential) episode index and the run's base seed.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -280,6 +287,13 @@ impl ParallelTrainer {
         self.num_workers
     }
 
+    /// Overrides the worker count (normally sized by
+    /// [`XrlflowConfig::effective_num_workers`] at construction). Any value
+    /// collects bit-identical episodes; only wall-clock time changes.
+    pub fn set_num_workers(&mut self, num_workers: usize) {
+        self.num_workers = num_workers.max(1);
+    }
+
     /// The wrapped serial trainer (PPO update path, checkpointing).
     pub fn trainer(&self) -> &Trainer {
         &self.trainer
@@ -296,6 +310,15 @@ impl ParallelTrainer {
         path: impl AsRef<std::path::Path>,
     ) -> std::io::Result<()> {
         self.trainer.save_checkpoint(agent, path)
+    }
+
+    /// Checks that `agent` matches the trainer's architecture configuration
+    /// by round-tripping a snapshot into a config-built replica — the same
+    /// check every worker performs, applied up front so the error behaviour
+    /// of the training loops does not depend on the worker count (the
+    /// 1-worker fast path never builds a replica of its own).
+    fn validate_agent(&self, agent: &XrlflowAgent) -> Result<(), SnapshotError> {
+        XrlflowAgent::from_snapshot(self.trainer.config(), &agent.snapshot()).map(|_| ())
     }
 
     /// Restores the agent's parameters (see [`Trainer::load_checkpoint`]).
@@ -330,37 +353,134 @@ impl ParallelTrainer {
         spec: &EnvSpec,
         episodes: usize,
     ) -> Result<TrainReport, SnapshotError> {
-        let mut report = TrainReport::default();
-        let frequency = self.trainer.config().ppo.update_frequency.max(1);
-        let mut next_episode = 0usize;
-        while next_episode < episodes {
-            let batch = frequency.min(episodes - next_episode);
-            let collect_start = Instant::now();
-            let mut rollouts = if self.num_workers <= 1 {
-                collect_serial(agent, spec, next_episode as u64, batch, self.base_seed)
+        self.validate_agent(agent)?;
+        let (num_workers, base_seed) = (self.num_workers, self.base_seed);
+        let config = self.trainer.config().clone();
+        let (report, _) = run_rounds(&mut self.trainer, agent, episodes, |agent, first, batch| {
+            let rollouts = if num_workers <= 1 {
+                collect_serial(agent, spec, first, batch, base_seed)
             } else {
                 // Broadcast the current parameters once per update round.
-                let snapshot = agent.snapshot();
-                collect_parallel(
-                    self.trainer.config(),
-                    &snapshot,
-                    spec,
-                    next_episode as u64,
-                    batch,
-                    self.base_seed,
-                    self.num_workers,
-                )?
+                collect_parallel(&config, &agent.snapshot(), spec, first, batch, base_seed, num_workers)?
             };
-            let collect_ms = collect_start.elapsed().as_secs_f64() * 1e3;
-            report.episodes.append(&mut rollouts.episodes);
-            let update_start = Instant::now();
-            report.updates.push(self.trainer.update(agent, &mut rollouts.buffer));
-            let update_ms = update_start.elapsed().as_secs_f64() * 1e3;
-            report.timings.push(UpdateTiming { collect_ms, update_ms });
-            next_episode += batch;
-        }
+            Ok(Round {
+                buffer: rollouts.buffer,
+                episodes: rollouts.episodes.into_iter().map(|stats| (0, stats)).collect(),
+                segments: Vec::new(),
+            })
+        })?;
         Ok(report)
     }
+
+    /// Runs the multi-model curriculum training loop: per PPO round, collect
+    /// `min(update_frequency, remaining)` episodes **for every curriculum
+    /// model** across the worker pool (work items sharded spec-then-episode,
+    /// merged in item order), then drive one shared update over the merged
+    /// multi-model buffer with advantages normalised per spec — so a large
+    /// graph's episodes don't dominate the gradient of the small models
+    /// sharing the agent. Repeats until every model has contributed
+    /// `episodes_per_spec` episodes.
+    ///
+    /// With the same seed this produces bit-identical episodes, updates and
+    /// final parameters for any worker count. The returned report carries
+    /// the usual episode/update/timing series plus
+    /// [`TrainReport::per_model`] breakdowns, one per curriculum entry in
+    /// curriculum order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] when the agent does not match the
+    /// trainer's architecture configuration.
+    pub fn train_curriculum(
+        &mut self,
+        agent: &mut XrlflowAgent,
+        curriculum: &Curriculum,
+        episodes_per_spec: usize,
+    ) -> Result<TrainReport, SnapshotError> {
+        self.validate_agent(agent)?;
+        if curriculum.is_empty() || episodes_per_spec == 0 {
+            return Ok(TrainReport::default());
+        }
+        let (num_workers, base_seed) = (self.num_workers, self.base_seed);
+        let config = self.trainer.config().clone();
+        let (mut report, spec_tags) =
+            run_rounds(&mut self.trainer, agent, episodes_per_spec, |agent, first, batch| {
+                let rollouts = if num_workers <= 1 {
+                    collect_curriculum_serial(agent, curriculum, first, batch, base_seed)
+                } else {
+                    // Broadcast the current parameters once per update round.
+                    collect_curriculum_parallel(
+                        &config,
+                        &agent.snapshot(),
+                        curriculum,
+                        first,
+                        batch,
+                        base_seed,
+                        num_workers,
+                    )?
+                };
+                Ok(Round {
+                    buffer: rollouts.buffer,
+                    episodes: rollouts.episodes.into_iter().map(|e| (e.spec, e.stats)).collect(),
+                    segments: rollouts.spec_ranges,
+                })
+            })?;
+        let mut per_spec_stats: Vec<Vec<EpisodeStats>> = vec![Vec::new(); curriculum.len()];
+        for (&spec, stats) in spec_tags.iter().zip(&report.episodes) {
+            per_spec_stats[spec].push(stats.clone());
+        }
+        report.per_model = curriculum
+            .entries()
+            .iter()
+            .zip(&per_spec_stats)
+            .map(|(entry, stats)| ModelBreakdown::from_episodes(entry.name.clone(), stats))
+            .collect();
+        Ok(report)
+    }
+}
+
+/// One collection round handed to the shared PPO loop: the merged buffer,
+/// every episode's `(spec, stats)` in merge order, and the per-spec
+/// normalisation segments (empty = global normalisation).
+struct Round {
+    buffer: RolloutBuffer<Observation>,
+    episodes: Vec<(usize, EpisodeStats)>,
+    segments: Vec<std::ops::Range<usize>>,
+}
+
+/// The PPO round loop shared by [`ParallelTrainer::train`] and
+/// [`ParallelTrainer::train_curriculum`]: size each batch by the update
+/// frequency, collect it through `collect` (which owns the serial/parallel
+/// branch and the snapshot broadcast), drive one update over the merged
+/// buffer with the round's segments, and record the wall-clock
+/// collect/update split. Returns the report plus each episode's spec tag,
+/// aligned with `report.episodes`.
+fn run_rounds(
+    trainer: &mut Trainer,
+    agent: &mut XrlflowAgent,
+    episodes: usize,
+    mut collect: impl FnMut(&XrlflowAgent, u64, usize) -> Result<Round, SnapshotError>,
+) -> Result<(TrainReport, Vec<usize>), SnapshotError> {
+    let mut report = TrainReport::default();
+    let mut spec_tags = Vec::new();
+    let frequency = trainer.config().ppo.update_frequency.max(1);
+    let mut next_episode = 0usize;
+    while next_episode < episodes {
+        let batch = frequency.min(episodes - next_episode);
+        let collect_start = Instant::now();
+        let mut round = collect(agent, next_episode as u64, batch)?;
+        let collect_ms = collect_start.elapsed().as_secs_f64() * 1e3;
+        for (spec, stats) in round.episodes {
+            spec_tags.push(spec);
+            report.episodes.push(stats);
+        }
+        let update_start = Instant::now();
+        report.updates.push(trainer.update_with_segments(agent, &mut round.buffer, &round.segments));
+        let update_ms = update_start.elapsed().as_secs_f64() * 1e3;
+        report.timings.push(UpdateTiming { collect_ms, update_ms });
+        next_episode += batch;
+    }
+    Ok((report, spec_tags))
 }
 
 #[cfg(test)]

@@ -1,55 +1,98 @@
-//! Quickstart: build a DNN from the model zoo, train an X-RLflow agent with
-//! the parallel rollout engine, checkpoint it, and optimise the graph with
-//! the reloaded policy.
+//! Quickstart: train ONE X-RLflow agent across a model-zoo curriculum with
+//! the parallel rollout engine, evaluate its generalisation on a held-out
+//! model it never saw during training, checkpoint it, and optimise a graph
+//! with the reloaded policy.
 //!
 //! Run with: `cargo run --release --example quickstart`
-//! (`XRLFLOW_WORKERS=N` overrides the rollout worker count; any value
-//! produces bit-identical training, only wall-clock time changes.)
+//!
+//! Knobs (all optional):
+//! * `XRLFLOW_WORKERS=N` — rollout worker count; any value produces
+//!   bit-identical training, only wall-clock time changes.
+//! * `XRLFLOW_QUICKSTART_EPISODES=N` — training episodes per curriculum
+//!   model (default 4; the CI `quickstart-smoke` job sets a tiny value).
 
 use xrlflow::core::{XrlflowAgent, XrlflowConfig, XrlflowSystem};
 use xrlflow::cost::DeviceProfile;
-use xrlflow::graph::models::{build_model, ModelKind, ModelScale};
-use xrlflow::rewrite::RuleSet;
-use xrlflow::rollout::{EnvSpec, ParallelTrainer};
+use xrlflow::graph::models::{ModelKind, ModelScale};
+use xrlflow::rollout::{evaluate_curriculum, Curriculum, ParallelTrainer};
+
+fn env_usize(var: &str, default: usize) -> usize {
+    std::env::var(var).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
 
 fn main() {
-    // 1. Build the computation graph of SqueezeNet (structure + shapes only).
-    let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).expect("model builds");
-    println!("SqueezeNet: {} operator nodes, {} edges", graph.num_nodes(), graph.num_edges());
-
-    // 2. Create the agent and the parallel trainer. Workers collect episodes
-    //    from snapshot-built replicas, so the worker count never changes a
-    //    learned number.
+    // 1. Build a curriculum from the model zoo (structure + shapes only) and
+    //    hold the last model out: the agent trains on N-1 models and is then
+    //    evaluated on the one it never saw — the generalisation the paper's
+    //    per-DNN agents cannot attempt.
     let config = XrlflowConfig::bench();
+    let kinds = [ModelKind::SqueezeNet, ModelKind::Bert, ModelKind::ResNet18];
+    let full =
+        Curriculum::from_model_zoo(&kinds, ModelScale::Bench, DeviceProfile::gtx1080(), config.env.clone())
+            .expect("model zoo builds");
+    let (train_curriculum, held_out) = full.hold_out(full.len() - 1);
+    println!("curriculum: train on {:?}, hold out {:?}", train_curriculum.names(), held_out.name);
+
+    // 2. Create the single shared agent and the parallel trainer. Workers
+    //    collect (spec, episode) work items from snapshot-built replicas, so
+    //    the worker count never changes a learned number.
     let mut agent = XrlflowAgent::new(&config, 42);
     let mut trainer = ParallelTrainer::new(config.clone(), 42);
     println!("agent has {} parameters; {} rollout workers", agent.num_parameters(), trainer.num_workers());
 
-    // 3. Train for a handful of episodes, watching the collect/update split
-    //    per PPO round (parallel collection shrinks the collect column).
-    let spec = EnvSpec::new(graph.clone(), RuleSet::standard(), DeviceProfile::gtx1080(), config.env.clone());
-    let episodes = 8;
-    let report = trainer.train(&mut agent, &spec, episodes).expect("agent matches trainer config");
+    // 3. Train across the curriculum, watching the collect/update split per
+    //    PPO round (each round merges every model's episodes and normalises
+    //    advantages per model, so big graphs don't drown small ones).
+    let episodes_per_model = env_usize("XRLFLOW_QUICKSTART_EPISODES", 4);
+    let report = trainer
+        .train_curriculum(&mut agent, &train_curriculum, episodes_per_model)
+        .expect("agent matches trainer config");
     for (i, (update, timing)) in report.updates.iter().zip(&report.timings).enumerate() {
         println!(
             "update {i}: collect {:7.1} ms | update {:7.1} ms | mean episode reward {:+.3}",
             timing.collect_ms, timing.update_ms, update.mean_episode_reward
         );
     }
+    for breakdown in &report.per_model {
+        println!(
+            "trained on {:>12}: {} episodes | mean reward {:+.3} | mean latency reduction {:+.2}%",
+            breakdown.name,
+            breakdown.episodes,
+            breakdown.mean_reward,
+            breakdown.mean_latency_reduction_percent
+        );
+    }
 
-    // 4. Checkpoint the trained agent — the snapshot format is what long
+    // 4. Generalisation: evaluate the shared policy greedily on every model,
+    //    including the held-out one it never trained on.
+    println!("\ngeneralisation (greedy policy, no further training):");
+    for eval in evaluate_curriculum(&agent, &full, 0) {
+        let marker = if eval.name == held_out.name { "  <- held out" } else { "" };
+        println!(
+            "  {:>12}: {:.3} ms -> {:.3} ms ({:+.1}% speedup, {} rewrites){marker}",
+            eval.name,
+            eval.stats.initial_latency_ms,
+            eval.stats.final_latency_ms,
+            eval.speedup_percent(),
+            eval.stats.steps,
+        );
+    }
+
+    // 5. Checkpoint the trained agent — the snapshot format is what long
     //    runs resume from.
     let checkpoint = std::env::temp_dir().join("xrlflow-quickstart").join("agent.snap");
     trainer.save_checkpoint(&agent, &checkpoint).expect("checkpoint writes");
-    println!("checkpointed {} parameters to {}", agent.num_parameters(), checkpoint.display());
+    println!("\ncheckpointed {} parameters to {}", agent.num_parameters(), checkpoint.display());
 
-    // 5. Reload the checkpoint into a fresh system and optimise the graph
-    //    with the restored policy acting greedily.
+    // 6. Reload the checkpoint into a fresh system and optimise the held-out
+    //    model's graph with the restored policy acting greedily.
+    let graph = held_out.spec.graph.as_ref();
     let mut system = XrlflowSystem::new(config, 0);
     trainer.load_checkpoint(system.agent_mut(), &checkpoint).expect("checkpoint loads");
-    let result = system.optimize(&graph);
+    let result = system.optimize(graph);
     println!(
-        "optimised graph: {} -> {} nodes, latency {:.3} ms -> {:.3} ms ({:+.1}% speedup) in {:.2}s",
+        "optimised {}: {} -> {} nodes, latency {:.3} ms -> {:.3} ms ({:+.1}% speedup) in {:.2}s",
+        held_out.name,
         graph.num_nodes(),
         result.graph.num_nodes(),
         result.initial_latency_ms,

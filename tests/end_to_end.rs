@@ -124,3 +124,44 @@ fn rewrites_preserve_output_shapes_along_random_trajectories() {
         }
     }
 }
+
+#[test]
+fn curriculum_generalisation_pipeline_spans_the_model_zoo() {
+    // The multi-model workload end to end at the umbrella-crate level: one
+    // shared agent trains across a curriculum of zoo models (parallel
+    // collection, per-model advantage normalisation), is evaluated greedily
+    // on a held-out model it never saw, and every produced graph stays
+    // valid.
+    use xrlflow::core::XrlflowAgent;
+    use xrlflow::rollout::{evaluate_curriculum, Curriculum, ParallelTrainer};
+
+    let config = XrlflowConfig::smoke_test();
+    let full = Curriculum::from_model_zoo(
+        &[ModelKind::SqueezeNet, ModelKind::ResNet18, ModelKind::Bert],
+        ModelScale::Bench,
+        profile(),
+        config.env.clone(),
+    )
+    .unwrap();
+    let (train, held_out) = full.hold_out(2);
+    assert_eq!(held_out.name, "BERT");
+
+    let mut agent = XrlflowAgent::new(&config, 5);
+    let mut trainer = ParallelTrainer::new(config.clone(), 5);
+    let report = trainer.train_curriculum(&mut agent, &train, 2).unwrap();
+    assert_eq!(report.episodes.len(), train.len() * 2);
+    assert_eq!(report.per_model.len(), train.len());
+    for breakdown in &report.per_model {
+        assert_eq!(breakdown.episodes, 2);
+        assert!(breakdown.mean_reward.is_finite());
+    }
+
+    let evals = evaluate_curriculum(&agent, &full, 0);
+    assert_eq!(evals.len(), full.len());
+    let names: Vec<&str> = evals.iter().map(|e| e.name.as_str()).collect();
+    assert!(names.contains(&"BERT"), "held-out model must be evaluated");
+    for eval in &evals {
+        assert!(eval.stats.final_latency_ms > 0.0, "{}: no latency measured", eval.name);
+        assert!(eval.speedup_percent().is_finite(), "{}: bad speedup", eval.name);
+    }
+}
