@@ -34,4 +34,8 @@ pub use agent::{AgentDecision, PolicyEvaluation, XrlflowAgent};
 pub use config::{HyperParameterTable, XrlflowConfig};
 pub use generalization::{run_generalization, GeneralizationPoint, GeneralizationReport};
 pub use optimizer::{XrlflowResult, XrlflowSystem};
-pub use trainer::{collect_episode_with_rng, ModelBreakdown, TrainReport, Trainer, UpdateTiming};
+pub use trainer::{
+    collect_episode_with_rng, minibatch_grads_serial, minibatch_shuffle_seed, transition_grad,
+    MinibatchContext, MinibatchGrads, ModelBreakdown, TrainReport, Trainer, TransitionLossStats,
+    UpdateTiming,
+};

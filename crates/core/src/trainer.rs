@@ -13,25 +13,42 @@
 //! update tape (clean candidate rows share the current graph's sub-tree, so
 //! their gradient contributions route through it), instead of `K + 1` serial
 //! encoder tapes per transition.
+//!
+//! The update's canonical gradient semantics are **per transition, in
+//! transition-index order**: every transition of a minibatch back-propagates
+//! its scaled loss into its own zero-initialised [`GradBuffer`]
+//! ([`transition_grad`]), and the buffers are merged in minibatch-position
+//! order before the merged gradient is loaded into the store, clipped and
+//! stepped. Because each contribution starts from zeros and the merge order
+//! is fixed, the same merged gradient falls out no matter which thread
+//! evaluated which transition — the property the data-parallel update engine
+//! in `xrlflow-rollout` builds on ([`Trainer::update_with_segments_via`]
+//! accepts the evaluator; [`minibatch_grads_serial`] is the retained serial
+//! oracle, same spirit as `collect_serial` / `policy_logits_serial`).
 
 use std::path::Path;
 use std::time::Instant;
 
 use xrlflow_env::{Environment, Observation};
-use xrlflow_rl::{explained_variance, RolloutBuffer, TrainingStats, Transition};
-use xrlflow_tensor::{Adam, ParamSnapshot, SnapshotError, Tape, Tensor, XorShiftRng};
+use xrlflow_rl::{explained_variance, PpoHyperParams, RolloutBuffer, TrainingStats, Transition};
+use xrlflow_tensor::{splitmix64, Adam, GradBuffer, ParamSnapshot, SnapshotError, Tape, Tensor, XorShiftRng};
 
 use crate::agent::XrlflowAgent;
 use crate::config::XrlflowConfig;
 
 /// Wall-clock breakdown of one collect-then-update round, so the speedup
-/// from parallel episode collection is observable in training reports.
+/// from parallel episode collection and the parallel PPO update is
+/// observable in training reports.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct UpdateTiming {
     /// Milliseconds spent collecting the episodes consumed by this update.
     pub collect_ms: f64,
     /// Milliseconds spent in the PPO update itself.
     pub update_ms: f64,
+    /// Worker threads the update phase ran on (`1` = the serial oracle
+    /// path; both phases are sized by `XrlflowConfig::effective_num_workers`
+    /// when driven by `ParallelTrainer`).
+    pub update_workers: usize,
 }
 
 /// Per-model aggregate of a multi-model (curriculum) training run: how one
@@ -142,6 +159,145 @@ pub fn collect_episode_with_rng(
     env.episode_stats()
 }
 
+/// The deterministic minibatch-shuffle seed of `epoch` within update
+/// `update`.
+///
+/// Both inputs are folded through SplitMix64 mixes (the same construction as
+/// the rollout engine's `curriculum_rng_seed`), so no two `(update, epoch)`
+/// pairs share a shuffle order. The naive `update_counter + epoch` scheme
+/// this replaces collided across consecutive updates: the counter advanced
+/// by `epochs_per_update` per update, so update `u`'s epoch `e` and update
+/// `u + 1`'s epoch `e - epochs_per_update` reused the same seed.
+pub fn minibatch_shuffle_seed(update: u64, epoch: u64) -> u64 {
+    splitmix64(splitmix64(update) ^ epoch.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+}
+
+/// Scalar diagnostics of one transition's loss evaluation, recorded in
+/// minibatch-position order by every update path (serial or parallel) so
+/// [`TrainingStats`] are independent of how the evaluation was sharded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionLossStats {
+    /// The clipped surrogate policy loss (Eq. 3), unscaled.
+    pub policy_loss: f32,
+    /// The squared-error value loss (Eq. 4), unscaled.
+    pub value_loss: f32,
+    /// Entropy of the action distribution at this observation.
+    pub entropy: f32,
+    /// The value head's prediction for this observation.
+    pub predicted_value: f32,
+}
+
+/// Everything a minibatch gradient evaluator needs: the stored transitions,
+/// the shuffled index batch, the precomputed advantages/returns and the PPO
+/// hyper-parameters. Borrowed views only — evaluators never mutate the
+/// buffer or the agent.
+#[derive(Debug, Clone, Copy)]
+pub struct MinibatchContext<'a> {
+    /// Every stored transition of the update's rollout buffer.
+    pub transitions: &'a [Transition<Observation>],
+    /// The transition indices of this minibatch, in shuffled order.
+    pub batch: &'a [usize],
+    /// Normalised GAE advantages, indexed like `transitions`.
+    pub advantages: &'a [f32],
+    /// Value targets, indexed like `transitions`.
+    pub returns: &'a [f32],
+    /// The update's PPO hyper-parameters.
+    pub ppo: PpoHyperParams,
+}
+
+/// The result of evaluating one minibatch: the per-transition gradient
+/// contributions merged in minibatch-position order, plus each transition's
+/// scalar loss diagnostics in the same order.
+#[derive(Debug, Clone)]
+pub struct MinibatchGrads {
+    /// The merged gradient of the minibatch's mean loss.
+    pub grads: GradBuffer,
+    /// Per-transition diagnostics, aligned with `MinibatchContext::batch`.
+    pub stats: Vec<TransitionLossStats>,
+}
+
+/// Back-propagates one transition's scaled PPO loss
+/// (`(L_clip + c1 * L_vf + c2 * L_entropy) * inv`, Eqs. 3–5) into a fresh
+/// zero-initialised [`GradBuffer`] on a private tape.
+///
+/// This single function is the unit of work of **every** update path: the
+/// serial oracle ([`minibatch_grads_serial`]) calls it transition by
+/// transition on the live agent, and the data-parallel engine in
+/// `xrlflow-rollout` calls it on snapshot-built replicas from worker
+/// threads — so the two paths produce bit-identical per-transition gradients
+/// by construction, and only the merge order (fixed: minibatch position)
+/// decides the final bits.
+pub fn transition_grad(
+    agent: &XrlflowAgent,
+    transition: &Transition<Observation>,
+    advantage: f32,
+    ret: f32,
+    ppo: &PpoHyperParams,
+    inv: f32,
+) -> (GradBuffer, TransitionLossStats) {
+    let mut tape = Tape::new();
+    let eval = agent.evaluate(&mut tape, &transition.observation, transition.action);
+
+    // Policy (clip) loss, Eq. 3.
+    let old_log_prob = tape.constant(Tensor::scalar(transition.log_prob));
+    let log_ratio = tape.sub(eval.log_prob, old_log_prob);
+    let ratio = tape.exp(log_ratio);
+    let adv = tape.constant(Tensor::scalar(advantage));
+    let surrogate1 = tape.mul(ratio, adv);
+    let clipped = tape.clamp(ratio, 1.0 - ppo.clip_epsilon, 1.0 + ppo.clip_epsilon);
+    let surrogate2 = tape.mul(clipped, adv);
+    let surrogate = tape.minimum(surrogate1, surrogate2);
+    let policy_loss = tape.neg(surrogate);
+
+    // Value loss, Eq. 4.
+    let target = tape.constant(Tensor::scalar(ret));
+    let diff = tape.sub(eval.value, target);
+    let value_loss = tape.mul(diff, diff);
+
+    // Entropy bonus (maximise entropy => subtract it).
+    let neg_entropy = tape.neg(eval.entropy);
+
+    // J = L_clip + c1 * L_vf + c2 * L_entropy, Eq. 5, scaled by the
+    // minibatch mean factor so merged contributions sum to the mean loss
+    // gradient.
+    let value_term = tape.scale(value_loss, ppo.value_loss_coefficient);
+    let entropy_term = tape.scale(neg_entropy, ppo.entropy_coefficient);
+    let partial = tape.add(policy_loss, value_term);
+    let sample_loss = tape.add(partial, entropy_term);
+    let sample_loss = tape.scale(sample_loss, inv);
+
+    let mut grads = GradBuffer::zeros_like(&agent.store);
+    tape.backward_into(sample_loss, &mut grads);
+    let stats = TransitionLossStats {
+        policy_loss: tape.value(policy_loss).item(),
+        value_loss: tape.value(value_loss).item(),
+        entropy: tape.value(eval.entropy).item(),
+        predicted_value: tape.value(eval.value).item(),
+    };
+    (grads, stats)
+}
+
+/// The retained serial minibatch evaluator: every transition of the batch
+/// back-propagated on the calling thread via [`transition_grad`], merged in
+/// minibatch-position order.
+///
+/// This is the differential-testing oracle for the data-parallel evaluator
+/// in `xrlflow-rollout` (same spirit as `collect_serial`): sharding the same
+/// batch across any number of workers and merging per-position buffers in
+/// position order must reproduce this function's output bit for bit.
+pub fn minibatch_grads_serial(agent: &XrlflowAgent, ctx: &MinibatchContext) -> MinibatchGrads {
+    let inv = 1.0 / ctx.batch.len() as f32;
+    let mut merged = GradBuffer::zeros_like(&agent.store);
+    let mut stats = Vec::with_capacity(ctx.batch.len());
+    for &i in ctx.batch {
+        let (grads, transition_stats) =
+            transition_grad(agent, &ctx.transitions[i], ctx.advantages[i], ctx.returns[i], &ctx.ppo, inv);
+        merged.merge(&grads);
+        stats.push(transition_stats);
+    }
+    MinibatchGrads { grads: merged, stats }
+}
+
 /// The PPO trainer driving an [`XrlflowAgent`] against an [`Environment`].
 #[derive(Debug)]
 pub struct Trainer {
@@ -197,6 +353,32 @@ impl Trainer {
         buffer: &mut RolloutBuffer<Observation>,
         segments: &[std::ops::Range<usize>],
     ) -> TrainingStats {
+        self.update_with_segments_via(agent, buffer, segments, &mut minibatch_grads_serial)
+    }
+
+    /// [`Trainer::update_with_segments`] with a pluggable minibatch gradient
+    /// evaluator — the seam the data-parallel update engine in
+    /// `xrlflow-rollout` plugs into.
+    ///
+    /// Everything that *steps the optimiser* stays here, on the calling
+    /// thread: per minibatch the evaluator produces the merged per-transition
+    /// gradient (in minibatch-position order) and per-transition diagnostics,
+    /// and this function loads the gradient into the store, records its norm,
+    /// clips and steps. An evaluator is therefore free to shard the
+    /// re-evaluations across worker threads — as long as it merges buffers by
+    /// position (never completion order) the update is bit-identical to the
+    /// serial oracle [`minibatch_grads_serial`].
+    ///
+    /// The reported `grad_norm` is the **mean** pre-clip gradient norm
+    /// across all minibatches of the update (the previous implementation
+    /// reported only the last minibatch's norm).
+    pub fn update_with_segments_via(
+        &mut self,
+        agent: &mut XrlflowAgent,
+        buffer: &mut RolloutBuffer<Observation>,
+        segments: &[std::ops::Range<usize>],
+        minibatch_grads: &mut dyn FnMut(&XrlflowAgent, &MinibatchContext) -> MinibatchGrads,
+    ) -> TrainingStats {
         let ppo = self.config.ppo;
         buffer.compute_advantages_segmented(ppo.gamma, ppo.gae_lambda, segments);
         let advantages = buffer.advantages().to_vec();
@@ -205,65 +387,42 @@ impl Trainer {
         let mut policy_losses = Vec::new();
         let mut value_losses = Vec::new();
         let mut entropies = Vec::new();
-        let mut grad_norm = 0.0;
+        let mut grad_norms = Vec::new();
         let mut predicted_values = Vec::new();
 
+        self.update_counter += 1;
         for epoch in 0..ppo.epochs_per_update {
-            self.update_counter += 1;
-            let batches = buffer.minibatch_indices(ppo.batch_size, self.update_counter + epoch as u64);
+            let seed = minibatch_shuffle_seed(self.update_counter, epoch as u64);
+            let batches = buffer.minibatch_indices(ppo.batch_size, seed);
             for batch in batches {
-                let mut tape = Tape::new();
-                let mut total_loss = None;
-                let inv = 1.0 / batch.len() as f32;
-                for &i in &batch {
-                    let t = &buffer.transitions()[i];
-                    let eval = agent.evaluate(&mut tape, &t.observation, t.action);
-
-                    // Policy (clip) loss, Eq. 3.
-                    let old_log_prob = tape.constant(Tensor::scalar(t.log_prob));
-                    let log_ratio = tape.sub(eval.log_prob, old_log_prob);
-                    let ratio = tape.exp(log_ratio);
-                    let adv = tape.constant(Tensor::scalar(advantages[i]));
-                    let surrogate1 = tape.mul(ratio, adv);
-                    let clipped = tape.clamp(ratio, 1.0 - ppo.clip_epsilon, 1.0 + ppo.clip_epsilon);
-                    let surrogate2 = tape.mul(clipped, adv);
-                    let surrogate = tape.minimum(surrogate1, surrogate2);
-                    let policy_loss = tape.neg(surrogate);
-
-                    // Value loss, Eq. 4.
-                    let target = tape.constant(Tensor::scalar(returns[i]));
-                    let diff = tape.sub(eval.value, target);
-                    let value_loss = tape.mul(diff, diff);
-
-                    // Entropy bonus (maximise entropy => subtract it).
-                    let neg_entropy = tape.neg(eval.entropy);
-
-                    // J = L_clip + c1 * L_vf + c2 * L_entropy, Eq. 5.
-                    let value_term = tape.scale(value_loss, ppo.value_loss_coefficient);
-                    let entropy_term = tape.scale(neg_entropy, ppo.entropy_coefficient);
-                    let partial = tape.add(policy_loss, value_term);
-                    let sample_loss = tape.add(partial, entropy_term);
-                    let sample_loss = tape.scale(sample_loss, inv);
-
-                    total_loss = Some(match total_loss {
-                        None => sample_loss,
-                        Some(acc) => tape.add(acc, sample_loss),
-                    });
-
-                    policy_losses.push(tape.value(policy_loss).item());
-                    value_losses.push(tape.value(value_loss).item());
-                    entropies.push(tape.value(eval.entropy).item());
+                if batch.is_empty() {
+                    continue;
+                }
+                let ctx = MinibatchContext {
+                    transitions: buffer.transitions(),
+                    batch: &batch,
+                    advantages: &advantages,
+                    returns: &returns,
+                    ppo,
+                };
+                let evaluated = minibatch_grads(agent, &ctx);
+                assert_eq!(
+                    evaluated.stats.len(),
+                    batch.len(),
+                    "the evaluator must return one stats entry per transition"
+                );
+                for (stats, &i) in evaluated.stats.iter().zip(&batch) {
+                    policy_losses.push(stats.policy_loss);
+                    value_losses.push(stats.value_loss);
+                    entropies.push(stats.entropy);
                     if epoch == 0 {
-                        predicted_values.push((i, tape.value(eval.value).item()));
+                        predicted_values.push((i, stats.predicted_value));
                     }
                 }
-                if let Some(loss) = total_loss {
-                    agent.store.zero_grad();
-                    tape.backward(loss, &mut agent.store);
-                    grad_norm = agent.store.grad_norm();
-                    agent.store.clip_grad_norm(ppo.max_grad_norm);
-                    self.optimizer.step(&mut agent.store);
-                }
+                agent.store.apply_grads(&evaluated.grads);
+                grad_norms.push(agent.store.grad_norm());
+                agent.store.clip_grad_norm(ppo.max_grad_norm);
+                self.optimizer.step(&mut agent.store);
             }
         }
 
@@ -278,7 +437,7 @@ impl Trainer {
             entropy: mean(&entropies),
             mean_episode_reward: mean(&buffer.episode_rewards()),
             explained_variance: explained_variance(&preds, &returns),
-            grad_norm,
+            grad_norm: mean(&grad_norms),
             transitions: buffer.len(),
         };
         buffer.clear();
@@ -308,7 +467,7 @@ impl Trainer {
                 let update_start = Instant::now();
                 report.updates.push(self.update(agent, &mut buffer));
                 let update_ms = update_start.elapsed().as_secs_f64() * 1e3;
-                report.timings.push(UpdateTiming { collect_ms, update_ms });
+                report.timings.push(UpdateTiming { collect_ms, update_ms, update_workers: 1 });
                 collect_ms = 0.0;
             }
         }
@@ -413,6 +572,87 @@ mod tests {
     fn recent_mean_speedup_handles_empty_report() {
         let report = TrainReport::default();
         assert_eq!(report.recent_mean_speedup(5), 0.0);
+    }
+
+    /// Collects enough transitions for several minibatches per epoch.
+    fn filled_buffer(
+        config: &XrlflowConfig,
+        agent: &XrlflowAgent,
+        episodes: usize,
+    ) -> RolloutBuffer<Observation> {
+        let mut env = make_env(config);
+        let mut trainer = Trainer::new(config.clone(), 3);
+        let mut buffer = RolloutBuffer::new();
+        for episode in 0..episodes {
+            trainer.collect_episode(agent, &mut env, &mut buffer, episode as u64);
+        }
+        buffer
+    }
+
+    #[test]
+    fn grad_norm_is_the_mean_across_all_minibatches() {
+        let mut config = XrlflowConfig::smoke_test();
+        config.ppo.batch_size = 2; // force several minibatches per epoch
+        config.ppo.epochs_per_update = 2;
+        let mut agent = XrlflowAgent::new(&config, 8);
+        let mut buffer = filled_buffer(&config, &agent, 2);
+        assert!(buffer.len() >= 4, "need at least two minibatches");
+
+        // Shadow run: wrap the serial evaluator to record each minibatch's
+        // pre-clip merged-gradient norm (identical to the store norm the
+        // trainer reads right after apply_grads).
+        let mut norms = Vec::new();
+        let mut trainer = Trainer::new(config.clone(), 7);
+        let stats = trainer.update_with_segments_via(&mut agent, &mut buffer, &[], &mut |agent, ctx| {
+            let out = minibatch_grads_serial(agent, ctx);
+            norms.push(out.grads.norm());
+            out
+        });
+
+        assert!(norms.len() >= 2, "the update must have run several minibatches, got {}", norms.len());
+        let mean = norms.iter().sum::<f32>() / norms.len() as f32;
+        assert_eq!(
+            stats.grad_norm,
+            mean,
+            "grad_norm must be the mean across all {} minibatches, not the last one ({})",
+            norms.len(),
+            norms.last().unwrap()
+        );
+        assert_ne!(stats.grad_norm, *norms.last().unwrap(), "minibatch norms should differ in this run");
+    }
+
+    #[test]
+    fn minibatch_shuffle_seeds_do_not_collide_across_updates_and_epochs() {
+        // The replaced `update_counter + epoch` scheme collided between
+        // consecutive updates (the counter advanced by epochs_per_update);
+        // the SplitMix64 mix must keep every (update, epoch) pair distinct.
+        let mut seeds = std::collections::HashSet::new();
+        for update in 1..=32u64 {
+            for epoch in 0..8u64 {
+                seeds.insert(minibatch_shuffle_seed(update, epoch));
+            }
+        }
+        assert_eq!(seeds.len(), 32 * 8, "(update, epoch) pairs must map to distinct shuffle seeds");
+        assert_eq!(minibatch_shuffle_seed(3, 1), minibatch_shuffle_seed(3, 1));
+    }
+
+    #[test]
+    fn serial_minibatch_evaluator_matches_the_default_update_path() {
+        // update_with_segments is update_with_segments_via over the serial
+        // oracle; two identically seeded runs must land on identical
+        // parameters and stats.
+        let config = XrlflowConfig::smoke_test();
+        let probe = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+        let mut results = Vec::new();
+        for _ in 0..2 {
+            let mut agent = XrlflowAgent::new(&config, 8);
+            let mut buffer = filled_buffer(&config, &agent, 2);
+            let mut trainer = Trainer::new(config.clone(), 7);
+            let stats = trainer.update(&mut agent, &mut buffer);
+            results.push((stats, agent.embed_graph(&probe)));
+        }
+        assert_eq!(results[0].0, results[1].0);
+        assert_eq!(results[0].1.data(), results[1].1.data());
     }
 
     #[test]

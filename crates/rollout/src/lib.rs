@@ -1,8 +1,11 @@
 //! # xrlflow-rollout
 //!
-//! Parallel episode collection for the X-RLflow PPO loop: a thread-based
-//! worker pool that turns multi-core hardware into rollout throughput
-//! without changing a single learned number.
+//! Parallel execution engine for the X-RLflow PPO loop: a thread-based
+//! worker pool that turns multi-core hardware into rollout **and update**
+//! throughput without changing a single learned number — episode collection
+//! ([`collect_parallel`]) and the PPO update's per-transition re-evaluations
+//! ([`update_parallel`]) both shard across workers under the same
+//! snapshot-broadcast + ordered-merge determinism contract.
 //!
 //! After the per-step hot paths were delta-ified (patch-based candidates,
 //! batched delta-aware GNN evaluation), wall-clock training time is
@@ -53,11 +56,13 @@
 #![warn(missing_docs)]
 
 mod curriculum;
+mod update;
 
 pub use curriculum::{
     collect_curriculum_parallel, collect_curriculum_serial, curriculum_rng_seed, evaluate_curriculum,
     Curriculum, CurriculumEntry, CurriculumEpisode, CurriculumRollouts, ModelEvaluation,
 };
+pub use update::{minibatch_grads_parallel, update_parallel};
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -125,14 +130,10 @@ pub struct CollectedRollouts {
     pub episodes: Vec<EpisodeStats>,
 }
 
-/// SplitMix64 finaliser — decorrelates the per-episode action-sampling seed
-/// from the (sequential) episode index and the run's base seed.
-pub(crate) fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
+// The SplitMix64 finaliser decorrelating seeds from structured indices now
+// lives in `xrlflow_tensor` (the trainer's minibatch-shuffle seed uses the
+// same mix); re-imported here for the episode/curriculum seed schedules.
+pub(crate) use xrlflow_tensor::splitmix64;
 
 /// The deterministic seed of episode `episode`'s action-sampling RNG.
 ///
@@ -261,11 +262,15 @@ pub fn collect_parallel(
     Ok(out)
 }
 
-/// A PPO trainer whose collection phase runs on the worker pool.
+/// A PPO trainer whose collection **and update** phases run on the worker
+/// pool.
 ///
-/// Wraps the serial [`Trainer`] and drives the identical update path
-/// ([`Trainer::update`] consuming a merged [`RolloutBuffer`]); only the
-/// episode-collection phase differs, and only in wall-clock time.
+/// Wraps the serial [`Trainer`]: episodes are collected by the pool and
+/// merged in episode order, and each PPO minibatch's transition
+/// re-evaluations are sharded across the same worker count with an
+/// index-ordered gradient merge ([`minibatch_grads_parallel`]). Both phases
+/// are bit-identical to their serial oracles, so the worker count changes
+/// wall-clock time only, never a learned number.
 #[derive(Debug)]
 pub struct ParallelTrainer {
     trainer: Trainer,
@@ -356,19 +361,20 @@ impl ParallelTrainer {
         self.validate_agent(agent)?;
         let (num_workers, base_seed) = (self.num_workers, self.base_seed);
         let config = self.trainer.config().clone();
-        let (report, _) = run_rounds(&mut self.trainer, agent, episodes, |agent, first, batch| {
-            let rollouts = if num_workers <= 1 {
-                collect_serial(agent, spec, first, batch, base_seed)
-            } else {
-                // Broadcast the current parameters once per update round.
-                collect_parallel(&config, &agent.snapshot(), spec, first, batch, base_seed, num_workers)?
-            };
-            Ok(Round {
-                buffer: rollouts.buffer,
-                episodes: rollouts.episodes.into_iter().map(|stats| (0, stats)).collect(),
-                segments: Vec::new(),
-            })
-        })?;
+        let (report, _) =
+            run_rounds(&mut self.trainer, agent, episodes, num_workers, |agent, first, batch| {
+                let rollouts = if num_workers <= 1 {
+                    collect_serial(agent, spec, first, batch, base_seed)
+                } else {
+                    // Broadcast the current parameters once per update round.
+                    collect_parallel(&config, &agent.snapshot(), spec, first, batch, base_seed, num_workers)?
+                };
+                Ok(Round {
+                    buffer: rollouts.buffer,
+                    episodes: rollouts.episodes.into_iter().map(|stats| (0, stats)).collect(),
+                    segments: Vec::new(),
+                })
+            })?;
         Ok(report)
     }
 
@@ -404,7 +410,7 @@ impl ParallelTrainer {
         let (num_workers, base_seed) = (self.num_workers, self.base_seed);
         let config = self.trainer.config().clone();
         let (mut report, spec_tags) =
-            run_rounds(&mut self.trainer, agent, episodes_per_spec, |agent, first, batch| {
+            run_rounds(&mut self.trainer, agent, episodes_per_spec, num_workers, |agent, first, batch| {
                 let rollouts = if num_workers <= 1 {
                     collect_curriculum_serial(agent, curriculum, first, batch, base_seed)
                 } else {
@@ -452,17 +458,21 @@ struct Round {
 /// [`ParallelTrainer::train_curriculum`]: size each batch by the update
 /// frequency, collect it through `collect` (which owns the serial/parallel
 /// branch and the snapshot broadcast), drive one update over the merged
-/// buffer with the round's segments, and record the wall-clock
-/// collect/update split. Returns the report plus each episode's spec tag,
-/// aligned with `report.episodes`.
+/// buffer with the round's segments — through [`update_parallel`] when more
+/// than one worker is configured (bit-identical to the serial path) — and
+/// record the wall-clock collect/update split with the update's worker
+/// count. Returns the report plus each episode's spec tag, aligned with
+/// `report.episodes`.
 fn run_rounds(
     trainer: &mut Trainer,
     agent: &mut XrlflowAgent,
     episodes: usize,
+    num_workers: usize,
     mut collect: impl FnMut(&XrlflowAgent, u64, usize) -> Result<Round, SnapshotError>,
 ) -> Result<(TrainReport, Vec<usize>), SnapshotError> {
     let mut report = TrainReport::default();
     let mut spec_tags = Vec::new();
+    let num_workers = num_workers.max(1);
     let frequency = trainer.config().ppo.update_frequency.max(1);
     let mut next_episode = 0usize;
     while next_episode < episodes {
@@ -475,9 +485,14 @@ fn run_rounds(
             report.episodes.push(stats);
         }
         let update_start = Instant::now();
-        report.updates.push(trainer.update_with_segments(agent, &mut round.buffer, &round.segments));
+        let stats = if num_workers <= 1 {
+            trainer.update_with_segments(agent, &mut round.buffer, &round.segments)
+        } else {
+            update_parallel(trainer, agent, &mut round.buffer, &round.segments, num_workers)?
+        };
+        report.updates.push(stats);
         let update_ms = update_start.elapsed().as_secs_f64() * 1e3;
-        report.timings.push(UpdateTiming { collect_ms, update_ms });
+        report.timings.push(UpdateTiming { collect_ms, update_ms, update_workers: num_workers });
         next_episode += batch;
     }
     Ok((report, spec_tags))
@@ -595,6 +610,10 @@ mod tests {
             assert_eq!(report.episodes.len(), cfg.training_episodes);
             assert!(!report.updates.is_empty());
             assert_eq!(report.timings.len(), report.updates.len());
+            assert!(
+                report.timings.iter().all(|t| t.update_workers == workers),
+                "timings must record the update phase's worker count"
+            );
             embeddings.push(agent.embed_graph(&probe));
         }
         assert_eq!(

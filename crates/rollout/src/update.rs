@@ -1,0 +1,261 @@
+//! Data-parallel PPO update: transition re-evaluations sharded across the
+//! worker pool with a deterministic, index-ordered gradient merge.
+//!
+//! After parallel episode collection (PR 3) and the multi-model curriculum
+//! (PR 4), the PPO update was the last serial phase of the training loop —
+//! every stored transition re-evaluated through the GNN policy on one
+//! thread. Each transition's loss subtree is independent until the final
+//! mean, so the minibatch gradient is a *sum of per-transition
+//! contributions*; `xrlflow-core` now defines the canonical update exactly
+//! that way (`transition_grad` into a private `GradBuffer` per transition,
+//! merged in minibatch-position order), and this module computes the same
+//! contributions on worker threads under the PR 3 rules:
+//!
+//! * **Snapshot-per-minibatch broadcast.** The optimiser steps between
+//!   minibatches, so each call to [`minibatch_grads_parallel`] captures a
+//!   fresh [`ParamSnapshot`] of the live agent; every worker builds a
+//!   read-only replica from it. Workers never touch the live `ParamStore` or
+//!   share a `Tape`.
+//! * **Position-based sharding.** Minibatch positions round-robin across
+//!   workers (`position % W`, via `xrlflow_rl::shard_minibatch`) — a pure
+//!   function of the batch and the worker count, never of timing.
+//! * **Index-ordered merge.** Workers hand back one zero-initialised
+//!   [`GradBuffer`](xrlflow_tensor::GradBuffer) per transition; the trainer
+//!   thread merges them **by minibatch position**, never completion order,
+//!   then loads, clips and steps — everything that mutates parameters stays
+//!   on the trainer thread.
+//!
+//! Together these make the parallel update at any worker count bit-identical
+//! (f32 bit equality of post-update parameters and `TrainingStats`) to the
+//! retained serial oracle `minibatch_grads_serial` — differential-tested
+//! below, same spirit as `collect_serial` / `policy_logits_serial`.
+
+use std::ops::Range;
+
+use xrlflow_core::{
+    transition_grad, MinibatchContext, MinibatchGrads, Trainer, TransitionLossStats, XrlflowAgent,
+    XrlflowConfig,
+};
+use xrlflow_env::Observation;
+use xrlflow_rl::{shard_minibatch, RolloutBuffer, TrainingStats};
+use xrlflow_tensor::{GradBuffer, SnapshotError};
+
+/// Evaluates one minibatch's per-transition gradients on a pool of
+/// `num_workers` threads and merges them in minibatch-position order.
+///
+/// Captures one [`xrlflow_tensor::ParamSnapshot`] of `agent` (the update
+/// analogue of the collection engine's per-round broadcast — here the
+/// optimiser steps between minibatches, so the snapshot must be
+/// per-minibatch); each worker builds a private replica, walks its
+/// round-robin position shard through `xrlflow_core::transition_grad`, and
+/// returns `(position, GradBuffer, stats)` triples. The merge sorts by
+/// position, so the output is bit-identical to
+/// [`xrlflow_core::minibatch_grads_serial`] over the same context, for any
+/// worker count.
+///
+/// # Errors
+///
+/// Returns a [`SnapshotError`] when `agent` does not match the architecture
+/// described by `config`.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads.
+pub fn minibatch_grads_parallel(
+    config: &XrlflowConfig,
+    agent: &XrlflowAgent,
+    ctx: &MinibatchContext,
+    num_workers: usize,
+) -> Result<MinibatchGrads, SnapshotError> {
+    let num_workers = num_workers.clamp(1, ctx.batch.len().max(1));
+    // Broadcast: the parameters the optimiser has stepped to so far.
+    let snapshot = agent.snapshot();
+    let inv = 1.0 / ctx.batch.len() as f32;
+    let shards = shard_minibatch(ctx.batch, num_workers);
+
+    type WorkerOutput = Vec<(usize, GradBuffer, TransitionLossStats)>;
+    let mut per_position: WorkerOutput =
+        std::thread::scope(|scope| -> Result<WorkerOutput, SnapshotError> {
+            let mut handles = Vec::with_capacity(num_workers);
+            for shard in &shards {
+                let snapshot = &snapshot;
+                handles.push(scope.spawn(move || -> Result<WorkerOutput, SnapshotError> {
+                    let replica = XrlflowAgent::from_snapshot(config, snapshot)?;
+                    let mut out = Vec::with_capacity(shard.len());
+                    for &(position, index) in shard {
+                        let (grads, stats) = transition_grad(
+                            &replica,
+                            &ctx.transitions[index],
+                            ctx.advantages[index],
+                            ctx.returns[index],
+                            &ctx.ppo,
+                            inv,
+                        );
+                        out.push((position, grads, stats));
+                    }
+                    Ok(out)
+                }));
+            }
+            let mut merged = Vec::with_capacity(ctx.batch.len());
+            for handle in handles {
+                merged.extend(handle.join().expect("update worker panicked")?);
+            }
+            Ok(merged)
+        })?;
+
+    // Merge is ordered by minibatch position, not completion order — the
+    // update half of the determinism contract.
+    per_position.sort_by_key(|(position, _, _)| *position);
+    let mut grads = GradBuffer::zeros_like(&agent.store);
+    let mut stats = Vec::with_capacity(per_position.len());
+    for (_, buffer, transition_stats) in &per_position {
+        grads.merge(buffer);
+        stats.push(*transition_stats);
+    }
+    Ok(MinibatchGrads { grads, stats })
+}
+
+/// One PPO update with every minibatch's transition re-evaluations sharded
+/// across `num_workers` threads: `Trainer::update_with_segments_via` driven
+/// by [`minibatch_grads_parallel`].
+///
+/// The clip + optimiser step stay on the calling thread, and the result —
+/// post-update parameters, optimiser state and [`TrainingStats`] — is
+/// bit-identical to `Trainer::update_with_segments` for any worker count
+/// (including 1, which still exercises the snapshot/replica machinery).
+///
+/// # Errors
+///
+/// Returns a [`SnapshotError`] when `agent` does not match the trainer's
+/// architecture configuration; the check runs before any optimiser state
+/// advances, so a failed update leaves trainer and agent untouched.
+pub fn update_parallel(
+    trainer: &mut Trainer,
+    agent: &mut XrlflowAgent,
+    buffer: &mut RolloutBuffer<Observation>,
+    segments: &[Range<usize>],
+    num_workers: usize,
+) -> Result<TrainingStats, SnapshotError> {
+    // Validate up front: the per-minibatch broadcasts inside the update
+    // cannot be allowed to fail after the optimiser has started stepping.
+    XrlflowAgent::from_snapshot(trainer.config(), &agent.snapshot())?;
+    let config = trainer.config().clone();
+    Ok(trainer.update_with_segments_via(agent, buffer, segments, &mut |agent, ctx| {
+        minibatch_grads_parallel(&config, agent, ctx, num_workers)
+            .expect("agent architecture validated before the update")
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{collect_curriculum_serial, collect_serial, Curriculum, EnvSpec};
+    use xrlflow_cost::DeviceProfile;
+    use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+    use xrlflow_rewrite::RuleSet;
+
+    fn smoke_spec(config: &XrlflowConfig) -> EnvSpec {
+        let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+        EnvSpec::new(graph, RuleSet::standard(), DeviceProfile::gtx1080(), config.env.clone())
+    }
+
+    /// Runs one update over a clone of `buffer` with fresh, identically
+    /// seeded trainer and agent, returning the stats and a probe embedding
+    /// of the post-update parameters.
+    fn run_update(
+        config: &XrlflowConfig,
+        buffer: &RolloutBuffer<Observation>,
+        segments: &[Range<usize>],
+        workers: Option<usize>,
+    ) -> (TrainingStats, Vec<f32>) {
+        let mut trainer = Trainer::new(config.clone(), 7);
+        let mut agent = XrlflowAgent::new(config, 5);
+        let mut buffer = buffer.clone();
+        let stats = match workers {
+            None => trainer.update_with_segments(&mut agent, &mut buffer, segments),
+            Some(w) => update_parallel(&mut trainer, &mut agent, &mut buffer, segments, w).unwrap(),
+        };
+        let probe = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+        (stats, agent.embed_graph(&probe).data().to_vec())
+    }
+
+    #[test]
+    fn parallel_update_is_bit_identical_to_serial_for_1_2_4_workers() {
+        // The tentpole determinism contract, update half: sharding the
+        // minibatch re-evaluations across any worker count and merging by
+        // position lands on the serial oracle's exact parameters and stats.
+        let config = XrlflowConfig::smoke_test();
+        let spec = smoke_spec(&config);
+        let agent = XrlflowAgent::new(&config, 5);
+        let rollouts = collect_serial(&agent, &spec, 0, 3, 42);
+
+        let (serial_stats, serial_params) = run_update(&config, &rollouts.buffer, &[], None);
+        for workers in [1usize, 2, 4] {
+            let (stats, params) = run_update(&config, &rollouts.buffer, &[], Some(workers));
+            assert_eq!(serial_stats, stats, "{workers}-worker TrainingStats diverge from the serial oracle");
+            let bits_equal = serial_params.iter().zip(&params).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(bits_equal, "{workers}-worker post-update parameters diverge from the serial oracle");
+        }
+    }
+
+    #[test]
+    fn parallel_update_is_bit_identical_on_curriculum_buffers() {
+        // Same contract over a merged multi-model buffer with per-spec
+        // advantage-normalisation segments.
+        let config = XrlflowConfig::smoke_test();
+        let curriculum = Curriculum::from_model_zoo(
+            &[ModelKind::SqueezeNet, ModelKind::Bert],
+            ModelScale::Bench,
+            DeviceProfile::gtx1080(),
+            config.env.clone(),
+        )
+        .unwrap();
+        let agent = XrlflowAgent::new(&config, 5);
+        let rollouts = collect_curriculum_serial(&agent, &curriculum, 0, 2, 42);
+
+        let (serial_stats, serial_params) =
+            run_update(&config, &rollouts.buffer, &rollouts.spec_ranges, None);
+        for workers in [1usize, 2, 4] {
+            let (stats, params) = run_update(&config, &rollouts.buffer, &rollouts.spec_ranges, Some(workers));
+            assert_eq!(serial_stats, stats, "{workers}-worker curriculum TrainingStats diverge");
+            let bits_equal = serial_params.iter().zip(&params).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(bits_equal, "{workers}-worker curriculum post-update parameters diverge");
+        }
+    }
+
+    #[test]
+    fn update_worker_count_is_clamped_to_the_batch() {
+        let config = XrlflowConfig::smoke_test();
+        let spec = smoke_spec(&config);
+        let agent = XrlflowAgent::new(&config, 5);
+        let rollouts = collect_serial(&agent, &spec, 0, 2, 0);
+        // Far more workers than transitions per minibatch must not spawn
+        // idle threads or panic, and must still match the oracle.
+        let (serial_stats, serial_params) = run_update(&config, &rollouts.buffer, &[], None);
+        let (stats, params) = run_update(&config, &rollouts.buffer, &[], Some(64));
+        assert_eq!(serial_stats, stats);
+        assert_eq!(
+            serial_params.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            params.iter().map(|p| p.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn mismatched_agent_is_rejected_before_any_optimiser_step() {
+        let config = XrlflowConfig::smoke_test();
+        let spec = smoke_spec(&config);
+        let agent = XrlflowAgent::new(&config, 5);
+        let rollouts = collect_serial(&agent, &spec, 0, 2, 0);
+
+        let mut wider = config.clone();
+        wider.encoder.hidden_dim *= 2;
+        let mut victim = XrlflowAgent::new(&wider, 0);
+        let probe = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+        let before = victim.embed_graph(&probe);
+        let mut trainer = Trainer::new(config, 7);
+        let mut buffer = rollouts.buffer.clone();
+        assert!(update_parallel(&mut trainer, &mut victim, &mut buffer, &[], 2).is_err());
+        // The failed update must leave the agent untouched.
+        assert_eq!(victim.embed_graph(&probe).data(), before.data());
+    }
+}

@@ -37,7 +37,7 @@ mod tape;
 mod tensor;
 
 pub use nn::{xavier_uniform, Activation, Linear, Mlp};
-pub use rng::XorShiftRng;
+pub use rng::{splitmix64, XorShiftRng};
 pub use snapshot::{ParamSnapshot, SnapshotError};
-pub use tape::{Adam, ParamId, ParamStore, Sgd, Tape, VarId};
+pub use tape::{Adam, GradBuffer, ParamId, ParamStore, Sgd, Tape, VarId};
 pub use tensor::Tensor;

@@ -35,6 +35,121 @@ struct ParamEntry {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ParamId(usize);
 
+/// A dense gradient accumulator detached from any [`ParamStore`]: one tensor
+/// per registered parameter, in registration order.
+///
+/// This is the unit of the data-parallel PPO update's determinism contract:
+/// each transition's loss is back-propagated into its own zero-initialised
+/// buffer ([`Tape::backward_into`]) on whatever thread evaluated it, and the
+/// trainer merges the buffers **by transition index** ([`GradBuffer::merge`])
+/// before loading the result into the live store
+/// ([`ParamStore::apply_grads`]). Because every per-transition buffer starts
+/// from zeros and the merge order is fixed, the merged gradient is
+/// bit-identical no matter how many worker threads produced the pieces.
+///
+/// # Examples
+///
+/// ```
+/// use xrlflow_tensor::{GradBuffer, ParamStore, Tape, Tensor};
+///
+/// let mut store = ParamStore::new();
+/// let w = store.register("w", Tensor::from_vec(vec![3.0], &[1]));
+///
+/// // Two independent loss contributions, each into its own buffer.
+/// let mut buffers = Vec::new();
+/// for scale in [1.0f32, 2.0] {
+///     let mut tape = Tape::new();
+///     let wv = tape.param(&store, w);
+///     let sq = tape.mul(wv, wv);
+///     let loss = tape.scale(sq, scale); // d/dw = scale * 2w
+///     let mut grads = GradBuffer::zeros_like(&store);
+///     tape.backward_into(loss, &mut grads);
+///     buffers.push(grads);
+/// }
+///
+/// // Merge in index order, then load into the store.
+/// let mut merged = GradBuffer::zeros_like(&store);
+/// for buffer in &buffers {
+///     merged.merge(buffer);
+/// }
+/// store.apply_grads(&merged);
+/// assert_eq!(store.grad(w).item(), 6.0 + 12.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradBuffer {
+    grads: Vec<Tensor>,
+}
+
+impl GradBuffer {
+    /// Creates a zero-filled buffer shaped like every parameter of `store`.
+    pub fn zeros_like(store: &ParamStore) -> Self {
+        Self { grads: store.entries.iter().map(|e| Tensor::zeros(e.value.shape())).collect() }
+    }
+
+    /// Number of parameter slots (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.grads.len()
+    }
+
+    /// Returns `true` when the buffer holds no parameter slots.
+    pub fn is_empty(&self) -> bool {
+        self.grads.is_empty()
+    }
+
+    /// The accumulated gradient of one parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Adds `grad` into the parameter's slot (the [`Tape::backward_into`]
+    /// sink; mirrors the accumulation a [`ParamStore`] performs in
+    /// [`Tape::backward`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shapes mismatch.
+    pub fn accumulate(&mut self, id: ParamId, grad: &Tensor) {
+        self.grads[id.0].add_assign(grad);
+    }
+
+    /// Adds every slot of `other` into this buffer, element-wise, in
+    /// parameter-registration order — the ordered-merge primitive of the
+    /// data-parallel update. `merge` is deliberately *not* commutative at the
+    /// bit level (f32 addition is order-sensitive), so callers must merge
+    /// shards in a fixed index order, never completion order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xrlflow_tensor::{GradBuffer, ParamStore, Tensor};
+    ///
+    /// let mut store = ParamStore::new();
+    /// let w = store.register("w", Tensor::from_vec(vec![0.0, 0.0], &[2]));
+    /// let mut acc = GradBuffer::zeros_like(&store);
+    /// let mut one = GradBuffer::zeros_like(&store);
+    /// one.accumulate(w, &Tensor::from_vec(vec![1.0, -2.0], &[2]));
+    /// acc.merge(&one);
+    /// acc.merge(&one);
+    /// assert_eq!(acc.grad(w).data(), &[2.0, -4.0]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffers hold different parameter counts or shapes.
+    pub fn merge(&mut self, other: &GradBuffer) {
+        assert_eq!(self.grads.len(), other.grads.len(), "GradBuffer parameter count mismatch");
+        for (own, theirs) in self.grads.iter_mut().zip(&other.grads) {
+            own.add_assign(theirs);
+        }
+    }
+
+    /// Global L2 norm of the buffered gradients (matches
+    /// [`ParamStore::grad_norm`] after [`ParamStore::apply_grads`]).
+    pub fn norm(&self) -> f32 {
+        self.grads.iter().map(Tensor::sq_norm).sum::<f32>().sqrt()
+    }
+}
+
 impl ParamStore {
     /// Creates an empty parameter store.
     pub fn new() -> Self {
@@ -119,8 +234,41 @@ impl ParamStore {
     }
 
     fn accumulate(&mut self, id: ParamId, grad: &Tensor) {
-        let e = &mut self.entries[id.0];
-        e.grad = e.grad.add(grad);
+        self.entries[id.0].grad.add_assign(grad);
+    }
+
+    /// Overwrites every parameter's accumulated gradient with the
+    /// corresponding slot of `grads` — the trainer-side half of the
+    /// data-parallel update: workers back-propagate into detached
+    /// [`GradBuffer`]s, the trainer merges them in index order and loads the
+    /// result here before clipping and stepping the optimiser.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xrlflow_tensor::{GradBuffer, ParamStore, Tensor};
+    ///
+    /// let mut store = ParamStore::new();
+    /// let w = store.register("w", Tensor::from_vec(vec![1.0], &[1]));
+    /// let mut grads = GradBuffer::zeros_like(&store);
+    /// grads.accumulate(w, &Tensor::from_vec(vec![0.5], &[1]));
+    /// store.apply_grads(&grads);
+    /// assert_eq!(store.grad(w).item(), 0.5);
+    /// assert_eq!(store.grad_norm(), grads.norm());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics when `grads` was built for a store with a different parameter
+    /// count or different shapes.
+    pub fn apply_grads(&mut self, grads: &GradBuffer) {
+        assert_eq!(self.entries.len(), grads.grads.len(), "apply_grads parameter count mismatch");
+        for (e, g) in self.entries.iter_mut().zip(&grads.grads) {
+            assert_eq!(e.value.shape(), g.shape(), "apply_grads shape mismatch for parameter {}", e.name);
+            // The grad slot already has the right shape — copy element-wise
+            // instead of allocating a clone per parameter per minibatch.
+            e.grad.data_mut().copy_from_slice(g.data());
+        }
     }
 
     /// Captures a [`ParamSnapshot`] of every parameter's current value, in
@@ -693,6 +841,34 @@ impl Tape {
     ///
     /// Panics if `loss` is not a single-element variable.
     pub fn backward(&self, loss: VarId, store: &mut ParamStore) {
+        self.backward_with(loss, &mut |pid, grad| store.accumulate(pid, grad));
+    }
+
+    /// Runs reverse-mode differentiation from `loss` (a scalar) and
+    /// accumulates parameter gradients into a detached [`GradBuffer`]
+    /// instead of a live [`ParamStore`].
+    ///
+    /// This is the worker-side primitive of the data-parallel PPO update:
+    /// each worker evaluates its transition shard on a private tape over a
+    /// snapshot-built replica and back-propagates into its own buffer, so no
+    /// thread ever mutates the shared store. Accumulation is identical to
+    /// [`Tape::backward`] (same reverse walk, same per-parameter add order),
+    /// so backing a loss into a zeroed buffer and
+    /// [`ParamStore::apply_grads`]-ing it produces bit-identical gradients
+    /// to backing the same tape into a freshly zeroed store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a single-element variable, or when `grads`
+    /// was built for a different architecture.
+    pub fn backward_into(&self, loss: VarId, grads: &mut GradBuffer) {
+        self.backward_with(loss, &mut |pid, grad| grads.accumulate(pid, grad));
+    }
+
+    /// The shared reverse walk behind [`Tape::backward`] and
+    /// [`Tape::backward_into`]: `sink` receives every parameter-gradient
+    /// contribution, in reverse tape order.
+    fn backward_with(&self, loss: VarId, sink: &mut dyn FnMut(ParamId, &Tensor)) {
         assert_eq!(self.value(loss).numel(), 1, "backward requires a scalar loss");
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[loss.0] = Some(Tensor::scalar(1.0));
@@ -705,7 +881,7 @@ impl Tape {
             let node = &self.nodes[i];
             match &node.op {
                 Op::Constant => {}
-                Op::Param(pid) => store.accumulate(*pid, &grad),
+                Op::Param(pid) => sink(*pid, &grad),
                 Op::Add(a, b) => {
                     accumulate(&mut grads, a.0, &grad);
                     accumulate(&mut grads, b.0, &grad);
@@ -1273,6 +1449,82 @@ mod tests {
         assert_eq!(store.name(b), "b");
         store.set_value(b, Tensor::ones(&[4]));
         assert_eq!(store.value(b).sum(), 4.0);
+    }
+
+    /// Builds a two-parameter store plus a tape computing a loss touching
+    /// both parameters (one of them twice, so accumulation order matters).
+    fn grad_buffer_fixture() -> (ParamStore, ParamId, ParamId, Tape, VarId) {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::from_vec(vec![1.5, -2.0], &[2]));
+        let b = store.register("b", Tensor::from_vec(vec![0.5], &[1]));
+        let mut tape = Tape::new();
+        let wv = tape.param(&store, w);
+        let wv2 = tape.param(&store, w);
+        let bv = tape.param(&store, b);
+        let prod = tape.mul(wv, wv2);
+        let sum = tape.sum_all(prod);
+        let bsq = tape.mul(bv, bv);
+        let bloss = tape.sum_all(bsq);
+        let loss = tape.add(sum, bloss);
+        (store, w, b, tape, loss)
+    }
+
+    #[test]
+    fn backward_into_matches_backward_bit_for_bit() {
+        let (mut store, w, b, tape, loss) = grad_buffer_fixture();
+        store.zero_grad();
+        tape.backward(loss, &mut store);
+        let mut buffer = GradBuffer::zeros_like(&store);
+        tape.backward_into(loss, &mut buffer);
+        assert_eq!(store.grad(w).data(), buffer.grad(w).data());
+        assert_eq!(store.grad(b).data(), buffer.grad(b).data());
+        assert_eq!(store.grad_norm().to_bits(), buffer.norm().to_bits());
+    }
+
+    #[test]
+    fn grad_buffer_merge_accumulates_in_order() {
+        let (store, w, b, tape, loss) = grad_buffer_fixture();
+        let mut single = GradBuffer::zeros_like(&store);
+        tape.backward_into(loss, &mut single);
+
+        // Merging k copies in index order equals k sequential accumulations
+        // of the same contribution.
+        let mut acc = GradBuffer::zeros_like(&store);
+        let mut expected_w = Tensor::zeros(&[2]);
+        let mut expected_b = Tensor::zeros(&[1]);
+        for _ in 0..3 {
+            acc.merge(&single);
+            expected_w = expected_w.add(single.grad(w));
+            expected_b = expected_b.add(single.grad(b));
+        }
+        assert_eq!(acc.grad(w).data(), expected_w.data());
+        assert_eq!(acc.grad(b).data(), expected_b.data());
+        assert_eq!(acc.len(), store.len());
+        assert!(!acc.is_empty());
+    }
+
+    #[test]
+    fn apply_grads_overwrites_the_store_gradients() {
+        let (mut store, w, b, tape, loss) = grad_buffer_fixture();
+        // Pre-existing gradients must not leak into the applied result.
+        store.zero_grad();
+        tape.backward(loss, &mut store);
+        let mut buffer = GradBuffer::zeros_like(&store);
+        buffer.accumulate(w, &Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        store.apply_grads(&buffer);
+        assert_eq!(store.grad(w).data(), &[1.0, 2.0]);
+        assert_eq!(store.grad(b).data(), &[0.0]);
+        assert_eq!(store.grad_norm().to_bits(), buffer.norm().to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count mismatch")]
+    fn apply_grads_rejects_mismatched_buffers() {
+        let mut store = ParamStore::new();
+        store.register("w", Tensor::zeros(&[2]));
+        let other = ParamStore::new();
+        let buffer = GradBuffer::zeros_like(&other);
+        store.apply_grads(&buffer);
     }
 
     #[test]

@@ -190,6 +190,23 @@ impl Tensor {
         self.zip(other, |a, b| a + b)
     }
 
+    /// In-place element-wise addition: `self[i] = self[i] + other[i]`.
+    ///
+    /// The same arithmetic as [`Tensor::add`] (bit-identical results) with
+    /// no allocation — the accumulation primitive of gradient buffers, where
+    /// a fresh tensor per parameter per merge would dominate the update's
+    /// hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch: {:?} vs {:?}", self.shape, other.shape);
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
     /// Element-wise subtraction.
     pub fn sub(&self, other: &Tensor) -> Self {
         self.zip(other, |a, b| a - b)

@@ -6,7 +6,8 @@
 //! Run with: `cargo run --release --example quickstart`
 //!
 //! Knobs (all optional):
-//! * `XRLFLOW_WORKERS=N` — rollout worker count; any value produces
+//! * `XRLFLOW_WORKERS=N` — worker count sizing both phases (parallel episode
+//!   collection and the data-parallel PPO update); any value produces
 //!   bit-identical training, only wall-clock time changes.
 //! * `XRLFLOW_QUICKSTART_EPISODES=N` — training episodes per curriculum
 //!   model (default 4; the CI `quickstart-smoke` job sets a tiny value).
@@ -49,8 +50,8 @@ fn main() {
         .expect("agent matches trainer config");
     for (i, (update, timing)) in report.updates.iter().zip(&report.timings).enumerate() {
         println!(
-            "update {i}: collect {:7.1} ms | update {:7.1} ms | mean episode reward {:+.3}",
-            timing.collect_ms, timing.update_ms, update.mean_episode_reward
+            "update {i}: collect {:7.1} ms | update {:7.1} ms ({}w) | mean episode reward {:+.3}",
+            timing.collect_ms, timing.update_ms, timing.update_workers, update.mean_episode_reward
         );
     }
     for breakdown in &report.per_model {
