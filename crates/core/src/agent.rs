@@ -196,7 +196,24 @@ impl XrlflowAgent {
     /// (deployment); otherwise the action is sampled (training).
     pub fn act(&self, observation: &Observation, rng: &mut XorShiftRng, greedy: bool) -> AgentDecision {
         let mut tape = Tape::new();
-        let (logits_var, value_var) = self.forward(&mut tape, observation);
+        self.act_with_tape(&mut tape, observation, rng, greedy)
+    }
+
+    /// [`XrlflowAgent::act`] on a caller-owned scratch tape.
+    ///
+    /// The tape is [recycled](Tape::recycle) before use, so a rollout loop
+    /// that holds one tape across an episode re-runs every step's policy
+    /// evaluation in recycled buffers instead of re-allocating a tape per
+    /// step. Decisions are bit-identical to [`XrlflowAgent::act`].
+    pub fn act_with_tape(
+        &self,
+        tape: &mut Tape,
+        observation: &Observation,
+        rng: &mut XorShiftRng,
+        greedy: bool,
+    ) -> AgentDecision {
+        tape.recycle();
+        let (logits_var, value_var) = self.forward(tape, observation);
         let logits = tape.value(logits_var).data().to_vec();
         let value = tape.value(value_var).item();
 

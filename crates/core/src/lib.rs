@@ -36,6 +36,6 @@ pub use generalization::{run_generalization, GeneralizationPoint, Generalization
 pub use optimizer::{XrlflowResult, XrlflowSystem};
 pub use trainer::{
     collect_episode_with_rng, minibatch_grads_serial, minibatch_shuffle_seed, transition_grad,
-    MinibatchContext, MinibatchGrads, ModelBreakdown, TrainReport, Trainer, TransitionLossStats,
-    UpdateTiming,
+    transition_grad_into, MinibatchContext, MinibatchGrads, ModelBreakdown, TrainReport, Trainer,
+    TransitionLossStats, UpdateTiming,
 };

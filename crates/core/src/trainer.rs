@@ -31,7 +31,7 @@ use std::time::Instant;
 
 use xrlflow_env::{Environment, Observation};
 use xrlflow_rl::{explained_variance, PpoHyperParams, RolloutBuffer, TrainingStats, Transition};
-use xrlflow_tensor::{splitmix64, Adam, GradBuffer, ParamSnapshot, SnapshotError, Tape, Tensor, XorShiftRng};
+use xrlflow_tensor::{splitmix64, Adam, GradBuffer, ParamSnapshot, SnapshotError, Tape, XorShiftRng};
 
 use crate::agent::XrlflowAgent;
 use crate::config::XrlflowConfig;
@@ -139,8 +139,12 @@ pub fn collect_episode_with_rng(
     reset_seed: u64,
 ) -> xrlflow_env::EpisodeStats {
     let mut obs = env.reset(reset_seed);
+    // One scratch tape for the whole episode: every step's policy evaluation
+    // recycles it instead of allocating a fresh tape (bit-identical
+    // decisions, see `XrlflowAgent::act_with_tape`).
+    let mut tape = Tape::new();
     loop {
-        let decision = agent.act(&obs, rng, false);
+        let decision = agent.act_with_tape(&mut tape, &obs, rng, false);
         let result = env.step(&obs, decision.action);
         buffer.push(Transition {
             observation: obs,
@@ -236,13 +240,38 @@ pub fn transition_grad(
     inv: f32,
 ) -> (GradBuffer, TransitionLossStats) {
     let mut tape = Tape::new();
-    let eval = agent.evaluate(&mut tape, &transition.observation, transition.action);
+    let mut grads = GradBuffer::zeros_like(&agent.store);
+    let stats = transition_grad_into(agent, transition, advantage, ret, ppo, inv, &mut tape, &mut grads);
+    (grads, stats)
+}
+
+/// [`transition_grad`] into caller-owned scratch: the tape is
+/// [recycled](Tape::recycle) and the buffer [zero-filled](GradBuffer::zero_fill)
+/// before use, so an update loop that evaluates many transitions reuses one
+/// tape arena and one gradient buffer per slot instead of re-allocating both
+/// per transition. A recycled tape and a zero-filled buffer are
+/// indistinguishable from fresh ones, so the gradients are bit-identical to
+/// [`transition_grad`]'s.
+#[allow(clippy::too_many_arguments)]
+pub fn transition_grad_into(
+    agent: &XrlflowAgent,
+    transition: &Transition<Observation>,
+    advantage: f32,
+    ret: f32,
+    ppo: &PpoHyperParams,
+    inv: f32,
+    tape: &mut Tape,
+    grads: &mut GradBuffer,
+) -> TransitionLossStats {
+    tape.recycle();
+    grads.zero_fill();
+    let eval = agent.evaluate(tape, &transition.observation, transition.action);
 
     // Policy (clip) loss, Eq. 3.
-    let old_log_prob = tape.constant(Tensor::scalar(transition.log_prob));
+    let old_log_prob = tape.scalar(transition.log_prob);
     let log_ratio = tape.sub(eval.log_prob, old_log_prob);
     let ratio = tape.exp(log_ratio);
-    let adv = tape.constant(Tensor::scalar(advantage));
+    let adv = tape.scalar(advantage);
     let surrogate1 = tape.mul(ratio, adv);
     let clipped = tape.clamp(ratio, 1.0 - ppo.clip_epsilon, 1.0 + ppo.clip_epsilon);
     let surrogate2 = tape.mul(clipped, adv);
@@ -250,7 +279,7 @@ pub fn transition_grad(
     let policy_loss = tape.neg(surrogate);
 
     // Value loss, Eq. 4.
-    let target = tape.constant(Tensor::scalar(ret));
+    let target = tape.scalar(ret);
     let diff = tape.sub(eval.value, target);
     let value_loss = tape.mul(diff, diff);
 
@@ -266,15 +295,13 @@ pub fn transition_grad(
     let sample_loss = tape.add(partial, entropy_term);
     let sample_loss = tape.scale(sample_loss, inv);
 
-    let mut grads = GradBuffer::zeros_like(&agent.store);
-    tape.backward_into(sample_loss, &mut grads);
-    let stats = TransitionLossStats {
+    tape.backward_into(sample_loss, grads);
+    TransitionLossStats {
         policy_loss: tape.value(policy_loss).item(),
         value_loss: tape.value(value_loss).item(),
         entropy: tape.value(eval.entropy).item(),
         predicted_value: tape.value(eval.value).item(),
-    };
-    (grads, stats)
+    }
 }
 
 /// The retained serial minibatch evaluator: every transition of the batch
@@ -289,10 +316,23 @@ pub fn minibatch_grads_serial(agent: &XrlflowAgent, ctx: &MinibatchContext) -> M
     let inv = 1.0 / ctx.batch.len() as f32;
     let mut merged = GradBuffer::zeros_like(&agent.store);
     let mut stats = Vec::with_capacity(ctx.batch.len());
+    // One scratch tape and one per-transition buffer for the whole batch:
+    // each contribution recycles them (starting from zeros, like a fresh
+    // buffer) before it is merged in minibatch-position order.
+    let mut tape = Tape::new();
+    let mut scratch = GradBuffer::zeros_like(&agent.store);
     for &i in ctx.batch {
-        let (grads, transition_stats) =
-            transition_grad(agent, &ctx.transitions[i], ctx.advantages[i], ctx.returns[i], &ctx.ppo, inv);
-        merged.merge(&grads);
+        let transition_stats = transition_grad_into(
+            agent,
+            &ctx.transitions[i],
+            ctx.advantages[i],
+            ctx.returns[i],
+            &ctx.ppo,
+            inv,
+            &mut tape,
+            &mut scratch,
+        );
+        merged.merge(&scratch);
         stats.push(transition_stats);
     }
     MinibatchGrads { grads: merged, stats }

@@ -234,6 +234,17 @@ impl Environment {
         Observation { graph: Arc::clone(&self.current), candidates, action_mask }
     }
 
+    /// The observation returned alongside a terminal [`StepResult`] whose
+    /// candidates nobody will ever act on: the full match scan and patch
+    /// construction of [`Environment::observe`] are skipped, and the mask
+    /// keeps its padded length with only the No-Op slot valid.
+    fn terminal_observation(&self) -> Observation {
+        let mut action_mask = vec![false; self.action_space()];
+        let noop = self.action_space() - 1;
+        action_mask[noop] = true;
+        Observation { graph: Arc::clone(&self.current), candidates: Vec::new(), action_mask }
+    }
+
     /// Applies an action. `action` indexes the padded action space: indices
     /// below the candidate count select a candidate, the final index is the
     /// No-Op termination action, anything else is invalid (masked by
@@ -247,7 +258,7 @@ impl Environment {
             let reward = if self.config.penalty_mode { self.config.invalid_action_penalty } else { 0.0 };
             self.total_reward += reward;
             return StepResult {
-                observation: self.observe(),
+                observation: self.terminal_observation(),
                 reward,
                 done: true,
                 termination: Some(Termination::InvalidAction),
@@ -260,7 +271,7 @@ impl Environment {
             self.total_reward += reward;
             let termination = if action == noop { Termination::NoOp } else { Termination::NoCandidates };
             return StepResult {
-                observation: self.observe(),
+                observation: self.terminal_observation(),
                 reward,
                 done: true,
                 termination: Some(termination),
@@ -421,6 +432,23 @@ mod tests {
         if !result.done {
             assert!((result.reward - env.config().exploration_bonus).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn terminal_results_carry_an_empty_candidate_observation() {
+        // Nobody acts on a terminal step's observation, so the environment
+        // must not pay a full match scan to build its candidates: the
+        // bootstrap observation keeps the padded mask shape with only the
+        // No-Op slot valid and no candidates.
+        let mut env = make_env(ModelKind::SqueezeNet);
+        let obs = env.reset(0);
+        let result = env.step(&obs, obs.noop_action());
+        assert!(result.done);
+        let term = result.observation;
+        assert_eq!(term.num_candidates(), 0);
+        assert_eq!(term.action_mask.len(), env.action_space());
+        assert!(term.action_mask[term.noop_action()]);
+        assert_eq!(term.action_mask.iter().filter(|&&m| m).count(), 1, "only No-Op stays valid");
     }
 
     #[test]

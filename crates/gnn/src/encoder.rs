@@ -154,9 +154,9 @@ impl GnnEncoder {
     /// batch of graphs in one forward pass and is bit-identical per graph.
     pub fn encode(&self, tape: &mut Tape, store: &ParamStore, features: &GraphFeatures) -> VarId {
         // Eq. 6: update node attributes from incoming edge attributes.
-        let edge_feats = tape.constant(features.edge_features.clone());
+        let edge_feats = tape.constant_copied(&features.edge_features);
         let incoming = tape.scatter_add_rows(edge_feats, &features.edge_dst, features.num_nodes);
-        let node_feats = tape.constant(features.node_features.clone());
+        let node_feats = tape.constant_copied(&features.node_features);
         let combined = tape.concat_cols(incoming, node_feats);
         let mut h = self.node_update.forward(tape, store, combined);
 
@@ -168,7 +168,7 @@ impl GnnEncoder {
         // Eq. 8: global readout over all node embeddings plus the (zero)
         // initial global attribute.
         let summed = tape.sum_rows(h);
-        let global0 = tape.constant(Tensor::zeros(&[1, self.config.hidden_dim]));
+        let global0 = tape.zeros(&[1, self.config.hidden_dim]);
         let readout_in = tape.concat_cols(summed, global0);
         self.global_update.forward(tape, store, readout_in)
     }
@@ -185,9 +185,9 @@ impl GnnEncoder {
     pub fn encode_batch(&self, tape: &mut Tape, store: &ParamStore, batch: &GraphFeaturesBatch) -> VarId {
         let num_nodes = batch.num_nodes();
         // Eq. 6 over the stacked node/edge rows.
-        let edge_feats = tape.constant(batch.edge_features.clone());
+        let edge_feats = tape.constant_copied(&batch.edge_features);
         let incoming = tape.scatter_add_rows(edge_feats, &batch.edge_dst, num_nodes);
-        let node_feats = tape.constant(batch.node_features.clone());
+        let node_feats = tape.constant_copied(&batch.node_features);
         let combined = tape.concat_cols(incoming, node_feats);
         let mut h = self.node_update.forward(tape, store, combined);
 
@@ -199,7 +199,7 @@ impl GnnEncoder {
         // Eq. 8: per-graph readout — segment-sum node embeddings by graph
         // index, then apply the shared global-update layer to every graph row.
         let summed = tape.segment_sum_rows(h, &batch.node_graph, batch.num_graphs);
-        let global0 = tape.constant(Tensor::zeros(&[batch.num_graphs, self.config.hidden_dim]));
+        let global0 = tape.zeros(&[batch.num_graphs, self.config.hidden_dim]);
         let readout_in = tape.concat_cols(summed, global0);
         self.global_update.forward(tape, store, readout_in)
     }
@@ -263,23 +263,30 @@ impl GnnEncoder {
         let inputs = tape.constant(Tensor::from_vec(input_data, &[rows, in_dim]));
         let mut h = self.node_update.forward(tape, store, inputs);
 
+        // Per-layer scratch, allocated once and reused across the GAT stack
+        // (the layer loop is the encoder's hot loop — see the tensor hot-path
+        // rules in ROADMAP.md).
+        let mut next_dirty: Vec<Vec<bool>> = deltas.iter().map(|d| vec![false; d.base_rows.len()]).collect();
+        let mut next_slots: Vec<Vec<usize>> =
+            deltas.iter().map(|d| vec![usize::MAX; d.base_rows.len()]).collect();
+        let mut edge_src_rows: Vec<usize> = Vec::new();
+        let mut edge_dst_rows: Vec<usize> = Vec::new();
+        let mut edge_dst_slots: Vec<usize> = Vec::new();
+
         for (layer_index, layer) in self.gat_layers.iter().enumerate() {
             // Grow the dirty region: a row is dirty after this layer when its
             // incoming-edge identities changed (seeded once, from the patch)
             // or any in-neighbour — including itself, via its self-loop — was
             // dirty before the layer.
-            let mut next_dirty: Vec<Vec<bool>> = deltas
-                .iter()
-                .map(|d| {
-                    let mut flags = vec![false; d.base_rows.len()];
-                    if layer_index == 0 {
-                        for &row in &d.changed_rows {
-                            flags[row] = true;
-                        }
+            for (k, delta) in deltas.iter().enumerate() {
+                let flags = &mut next_dirty[k];
+                flags.iter_mut().for_each(|f| *f = false);
+                if layer_index == 0 {
+                    for &row in &delta.changed_rows {
+                        flags[row] = true;
                     }
-                    flags
-                })
-                .collect();
+                }
+            }
             for (k, delta) in deltas.iter().enumerate() {
                 let f = &delta.features;
                 for (&src, &dst) in f.edge_src.iter().zip(&f.edge_dst) {
@@ -293,12 +300,16 @@ impl GnnEncoder {
             // every edge into a dirty destination. Clean neighbours read the
             // current graph's rows (their embeddings are identical), dirty
             // neighbours read their compact slots.
-            let mut next_slots: Vec<Vec<usize>> =
-                deltas.iter().map(|d| vec![usize::MAX; d.base_rows.len()]).collect();
+            for s in next_slots.iter_mut() {
+                s.iter_mut().for_each(|slot| *slot = usize::MAX);
+            }
             let mut out_rows = n;
-            let mut edge_src_rows = current.edge_src.clone();
-            let mut edge_dst_rows = current.edge_dst.clone();
-            let mut edge_dst_slots = current.edge_dst.clone();
+            edge_src_rows.clear();
+            edge_src_rows.extend_from_slice(&current.edge_src);
+            edge_dst_rows.clear();
+            edge_dst_rows.extend_from_slice(&current.edge_dst);
+            edge_dst_slots.clear();
+            edge_dst_slots.extend_from_slice(&current.edge_dst);
             for (k, delta) in deltas.iter().enumerate() {
                 let f = &delta.features;
                 let row_of = |row: usize, dirty: &[bool], slots: &[usize]| -> usize {
@@ -323,8 +334,8 @@ impl GnnEncoder {
                 }
             }
             h = layer.forward_plan(tape, store, h, &edge_src_rows, &edge_dst_rows, &edge_dst_slots, out_rows);
-            dirty = next_dirty;
-            slots = next_slots;
+            std::mem::swap(&mut dirty, &mut next_dirty);
+            std::mem::swap(&mut slots, &mut next_slots);
         }
 
         // Per-graph readout: gather every graph's rows (clean candidate rows
@@ -344,7 +355,7 @@ impl GnnEncoder {
         }
         let all_rows = tape.gather_rows(h, &gather);
         let summed = tape.segment_sum_rows(all_rows, &segments, deltas.len() + 1);
-        let global0 = tape.constant(Tensor::zeros(&[deltas.len() + 1, self.config.hidden_dim]));
+        let global0 = tape.zeros(&[deltas.len() + 1, self.config.hidden_dim]);
         let readout_in = tape.concat_cols(summed, global0);
         self.global_update.forward(tape, store, readout_in)
     }

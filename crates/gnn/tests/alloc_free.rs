@@ -1,0 +1,79 @@
+//! Proves the steady-state GNN forward pass is allocation-free.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after two
+//! warm-up passes populate the tape's buffer pool, a full recycle + encode
+//! cycle must perform **zero** heap allocations — the contract behind the
+//! tensor hot-path rules in ROADMAP.md. This file holds exactly one test so
+//! no concurrent test thread can touch the counter mid-measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use xrlflow_gnn::{EncoderConfig, GnnEncoder, GraphFeatures};
+use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+use xrlflow_tensor::{ParamStore, Tape, XorShiftRng};
+
+/// Counts every allocation (and reallocation) routed through the global
+/// allocator; frees are not counted — the test only cares that the
+/// steady-state pass requests no new memory.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_gnn_forward_pass_allocates_nothing() {
+    let mut store = ParamStore::new();
+    let mut rng = XorShiftRng::new(0);
+    let config = EncoderConfig { hidden_dim: 32, num_gat_layers: 3 };
+    let encoder = GnnEncoder::new(&mut store, config, &mut rng);
+    let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+    let features = GraphFeatures::from_graph(&graph);
+
+    // Reference embedding from a fresh tape, before any pooling kicks in.
+    let mut reference_tape = Tape::new();
+    let reference = encoder.encode(&mut reference_tape, &store, &features);
+    let reference = reference_tape.value(reference).clone();
+
+    // Two warm-up passes: the first recycle seeds the pool with the fresh
+    // pass's buffers, the second pass proves every take finds a fit and
+    // settles the pool containers' capacities.
+    let mut tape = Tape::new();
+    for _ in 0..2 {
+        tape.recycle();
+        let _ = encoder.encode(&mut tape, &store, &features);
+    }
+
+    // The measured steady-state cycle: recycle + full forward pass.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    tape.recycle();
+    let z = encoder.encode(&mut tape, &store, &features);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "the steady-state GNN forward pass must not allocate (saw {} allocations)",
+        after - before
+    );
+    // The recycled pass still computes the exact same embedding.
+    assert_eq!(tape.value(z).data(), reference.data(), "recycled pass diverged from the fresh pass");
+}

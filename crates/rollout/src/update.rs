@@ -33,12 +33,12 @@
 use std::ops::Range;
 
 use xrlflow_core::{
-    transition_grad, MinibatchContext, MinibatchGrads, Trainer, TransitionLossStats, XrlflowAgent,
+    transition_grad_into, MinibatchContext, MinibatchGrads, Trainer, TransitionLossStats, XrlflowAgent,
     XrlflowConfig,
 };
 use xrlflow_env::Observation;
 use xrlflow_rl::{shard_minibatch, RolloutBuffer, TrainingStats};
-use xrlflow_tensor::{GradBuffer, SnapshotError};
+use xrlflow_tensor::{GradBuffer, SnapshotError, Tape};
 
 /// Evaluates one minibatch's per-transition gradients on a pool of
 /// `num_workers` threads and merges them in minibatch-position order.
@@ -81,15 +81,22 @@ pub fn minibatch_grads_parallel(
                 let snapshot = &snapshot;
                 handles.push(scope.spawn(move || -> Result<WorkerOutput, SnapshotError> {
                     let replica = XrlflowAgent::from_snapshot(config, snapshot)?;
+                    // One recycled tape arena per worker for its whole shard;
+                    // the per-position buffers stay separate because the
+                    // trainer thread merges them by minibatch position.
+                    let mut tape = Tape::new();
                     let mut out = Vec::with_capacity(shard.len());
                     for &(position, index) in shard {
-                        let (grads, stats) = transition_grad(
+                        let mut grads = GradBuffer::zeros_like(&replica.store);
+                        let stats = transition_grad_into(
                             &replica,
                             &ctx.transitions[index],
                             ctx.advantages[index],
                             ctx.returns[index],
                             &ctx.ppo,
                             inv,
+                            &mut tape,
+                            &mut grads,
                         );
                         out.push((position, grads, stats));
                     }

@@ -39,5 +39,5 @@ mod tensor;
 pub use nn::{xavier_uniform, Activation, Linear, Mlp};
 pub use rng::{splitmix64, XorShiftRng};
 pub use snapshot::{ParamSnapshot, SnapshotError};
-pub use tape::{Adam, GradBuffer, ParamId, ParamStore, Sgd, Tape, VarId};
+pub use tape::{Adam, FusedActivation, GradBuffer, ParamId, ParamStore, Sgd, Tape, VarId};
 pub use tensor::Tensor;

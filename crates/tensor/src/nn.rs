@@ -6,7 +6,7 @@
 //! Table 4).
 
 use crate::rng::XorShiftRng;
-use crate::tape::{ParamId, ParamStore, Tape, VarId};
+use crate::tape::{FusedActivation, ParamId, ParamStore, Tape, VarId};
 use crate::tensor::Tensor;
 
 /// Activation function applied after an affine transform.
@@ -34,6 +34,18 @@ impl Activation {
             Activation::LeakyRelu => tape.leaky_relu(x, 0.2),
             Activation::Tanh => tape.tanh(x),
             Activation::Sigmoid => tape.sigmoid(x),
+        }
+    }
+
+    /// The [`FusedActivation`] equivalent, for fusing into
+    /// [`Tape::add_bias_act`] (bit-identical to `add_bias` + [`Activation::apply`]).
+    pub fn fused(self) -> FusedActivation {
+        match self {
+            Activation::Linear => FusedActivation::Identity,
+            Activation::Relu => FusedActivation::Relu,
+            Activation::LeakyRelu => FusedActivation::LeakyRelu(0.2),
+            Activation::Tanh => FusedActivation::Tanh,
+            Activation::Sigmoid => FusedActivation::Sigmoid,
         }
     }
 }
@@ -81,12 +93,14 @@ impl Linear {
     }
 
     /// Runs the layer on a `[rows, in_dim]` variable, producing `[rows, out_dim]`.
+    ///
+    /// Bias add and activation run as one fused op, so each dense layer
+    /// materialises one intermediate (`xW`) instead of three.
     pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: VarId) -> VarId {
         let w = tape.param(store, self.weight);
         let b = tape.param(store, self.bias);
         let xw = tape.matmul(x, w);
-        let y = tape.add_bias(xw, b);
-        self.activation.apply(tape, y)
+        tape.add_bias_act(xw, b, self.activation.fused())
     }
 }
 

@@ -10,7 +10,8 @@
 //! pass imports them as leaves via [`Tape::param`].
 
 use crate::snapshot::{ParamSnapshot, SnapshotError};
-use crate::tensor::Tensor;
+use crate::tensor::{matmul_into, Shape, Tensor};
+use std::sync::Arc;
 
 /// Identifier of a value on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,7 +26,11 @@ pub struct ParamStore {
 #[derive(Debug, Clone)]
 struct ParamEntry {
     name: String,
-    value: Tensor,
+    /// `Arc`-backed so [`Tape::param`] imports the tensor as a shared leaf
+    /// (one refcount bump) instead of deep-cloning it on every forward pass.
+    /// Mutation always replaces the `Arc` wholesale, never writes through it,
+    /// so outstanding tape leaves keep the value they imported.
+    value: Arc<Tensor>,
     grad: Tensor,
     m: Tensor,
     v: Tensor,
@@ -148,6 +153,19 @@ impl GradBuffer {
     pub fn norm(&self) -> f32 {
         self.grads.iter().map(Tensor::sq_norm).sum::<f32>().sqrt()
     }
+
+    /// Resets every slot to zero **in place**, keeping the allocated buffers.
+    ///
+    /// This is the pooling primitive of the update path: instead of building
+    /// a fresh [`GradBuffer::zeros_like`] per transition, callers keep one
+    /// buffer per concurrent backward pass, `zero_fill` it and re-accumulate.
+    /// A zero-filled buffer is indistinguishable from a freshly constructed
+    /// one, so the index-ordered merge stays bit-identical.
+    pub fn zero_fill(&mut self) {
+        for g in &mut self.grads {
+            g.data_mut().fill(0.0);
+        }
+    }
 }
 
 impl ParamStore {
@@ -164,13 +182,17 @@ impl ParamStore {
             grad: Tensor::zeros(&shape),
             m: Tensor::zeros(&shape),
             v: Tensor::zeros(&shape),
-            value,
+            value: Arc::new(value),
         });
         ParamId(self.entries.len() - 1)
     }
 
     /// Returns the current value of a parameter.
     pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].value
+    }
+
+    fn value_arc(&self, id: ParamId) -> &Arc<Tensor> {
         &self.entries[id.0].value
     }
 
@@ -192,7 +214,7 @@ impl ParamStore {
             "set_value shape mismatch for parameter {}",
             self.entries[id.0].name
         );
-        self.entries[id.0].value = value;
+        self.entries[id.0].value = Arc::new(value);
     }
 
     /// Number of registered parameters (tensors, not scalars).
@@ -210,10 +232,11 @@ impl ParamStore {
         self.entries.iter().map(|e| e.value.numel()).sum()
     }
 
-    /// Sets every accumulated gradient to zero.
+    /// Sets every accumulated gradient to zero (in place — the grad tensors
+    /// keep their buffers across updates).
     pub fn zero_grad(&mut self) {
         for e in &mut self.entries {
-            e.grad = Tensor::zeros(e.value.shape());
+            e.grad.data_mut().fill(0.0);
         }
     }
 
@@ -228,7 +251,11 @@ impl ParamStore {
         if norm > max_norm && norm > 0.0 {
             let scale = max_norm / norm;
             for e in &mut self.entries {
-                e.grad = e.grad.scale(scale);
+                // In-place `x * scale` — the same arithmetic as
+                // `Tensor::scale` without a fresh tensor per parameter.
+                for x in e.grad.data_mut() {
+                    *x *= scale;
+                }
             }
         }
     }
@@ -278,7 +305,7 @@ impl ParamStore {
     /// worker threads can build read-only agent replicas without ever
     /// sharing a live store; the same snapshot type backs checkpointing.
     pub fn snapshot(&self) -> ParamSnapshot {
-        ParamSnapshot::new(self.entries.iter().map(|e| (e.name.clone(), e.value.clone())).collect())
+        ParamSnapshot::new(self.entries.iter().map(|e| (e.name.clone(), e.value.as_ref().clone())).collect())
     }
 
     /// Overwrites every parameter's value from a snapshot captured on a
@@ -315,7 +342,7 @@ impl ParamStore {
             }
         }
         for (own, (_, value)) in self.entries.iter_mut().zip(entries) {
-            own.value = value.clone();
+            own.value = Arc::new(value.clone());
         }
         Ok(())
     }
@@ -377,7 +404,7 @@ impl Adam {
             let m_hat = e.m.scale(1.0 / bc1);
             let v_hat = e.v.scale(1.0 / bc2);
             let update = m_hat.zip(&v_hat, |m, v| m / (v.sqrt() + self.eps)).scale(self.lr);
-            e.value = e.value.sub(&update);
+            e.value = Arc::new(e.value.sub(&update));
         }
     }
 
@@ -403,7 +430,76 @@ impl Sgd {
     /// Applies one SGD update using the gradients accumulated in `store`.
     pub fn step(&mut self, store: &mut ParamStore) {
         for e in &mut store.entries {
-            e.value = e.value.sub(&e.grad.scale(self.lr));
+            e.value = Arc::new(e.value.sub(&e.grad.scale(self.lr)));
+        }
+    }
+}
+
+/// Activation fused into [`Tape::add_bias_act`], applied element-wise to
+/// `x + bias` in the same pass that adds the bias.
+///
+/// Each variant's derivative is computed **from the fused output** during the
+/// backward pass, which is exact for every variant here: ReLU and leaky ReLU
+/// (positive slope) preserve the sign of their input, and tanh/sigmoid
+/// derivatives are standard functions of the output. Fusion therefore changes
+/// neither the forward bits (same per-element `act(x + b)` arithmetic as the
+/// unfused two-op sequence) nor the backward bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FusedActivation {
+    /// No activation: `y = x + b`.
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky rectified linear unit with the given positive negative-side
+    /// slope (the GAT convention is `0.2`).
+    LeakyRelu(f32),
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl FusedActivation {
+    #[inline]
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            FusedActivation::Identity => x,
+            FusedActivation::Relu => x.max(0.0),
+            FusedActivation::LeakyRelu(s) => {
+                if x > 0.0 {
+                    x
+                } else {
+                    s * x
+                }
+            }
+            FusedActivation::Tanh => x.tanh(),
+            FusedActivation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Derivative-times-upstream-gradient, computed from the fused output
+    /// `y` (valid because `y > 0 ⇔ x > 0` for ReLU/leaky-ReLU with positive
+    /// slope, and tanh/sigmoid gradients are functions of `y`).
+    #[inline]
+    fn grad_from_output(self, g: f32, y: f32) -> f32 {
+        match self {
+            FusedActivation::Identity => g,
+            FusedActivation::Relu => {
+                if y > 0.0 {
+                    g
+                } else {
+                    0.0
+                }
+            }
+            FusedActivation::LeakyRelu(s) => {
+                if y > 0.0 {
+                    g
+                } else {
+                    s * g
+                }
+            }
+            FusedActivation::Tanh => g * (1.0 - y * y),
+            FusedActivation::Sigmoid => g * y * (1.0 - y),
         }
     }
 }
@@ -416,6 +512,7 @@ enum Op {
     Sub(VarId, VarId),
     Mul(VarId, VarId),
     AddBias(VarId, VarId),
+    AddBiasAct(VarId, VarId, FusedActivation),
     Scale(VarId, f32),
     AddScalar(VarId),
     Neg(VarId),
@@ -445,10 +542,104 @@ enum Op {
     Maximum(VarId, VarId),
 }
 
+/// A node's forward value: either a tensor the tape owns (op outputs,
+/// constants — reclaimed into the buffer pool by [`Tape::recycle`]) or a
+/// shared reference to a [`ParamStore`] tensor (parameter leaves — imported
+/// with one refcount bump instead of a deep clone).
+#[derive(Debug, Clone)]
+enum Value {
+    Owned(Tensor),
+    Shared(Arc<Tensor>),
+}
+
+impl Value {
+    #[inline]
+    fn tensor(&self) -> &Tensor {
+        match self {
+            Value::Owned(t) => t,
+            Value::Shared(t) => t,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Node {
     op: Op,
-    value: Tensor,
+    value: Value,
+}
+
+#[inline]
+fn value_of(nodes: &[Node], id: VarId) -> &Tensor {
+    nodes[id.0].value.tensor()
+}
+
+/// Recycled buffers backing tape node values and per-op index vectors.
+///
+/// Both free lists are kept sorted by capacity, so `take` is a best-fit
+/// binary search (smallest buffer with `capacity >= len`). Over the repeated
+/// identical op sequence of a steady-state forward pass, every request finds
+/// an exact-fit buffer from the previous pass, so a recycled tape performs
+/// zero heap allocations.
+#[derive(Debug, Default)]
+struct BufferPool {
+    f32s: Vec<Vec<f32>>,
+    usizes: Vec<Vec<usize>>,
+}
+
+impl BufferPool {
+    /// An empty `Vec<f32>` with `capacity >= len` (freshly allocated only on
+    /// a pool miss).
+    fn take_f32(&mut self, len: usize) -> Vec<f32> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let pos = self.f32s.partition_point(|v| v.capacity() < len);
+        if pos < self.f32s.len() {
+            let mut v = self.f32s.remove(pos);
+            v.clear();
+            v
+        } else {
+            Vec::with_capacity(len)
+        }
+    }
+
+    /// A zero-filled `Vec<f32>` of exactly `len` elements.
+    fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut v = self.take_f32(len);
+        v.resize(len, 0.0);
+        v
+    }
+
+    fn put_f32(&mut self, v: Vec<f32>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        let pos = self.f32s.partition_point(|x| x.capacity() < v.capacity());
+        self.f32s.insert(pos, v);
+    }
+
+    /// An empty `Vec<usize>` with `capacity >= len`.
+    fn take_usize(&mut self, len: usize) -> Vec<usize> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let pos = self.usizes.partition_point(|v| v.capacity() < len);
+        if pos < self.usizes.len() {
+            let mut v = self.usizes.remove(pos);
+            v.clear();
+            v
+        } else {
+            Vec::with_capacity(len)
+        }
+    }
+
+    fn put_usize(&mut self, v: Vec<usize>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        let pos = self.usizes.partition_point(|x| x.capacity() < v.capacity());
+        self.usizes.insert(pos, v);
+    }
 }
 
 /// Dynamic autodiff tape.
@@ -456,15 +647,22 @@ struct Node {
 /// Every method that takes `VarId` arguments appends a new node recording the
 /// operation and its forward value; [`Tape::backward`] later replays the tape
 /// in reverse to accumulate parameter gradients.
+///
+/// Tapes are arenas: [`Tape::recycle`] clears the node list while reclaiming
+/// every owned buffer into an internal pool, so a long-lived tape reused
+/// across forward passes reaches a steady state where recording a pass
+/// performs no heap allocation at all (see the buffer-pool invariant on
+/// `BufferPool`).
 #[derive(Debug, Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    pool: BufferPool,
 }
 
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self::default()
     }
 
     /// Number of nodes recorded so far.
@@ -479,195 +677,355 @@ impl Tape {
 
     /// Returns the forward value of a variable.
     pub fn value(&self, id: VarId) -> &Tensor {
-        &self.nodes[id.0].value
+        value_of(&self.nodes, id)
+    }
+
+    /// Clears the tape for the next forward pass, reclaiming every owned
+    /// node buffer (tensor data and per-op index vectors) into the tape's
+    /// buffer pool. Node-list capacity is kept too, so a recycled tape
+    /// records the next pass of the same model without allocating.
+    ///
+    /// Recycling is semantically identical to dropping the tape and calling
+    /// [`Tape::new`] — only faster. Shared parameter leaves just drop their
+    /// refcount; the [`ParamStore`] is untouched.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xrlflow_tensor::{Tape, Tensor};
+    ///
+    /// let mut tape = Tape::new();
+    /// for _ in 0..3 {
+    ///     tape.recycle(); // no-op on the first pass, arena reset afterwards
+    ///     let x = tape.constant(Tensor::ones(&[4, 4]));
+    ///     let y = tape.relu(x);
+    ///     assert_eq!(tape.value(y).shape(), &[4, 4]);
+    /// }
+    /// ```
+    pub fn recycle(&mut self) {
+        for node in self.nodes.drain(..) {
+            if let Value::Owned(t) = node.value {
+                self.pool.put_f32(t.into_vec());
+            }
+            match node.op {
+                Op::GatherRows(_, idx)
+                | Op::ScatterAddRows(_, idx)
+                | Op::SegmentMeanRows(_, idx, _)
+                | Op::SegmentSoftmax(_, idx, _) => self.pool.put_usize(idx),
+                _ => {}
+            }
+        }
     }
 
     fn push(&mut self, op: Op, value: Tensor) -> VarId {
-        self.nodes.push(Node { op, value });
+        self.nodes.push(Node { op, value: Value::Owned(value) });
         VarId(self.nodes.len() - 1)
     }
 
-    /// Adds a constant (non-trainable) leaf.
+    /// Adds a constant (non-trainable) leaf, taking ownership of the tensor
+    /// (its buffer joins the pool on [`Tape::recycle`]).
     pub fn constant(&mut self, value: Tensor) -> VarId {
         self.push(Op::Constant, value)
     }
 
-    /// Imports a parameter from the store as a trainable leaf.
+    /// Adds a constant leaf by copying `value` into a pooled buffer —
+    /// allocation-free on a warmed-up tape, unlike
+    /// `tape.constant(value.clone())`.
+    pub fn constant_copied(&mut self, value: &Tensor) -> VarId {
+        let mut data = self.pool.take_f32(value.numel());
+        data.extend_from_slice(value.data());
+        let t = Tensor::from_shape(data, value.shape_c());
+        self.push(Op::Constant, t)
+    }
+
+    /// Adds a scalar constant leaf from a pooled one-element buffer —
+    /// allocation-free on a warmed-up tape, unlike
+    /// `tape.constant(Tensor::scalar(value))`.
+    pub fn scalar(&mut self, value: f32) -> VarId {
+        self.push_scalar(Op::Constant, value)
+    }
+
+    /// Adds a zero-filled constant leaf from a pooled buffer —
+    /// allocation-free on a warmed-up tape, unlike
+    /// `tape.constant(Tensor::zeros(shape))`.
+    pub fn zeros(&mut self, shape: &[usize]) -> VarId {
+        let shape = Shape::from_dims(shape);
+        let data = self.pool.take_zeroed(shape.numel());
+        let t = Tensor::from_shape(data, shape);
+        self.push(Op::Constant, t)
+    }
+
+    /// Imports a parameter from the store as a trainable leaf. The tensor is
+    /// shared, not cloned: the leaf holds an `Arc` reference to the store's
+    /// current value.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> VarId {
-        self.push(Op::Param(id), store.value(id).clone())
+        let value = Arc::clone(store.value_arc(id));
+        self.nodes.push(Node { op: Op::Param(id), value: Value::Shared(value) });
+        VarId(self.nodes.len() - 1)
+    }
+
+    /// Records an element-wise binary op with a pooled output buffer.
+    fn binary_zip(&mut self, op: Op, a: VarId, b: VarId, f: impl Fn(f32, f32) -> f32) -> VarId {
+        let av = value_of(&self.nodes, a);
+        let bv = value_of(&self.nodes, b);
+        assert_eq!(av.shape(), bv.shape(), "shape mismatch: {:?} vs {:?}", av.shape(), bv.shape());
+        let mut data = self.pool.take_f32(av.numel());
+        let (av, bv) = (value_of(&self.nodes, a), value_of(&self.nodes, b));
+        data.extend(av.data().iter().zip(bv.data()).map(|(&x, &y)| f(x, y)));
+        let t = Tensor::from_shape(data, av.shape_c());
+        self.push(op, t)
+    }
+
+    /// Records an element-wise unary op with a pooled output buffer.
+    fn unary_map(&mut self, op: Op, a: VarId, f: impl Fn(f32) -> f32) -> VarId {
+        let mut data = self.pool.take_f32(value_of(&self.nodes, a).numel());
+        let av = value_of(&self.nodes, a);
+        data.extend(av.data().iter().map(|&x| f(x)));
+        let t = Tensor::from_shape(data, av.shape_c());
+        self.push(op, t)
     }
 
     /// Element-wise addition of two variables with identical shapes.
     pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.value(a).add(self.value(b));
-        self.push(Op::Add(a, b), v)
+        self.binary_zip(Op::Add(a, b), a, b, |x, y| x + y)
     }
 
     /// Element-wise subtraction.
     pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.value(a).sub(self.value(b));
-        self.push(Op::Sub(a, b), v)
+        self.binary_zip(Op::Sub(a, b), a, b, |x, y| x - y)
     }
 
     /// Element-wise multiplication.
     pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.value(a).mul(self.value(b));
-        self.push(Op::Mul(a, b), v)
+        self.binary_zip(Op::Mul(a, b), a, b, |x, y| x * y)
     }
 
     /// Adds a rank-1 bias of size `n` to every row of a `[m, n]` matrix.
     pub fn add_bias(&mut self, a: VarId, bias: VarId) -> VarId {
-        let av = self.value(a);
-        let bv = self.value(bias);
+        self.add_bias_act(a, bias, FusedActivation::Identity)
+    }
+
+    /// Adds a rank-1 bias of size `n` to every row of a `[m, n]` matrix and
+    /// applies `act` element-wise in the same pass.
+    ///
+    /// The per-element arithmetic is exactly `act(a[r][c] + bias[c])` — the
+    /// same sequence of operations the unfused `add_bias` + activation pair
+    /// performs — so fusing changes no bits, it only removes one full
+    /// intermediate materialisation per dense layer.
+    pub fn add_bias_act(&mut self, a: VarId, bias: VarId, act: FusedActivation) -> VarId {
+        let av = value_of(&self.nodes, a);
+        let bv = value_of(&self.nodes, bias);
         let (rows, cols) = (av.rows(), av.cols());
         assert_eq!(bv.numel(), cols, "bias size must equal number of columns");
-        let mut out = Tensor::zeros(&[rows, cols]);
+        let mut data = self.pool.take_f32(rows * cols);
+        let (av, bv) = (value_of(&self.nodes, a), value_of(&self.nodes, bias));
         for r in 0..rows {
-            for c in 0..cols {
-                let val = av.data()[r * cols + c] + bv.data()[c];
-                out.data_mut()[r * cols + c] = val;
-            }
+            let a_row = &av.data()[r * cols..(r + 1) * cols];
+            data.extend(a_row.iter().zip(bv.data()).map(|(&x, &b)| act.apply(x + b)));
         }
-        self.push(Op::AddBias(a, bias), out)
+        let t = Tensor::from_shape(data, Shape::from_dims(&[rows, cols]));
+        let op = match act {
+            FusedActivation::Identity => Op::AddBias(a, bias),
+            act => Op::AddBiasAct(a, bias, act),
+        };
+        self.push(op, t)
     }
 
     /// Multiplies every element by a constant.
     pub fn scale(&mut self, a: VarId, s: f32) -> VarId {
-        let v = self.value(a).scale(s);
-        self.push(Op::Scale(a, s), v)
+        self.unary_map(Op::Scale(a, s), a, |x| x * s)
     }
 
     /// Adds a constant to every element.
     pub fn add_scalar(&mut self, a: VarId, s: f32) -> VarId {
-        let v = self.value(a).map(|x| x + s);
-        self.push(Op::AddScalar(a), v)
+        self.unary_map(Op::AddScalar(a), a, |x| x + s)
     }
 
     /// Negates every element.
     pub fn neg(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).scale(-1.0);
-        self.push(Op::Neg(a), v)
+        self.unary_map(Op::Neg(a), a, |x| -x)
     }
 
-    /// Matrix multiplication of rank-2 variables.
+    /// Matrix multiplication of rank-2 variables (the tiled
+    /// [`Tensor::matmul`] kernel over a pooled output buffer).
     pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.value(a).matmul(self.value(b));
-        self.push(Op::MatMul(a, b), v)
+        let av = value_of(&self.nodes, a);
+        let bv = value_of(&self.nodes, b);
+        assert_eq!(av.shape().len(), 2, "matmul lhs must be rank-2, got {:?}", av.shape());
+        assert_eq!(bv.shape().len(), 2, "matmul rhs must be rank-2, got {:?}", bv.shape());
+        let (m, k) = (av.shape()[0], av.shape()[1]);
+        let (k2, n) = (bv.shape()[0], bv.shape()[1]);
+        assert_eq!(k, k2, "matmul inner dim mismatch: {} vs {}", k, k2);
+        let mut out = self.pool.take_zeroed(m * n);
+        let (av, bv) = (value_of(&self.nodes, a), value_of(&self.nodes, b));
+        matmul_into(av.data(), bv.data(), &mut out, m, k, n);
+        let t = Tensor::from_shape(out, Shape::from_dims(&[m, n]));
+        self.push(Op::MatMul(a, b), t)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(|x| x.max(0.0));
-        self.push(Op::Relu(a), v)
+        self.unary_map(Op::Relu(a), a, |x| x.max(0.0))
     }
 
     /// Leaky rectified linear unit with the given negative slope.
     pub fn leaky_relu(&mut self, a: VarId, slope: f32) -> VarId {
-        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
-        self.push(Op::LeakyRelu(a, slope), v)
+        self.unary_map(Op::LeakyRelu(a, slope), a, |x| if x > 0.0 { x } else { slope * x })
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(f32::tanh);
-        self.push(Op::Tanh(a), v)
+        self.unary_map(Op::Tanh(a), a, f32::tanh)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
-        self.push(Op::Sigmoid(a), v)
+        self.unary_map(Op::Sigmoid(a), a, |x| 1.0 / (1.0 + (-x).exp()))
     }
 
     /// Element-wise exponential.
     pub fn exp(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(f32::exp);
-        self.push(Op::Exp(a), v)
+        self.unary_map(Op::Exp(a), a, f32::exp)
     }
 
     /// Element-wise natural logarithm.
     pub fn log(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(|x| x.max(1e-12).ln());
-        self.push(Op::Log(a), v)
+        self.unary_map(Op::Log(a), a, |x| x.max(1e-12).ln())
+    }
+
+    /// Records a scalar-valued op with a pooled one-element buffer.
+    fn push_scalar(&mut self, op: Op, value: f32) -> VarId {
+        let mut data = self.pool.take_f32(1);
+        data.push(value);
+        let t = Tensor::from_shape(data, Shape::from_dims(&[1]));
+        self.push(op, t)
     }
 
     /// Sum of all elements, producing a scalar.
     pub fn sum_all(&mut self, a: VarId) -> VarId {
-        let v = Tensor::scalar(self.value(a).sum());
-        self.push(Op::SumAll(a), v)
+        let v = value_of(&self.nodes, a).sum();
+        self.push_scalar(Op::SumAll(a), v)
     }
 
     /// Mean of all elements, producing a scalar.
     pub fn mean_all(&mut self, a: VarId) -> VarId {
-        let v = Tensor::scalar(self.value(a).mean());
-        self.push(Op::MeanAll(a), v)
+        let v = value_of(&self.nodes, a).mean();
+        self.push_scalar(Op::MeanAll(a), v)
+    }
+
+    /// Accumulates the column sums of `a` into a pooled `[1, cols]` buffer.
+    fn column_sums(&mut self, a: VarId) -> Vec<f32> {
+        let av = value_of(&self.nodes, a);
+        let (rows, cols) = (av.rows(), av.cols());
+        let mut out = self.pool.take_zeroed(cols);
+        let av = value_of(&self.nodes, a);
+        for r in 0..rows {
+            for (o, &x) in out.iter_mut().zip(&av.data()[r * cols..(r + 1) * cols]) {
+                *o += x;
+            }
+        }
+        out
     }
 
     /// Sums over the row axis, producing a `[1, cols]` matrix.
     pub fn sum_rows(&mut self, a: VarId) -> VarId {
-        let av = self.value(a);
-        let (rows, cols) = (av.rows(), av.cols());
-        let mut out = Tensor::zeros(&[1, cols]);
-        for r in 0..rows {
-            for c in 0..cols {
-                out.data_mut()[c] += av.data()[r * cols + c];
-            }
-        }
-        self.push(Op::SumRows(a), out)
+        let out = self.column_sums(a);
+        let cols = out.len();
+        let t = Tensor::from_shape(out, Shape::from_dims(&[1, cols]));
+        self.push(Op::SumRows(a), t)
     }
 
     /// Averages over the row axis, producing a `[1, cols]` matrix.
+    ///
+    /// The division is fused as an in-place `* (1/rows)` over the summed
+    /// buffer — the same per-element arithmetic as the old sum-then-`scale`
+    /// pair without the second allocation and pass.
     pub fn mean_rows(&mut self, a: VarId) -> VarId {
-        let av = self.value(a);
-        let (rows, cols) = (av.rows(), av.cols());
-        let mut out = Tensor::zeros(&[1, cols]);
-        for r in 0..rows {
-            for c in 0..cols {
-                out.data_mut()[c] += av.data()[r * cols + c];
-            }
+        let rows = value_of(&self.nodes, a).rows();
+        let mut out = self.column_sums(a);
+        let inv = 1.0 / rows.max(1) as f32;
+        for x in &mut out {
+            *x *= inv;
         }
-        let out = out.scale(1.0 / rows.max(1) as f32);
-        self.push(Op::MeanRows(a), out)
+        let cols = out.len();
+        let t = Tensor::from_shape(out, Shape::from_dims(&[1, cols]));
+        self.push(Op::MeanRows(a), t)
+    }
+
+    /// Copies a slice of row indices into a pooled index vector (the vector
+    /// the op stores on the tape, reclaimed by [`Tape::recycle`]).
+    fn pooled_indices(&mut self, indices: &[usize]) -> Vec<usize> {
+        let mut idx = self.pool.take_usize(indices.len());
+        idx.extend_from_slice(indices);
+        idx
     }
 
     /// Concatenates two matrices with equal row counts along the column axis.
     pub fn concat_cols(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = Tensor::concat_cols(&[self.value(a), self.value(b)]);
-        self.push(Op::ConcatCols(a, b), v)
+        let av = value_of(&self.nodes, a);
+        let bv = value_of(&self.nodes, b);
+        let rows = av.rows();
+        assert_eq!(bv.rows(), rows, "concat_cols row mismatch");
+        let (ca, cb) = (av.cols(), bv.cols());
+        let mut out = self.pool.take_f32(rows * (ca + cb));
+        let (av, bv) = (value_of(&self.nodes, a), value_of(&self.nodes, b));
+        for r in 0..rows {
+            out.extend_from_slice(&av.data()[r * ca..(r + 1) * ca]);
+            out.extend_from_slice(&bv.data()[r * cb..(r + 1) * cb]);
+        }
+        let t = Tensor::from_shape(out, Shape::from_dims(&[rows, ca + cb]));
+        self.push(Op::ConcatCols(a, b), t)
     }
 
     /// Stacks matrices with equal column counts along the row axis.
     pub fn concat_rows(&mut self, parts: &[VarId]) -> VarId {
-        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
-        let v = Tensor::concat_rows(&tensors);
-        self.push(Op::ConcatRows(parts.to_vec()), v)
+        assert!(!parts.is_empty(), "concat_rows requires at least one part");
+        let cols = value_of(&self.nodes, parts[0]).cols();
+        let mut total_rows = 0;
+        for &p in parts {
+            let pv = value_of(&self.nodes, p);
+            assert_eq!(pv.cols(), cols, "concat_rows column mismatch");
+            total_rows += pv.rows();
+        }
+        let mut out = self.pool.take_f32(total_rows * cols);
+        for &p in parts {
+            out.extend_from_slice(value_of(&self.nodes, p).data());
+        }
+        let t = Tensor::from_shape(out, Shape::from_dims(&[total_rows, cols]));
+        self.push(Op::ConcatRows(parts.to_vec()), t)
     }
 
     /// Gathers rows of a matrix by index (rows may repeat).
     pub fn gather_rows(&mut self, a: VarId, indices: &[usize]) -> VarId {
-        let av = self.value(a);
-        let cols = av.cols();
-        let mut out = Tensor::zeros(&[indices.len(), cols]);
-        for (i, &idx) in indices.iter().enumerate() {
-            out.data_mut()[i * cols..(i + 1) * cols].copy_from_slice(av.row(idx));
+        let cols = value_of(&self.nodes, a).cols();
+        let mut out = self.pool.take_f32(indices.len() * cols);
+        let av = value_of(&self.nodes, a);
+        for &idx in indices {
+            out.extend_from_slice(&av.data()[idx * cols..(idx + 1) * cols]);
         }
-        self.push(Op::GatherRows(a, indices.to_vec()), out)
+        let t = Tensor::from_shape(out, Shape::from_dims(&[indices.len(), cols]));
+        let idx = self.pooled_indices(indices);
+        self.push(Op::GatherRows(a, idx), t)
     }
 
     /// Scatter-adds rows of a `[k, cols]` matrix into an `[out_rows, cols]`
     /// matrix according to `indices` (length `k`).
     pub fn scatter_add_rows(&mut self, a: VarId, indices: &[usize], out_rows: usize) -> VarId {
-        let av = self.value(a);
+        let av = value_of(&self.nodes, a);
         let cols = av.cols();
         assert_eq!(av.rows(), indices.len(), "scatter_add_rows index length mismatch");
-        let mut out = Tensor::zeros(&[out_rows, cols]);
+        let mut out = self.pool.take_zeroed(out_rows * cols);
+        let av = value_of(&self.nodes, a);
         for (i, &idx) in indices.iter().enumerate() {
             assert!(idx < out_rows, "scatter index {} out of bounds ({})", idx, out_rows);
-            for c in 0..cols {
-                out.data_mut()[idx * cols + c] += av.data()[i * cols + c];
+            let src = &av.data()[i * cols..(i + 1) * cols];
+            for (o, &x) in out[idx * cols..(idx + 1) * cols].iter_mut().zip(src) {
+                *o += x;
             }
         }
-        self.push(Op::ScatterAddRows(a, indices.to_vec()), out)
+        let t = Tensor::from_shape(out, Shape::from_dims(&[out_rows, cols]));
+        let idx = self.pooled_indices(indices);
+        self.push(Op::ScatterAddRows(a, idx), t)
     }
 
     /// Segment-wise sum pooling over a batch index: sums the rows of a
@@ -709,29 +1067,35 @@ impl Tape {
     /// assert_eq!(tape.value(pooled).data(), &[3.0, 5.0]);
     /// ```
     pub fn segment_mean_rows(&mut self, a: VarId, segments: &[usize], num_segments: usize) -> VarId {
-        let av = self.value(a);
+        let av = value_of(&self.nodes, a);
         let cols = av.cols();
         assert_eq!(av.rows(), segments.len(), "segment_mean_rows index length mismatch");
-        let mut counts = vec![0usize; num_segments];
+        let mut counts = self.pool.take_usize(num_segments);
+        counts.resize(num_segments, 0);
         for &s in segments {
             assert!(s < num_segments, "segment index {} out of bounds ({})", s, num_segments);
             counts[s] += 1;
         }
-        let mut out = Tensor::zeros(&[num_segments, cols]);
+        let mut out = self.pool.take_zeroed(num_segments * cols);
+        let av = value_of(&self.nodes, a);
         for (i, &s) in segments.iter().enumerate() {
-            for c in 0..cols {
-                out.data_mut()[s * cols + c] += av.data()[i * cols + c];
+            let src = &av.data()[i * cols..(i + 1) * cols];
+            for (o, &x) in out[s * cols..(s + 1) * cols].iter_mut().zip(src) {
+                *o += x;
             }
         }
         for (s, &count) in counts.iter().enumerate() {
             if count > 1 {
                 let inv = 1.0 / count as f32;
-                for c in 0..cols {
-                    out.data_mut()[s * cols + c] *= inv;
+                for x in &mut out[s * cols..(s + 1) * cols] {
+                    *x *= inv;
                 }
             }
         }
-        self.push(Op::SegmentMeanRows(a, segments.to_vec(), num_segments), out)
+        self.pool.put_usize(counts);
+        let t = Tensor::from_shape(out, Shape::from_dims(&[num_segments, cols]));
+        let idx = self.pooled_indices(segments);
+        self.push(Op::SegmentMeanRows(a, idx, num_segments), t)
     }
 
     /// Batched (stacked) matrix multiplication over row blocks: stacks `B`
@@ -765,73 +1129,106 @@ impl Tape {
     /// Transposes a rank-2 variable, turning `[m, n]` into `[n, m]` (used to
     /// reshape a batched `[K, 1]` score column into a `[1, K]` logit row).
     pub fn transpose(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).transpose();
-        self.push(Op::Transpose(a), v)
+        let av = value_of(&self.nodes, a);
+        assert_eq!(av.shape().len(), 2, "transpose requires a rank-2 tensor");
+        let (m, n) = (av.shape()[0], av.shape()[1]);
+        let mut out = self.pool.take_zeroed(m * n);
+        let av = value_of(&self.nodes, a);
+        for i in 0..m {
+            for (j, &x) in av.data()[i * n..(i + 1) * n].iter().enumerate() {
+                out[j * m + i] = x;
+            }
+        }
+        let t = Tensor::from_shape(out, Shape::from_dims(&[n, m]));
+        self.push(Op::Transpose(a), t)
     }
 
     /// Softmax over segments of a `[k, 1]` column vector: entries sharing the
     /// same segment id are normalised together. Used for GAT attention
     /// coefficients grouped by destination node.
     pub fn segment_softmax(&mut self, a: VarId, segments: &[usize], num_segments: usize) -> VarId {
-        let av = self.value(a);
+        let av = value_of(&self.nodes, a);
         assert_eq!(av.cols(), 1, "segment_softmax expects a column vector");
         assert_eq!(av.rows(), segments.len(), "segment length mismatch");
-        let out = segment_softmax_forward(av, segments, num_segments);
-        self.push(Op::SegmentSoftmax(a, segments.to_vec(), num_segments), out)
+        let shape = av.shape_c();
+        // Pooled scratch: per-segment max, per-entry exp, per-segment sum.
+        let mut seg_max = self.pool.take_f32(num_segments);
+        seg_max.resize(num_segments, f32::NEG_INFINITY);
+        let mut seg_sum = self.pool.take_zeroed(num_segments);
+        let mut out = self.pool.take_f32(segments.len());
+        let av = value_of(&self.nodes, a);
+        for (i, &s) in segments.iter().enumerate() {
+            seg_max[s] = seg_max[s].max(av.data()[i]);
+        }
+        for (i, &s) in segments.iter().enumerate() {
+            let e = (av.data()[i] - seg_max[s]).exp();
+            out.push(e);
+            seg_sum[s] += e;
+        }
+        for (x, &s) in out.iter_mut().zip(segments) {
+            *x /= seg_sum[s].max(1e-12);
+        }
+        self.pool.put_f32(seg_max);
+        self.pool.put_f32(seg_sum);
+        let t = Tensor::from_shape(out, shape);
+        let idx = self.pooled_indices(segments);
+        self.push(Op::SegmentSoftmax(a, idx, num_segments), t)
     }
 
     /// Multiplies each row of a `[k, n]` matrix by the matching entry of a
     /// `[k, 1]` column vector.
     pub fn broadcast_mul_col(&mut self, col: VarId, mat: VarId) -> VarId {
-        let cv = self.value(col);
-        let mv = self.value(mat);
+        let cv = value_of(&self.nodes, col);
+        let mv = value_of(&self.nodes, mat);
         assert_eq!(cv.cols(), 1, "broadcast_mul_col expects a column vector");
         assert_eq!(cv.rows(), mv.rows(), "row mismatch");
-        let cols = mv.cols();
-        let mut out = Tensor::zeros(&[mv.rows(), cols]);
-        for r in 0..mv.rows() {
+        let (rows, cols) = (mv.rows(), mv.cols());
+        let mut out = self.pool.take_f32(rows * cols);
+        let (cv, mv) = (value_of(&self.nodes, col), value_of(&self.nodes, mat));
+        for r in 0..rows {
             let s = cv.data()[r];
-            for c in 0..cols {
-                out.data_mut()[r * cols + c] = mv.data()[r * cols + c] * s;
-            }
+            out.extend(mv.data()[r * cols..(r + 1) * cols].iter().map(|&x| x * s));
         }
-        self.push(Op::BroadcastMulCol(col, mat), out)
+        let t = Tensor::from_shape(out, Shape::from_dims(&[rows, cols]));
+        self.push(Op::BroadcastMulCol(col, mat), t)
     }
 
     /// Log-softmax over the flattened elements of a variable (treated as one
     /// categorical distribution).
     pub fn log_softmax(&mut self, a: VarId) -> VarId {
-        let av = self.value(a);
+        let av = value_of(&self.nodes, a);
         let max = av.max();
-        let exps: Vec<f32> = av.data().iter().map(|&x| (x - max).exp()).collect();
-        let sum: f32 = exps.iter().sum();
+        let shape = av.shape_c();
+        // One pooled pass for the exp-sum, one for the shifted outputs.
+        let av = value_of(&self.nodes, a);
+        let sum: f32 = av.data().iter().map(|&x| (x - max).exp()).sum();
         let log_sum = sum.ln() + max;
-        let out = Tensor::from_vec(av.data().iter().map(|&x| x - log_sum).collect(), av.shape());
-        self.push(Op::LogSoftmaxRow(a), out)
+        let mut out = self.pool.take_f32(av.numel());
+        let av = value_of(&self.nodes, a);
+        out.extend(av.data().iter().map(|&x| x - log_sum));
+        let t = Tensor::from_shape(out, shape);
+        self.push(Op::LogSoftmaxRow(a), t)
     }
 
     /// Picks a single element by flat index, producing a scalar.
     pub fn pick(&mut self, a: VarId, index: usize) -> VarId {
-        let v = Tensor::scalar(self.value(a).data()[index]);
-        self.push(Op::Pick(a, index), v)
+        let v = value_of(&self.nodes, a).data()[index];
+        self.push_scalar(Op::Pick(a, index), v)
     }
 
     /// Clamps every element to `[lo, hi]`; gradients are zero outside the range.
     pub fn clamp(&mut self, a: VarId, lo: f32, hi: f32) -> VarId {
-        let v = self.value(a).map(|x| x.clamp(lo, hi));
-        self.push(Op::Clamp(a, lo, hi), v)
+        self.unary_map(Op::Clamp(a, lo, hi), a, |x| x.clamp(lo, hi))
     }
 
     /// Element-wise minimum of two variables.
     pub fn minimum(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.value(a).zip(self.value(b), f32::min);
-        self.push(Op::Minimum(a, b), v)
+        self.binary_zip(Op::Minimum(a, b), a, b, f32::min)
     }
 
     /// Element-wise maximum of two variables.
     pub fn maximum(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.value(a).zip(self.value(b), f32::max);
-        self.push(Op::Maximum(a, b), v)
+        self.binary_zip(Op::Maximum(a, b), a, b, f32::max)
     }
 
     /// Runs reverse-mode differentiation from `loss` (a scalar) and
@@ -891,16 +1288,17 @@ impl Tape {
                     accumulate(&mut grads, b.0, &grad.scale(-1.0));
                 }
                 Op::Mul(a, b) => {
-                    let ga = grad.mul(&self.nodes[b.0].value);
-                    let gb = grad.mul(&self.nodes[a.0].value);
+                    let ga = grad.mul(value_of(&self.nodes, *b));
+                    let gb = grad.mul(value_of(&self.nodes, *a));
                     accumulate(&mut grads, a.0, &ga);
                     accumulate(&mut grads, b.0, &gb);
                 }
                 Op::AddBias(a, bias) => {
                     accumulate(&mut grads, a.0, &grad);
-                    let cols = self.nodes[bias.0].value.numel();
+                    let bias_value = value_of(&self.nodes, *bias);
+                    let cols = bias_value.numel();
                     let rows = grad.numel() / cols;
-                    let mut gb = Tensor::zeros(self.nodes[bias.0].value.shape());
+                    let mut gb = Tensor::zeros(bias_value.shape());
                     for r in 0..rows {
                         for c in 0..cols {
                             gb.data_mut()[c] += grad.data()[r * cols + c];
@@ -908,60 +1306,85 @@ impl Tape {
                     }
                     accumulate(&mut grads, bias.0, &gb);
                 }
+                Op::AddBiasAct(a, bias, act) => {
+                    // dz is the gradient at the pre-activation sum, derived
+                    // from the fused output y (exact for every
+                    // FusedActivation variant — see its rustdoc). The rest is
+                    // the plain AddBias backward: dz flows to `a` unchanged
+                    // and column-sums into the bias, the same arithmetic in
+                    // the same order as the unfused op pair.
+                    let act = *act;
+                    let y = node.value.tensor();
+                    let dz = grad.zip(y, |g, yv| act.grad_from_output(g, yv));
+                    let bias_value = value_of(&self.nodes, *bias);
+                    let cols = bias_value.numel();
+                    let rows = dz.numel() / cols;
+                    let mut gb = Tensor::zeros(bias_value.shape());
+                    for r in 0..rows {
+                        for c in 0..cols {
+                            gb.data_mut()[c] += dz.data()[r * cols + c];
+                        }
+                    }
+                    accumulate(&mut grads, a.0, &dz);
+                    accumulate(&mut grads, bias.0, &gb);
+                }
                 Op::Scale(a, s) => accumulate(&mut grads, a.0, &grad.scale(*s)),
                 Op::AddScalar(a) => accumulate(&mut grads, a.0, &grad),
                 Op::Neg(a) => accumulate(&mut grads, a.0, &grad.scale(-1.0)),
                 Op::MatMul(a, b) => {
-                    let av = &self.nodes[a.0].value;
-                    let bv = &self.nodes[b.0].value;
-                    let ga = grad.matmul(&bv.transpose());
-                    let gb = av.transpose().matmul(&grad);
+                    let av = value_of(&self.nodes, *a);
+                    let bv = value_of(&self.nodes, *b);
+                    // Transposed-operand kernels: bit-identical to
+                    // `grad × bvᵀ` / `avᵀ × grad` with materialised
+                    // transposes, without building either transpose.
+                    let ga = grad.matmul_transposed_rhs(bv);
+                    let gb = av.matmul_transposed_lhs(&grad);
                     accumulate(&mut grads, a.0, &ga);
                     accumulate(&mut grads, b.0, &gb);
                 }
                 Op::Relu(a) => {
-                    let av = &self.nodes[a.0].value;
+                    let av = value_of(&self.nodes, *a);
                     let ga = grad.zip(av, |g, x| if x > 0.0 { g } else { 0.0 });
                     accumulate(&mut grads, a.0, &ga);
                 }
                 Op::LeakyRelu(a, slope) => {
-                    let av = &self.nodes[a.0].value;
+                    let av = value_of(&self.nodes, *a);
                     let s = *slope;
                     let ga = grad.zip(av, |g, x| if x > 0.0 { g } else { s * g });
                     accumulate(&mut grads, a.0, &ga);
                 }
                 Op::Tanh(a) => {
-                    let yv = &node.value;
+                    let yv = node.value.tensor();
                     let ga = grad.zip(yv, |g, y| g * (1.0 - y * y));
                     accumulate(&mut grads, a.0, &ga);
                 }
                 Op::Sigmoid(a) => {
-                    let yv = &node.value;
+                    let yv = node.value.tensor();
                     let ga = grad.zip(yv, |g, y| g * y * (1.0 - y));
                     accumulate(&mut grads, a.0, &ga);
                 }
                 Op::Exp(a) => {
-                    let ga = grad.mul(&node.value);
+                    let ga = grad.mul(node.value.tensor());
                     accumulate(&mut grads, a.0, &ga);
                 }
                 Op::Log(a) => {
-                    let av = &self.nodes[a.0].value;
+                    let av = value_of(&self.nodes, *a);
                     let ga = grad.zip(av, |g, x| g / x.max(1e-12));
                     accumulate(&mut grads, a.0, &ga);
                 }
                 Op::SumAll(a) => {
                     let g = grad.item();
-                    let ga = Tensor::full(self.nodes[a.0].value.shape(), g);
+                    let ga = Tensor::full(value_of(&self.nodes, *a).shape(), g);
                     accumulate(&mut grads, a.0, &ga);
                 }
                 Op::MeanAll(a) => {
-                    let n = self.nodes[a.0].value.numel().max(1) as f32;
+                    let n = value_of(&self.nodes, *a).numel().max(1) as f32;
                     let g = grad.item() / n;
-                    let ga = Tensor::full(self.nodes[a.0].value.shape(), g);
+                    let ga = Tensor::full(value_of(&self.nodes, *a).shape(), g);
                     accumulate(&mut grads, a.0, &ga);
                 }
                 Op::SumRows(a) | Op::MeanRows(a) => {
-                    let av = &self.nodes[a.0].value;
+                    let av = value_of(&self.nodes, *a);
                     let (rows, cols) = (av.rows(), av.cols());
                     let scale =
                         if matches!(node.op, Op::MeanRows(_)) { 1.0 / rows.max(1) as f32 } else { 1.0 };
@@ -974,8 +1397,8 @@ impl Tape {
                     accumulate(&mut grads, a.0, &ga);
                 }
                 Op::ConcatCols(a, b) => {
-                    let av = &self.nodes[a.0].value;
-                    let bv = &self.nodes[b.0].value;
+                    let av = value_of(&self.nodes, *a);
+                    let bv = value_of(&self.nodes, *b);
                     let (rows, ca, cb) = (av.rows(), av.cols(), bv.cols());
                     let mut ga = Tensor::zeros(&[rows, ca]);
                     let mut gb = Tensor::zeros(&[rows, cb]);
@@ -992,10 +1415,10 @@ impl Tape {
                     accumulate(&mut grads, b.0, &gb);
                 }
                 Op::ConcatRows(parts) => {
-                    let cols = node.value.cols();
+                    let cols = node.value.tensor().cols();
                     let mut offset = 0;
                     for &p in parts {
-                        let rows = self.nodes[p.0].value.rows();
+                        let rows = value_of(&self.nodes, p).rows();
                         let mut gp = Tensor::zeros(&[rows, cols]);
                         gp.data_mut().copy_from_slice(&grad.data()[offset * cols..(offset + rows) * cols]);
                         accumulate(&mut grads, p.0, &gp);
@@ -1003,7 +1426,7 @@ impl Tape {
                     }
                 }
                 Op::GatherRows(a, indices) => {
-                    let av = &self.nodes[a.0].value;
+                    let av = value_of(&self.nodes, *a);
                     let cols = av.cols();
                     let mut ga = Tensor::zeros(&[av.rows(), cols]);
                     for (i, &idx) in indices.iter().enumerate() {
@@ -1014,7 +1437,7 @@ impl Tape {
                     accumulate(&mut grads, a.0, &ga);
                 }
                 Op::ScatterAddRows(a, indices) => {
-                    let av = &self.nodes[a.0].value;
+                    let av = value_of(&self.nodes, *a);
                     let cols = av.cols();
                     let mut ga = Tensor::zeros(&[av.rows(), cols]);
                     for (i, &idx) in indices.iter().enumerate() {
@@ -1025,7 +1448,7 @@ impl Tape {
                     accumulate(&mut grads, a.0, &ga);
                 }
                 Op::SegmentMeanRows(a, segments, num_segments) => {
-                    let av = &self.nodes[a.0].value;
+                    let av = value_of(&self.nodes, *a);
                     let cols = av.cols();
                     let mut counts = vec![0usize; *num_segments];
                     for &s in segments {
@@ -1041,10 +1464,20 @@ impl Tape {
                     accumulate(&mut grads, a.0, &ga);
                 }
                 Op::Transpose(a) => {
-                    accumulate(&mut grads, a.0, &grad.transpose());
+                    let (r, c) = (grad.rows(), grad.cols());
+                    if r == 1 || c == 1 {
+                        // A vector transpose permutes nothing: move the owned
+                        // gradient buffer under the flipped shape instead of
+                        // running a strided copy (the policy head's
+                        // `[K + 1, 1]` → `[1, K + 1]` logit transpose hits
+                        // this on every transition evaluation).
+                        accumulate(&mut grads, a.0, &grad.into_reshape(&[c, r]));
+                    } else {
+                        accumulate(&mut grads, a.0, &grad.transpose());
+                    }
                 }
                 Op::SegmentSoftmax(a, segments, num_segments) => {
-                    let y = &node.value;
+                    let y = node.value.tensor();
                     // dL/dx_i = y_i * (g_i - sum_{j in seg(i)} g_j y_j)
                     let mut seg_dot = vec![0.0f32; *num_segments];
                     for (i, &s) in segments.iter().enumerate() {
@@ -1057,8 +1490,8 @@ impl Tape {
                     accumulate(&mut grads, a.0, &ga);
                 }
                 Op::BroadcastMulCol(col, mat) => {
-                    let cv = &self.nodes[col.0].value;
-                    let mv = &self.nodes[mat.0].value;
+                    let cv = value_of(&self.nodes, *col);
+                    let mv = value_of(&self.nodes, *mat);
                     let cols = mv.cols();
                     let mut gcol = Tensor::zeros(cv.shape());
                     let mut gmat = Tensor::zeros(mv.shape());
@@ -1075,7 +1508,7 @@ impl Tape {
                 }
                 Op::LogSoftmaxRow(a) => {
                     // y = x - logsumexp(x); dx = g - softmax(x) * sum(g)
-                    let y = &node.value;
+                    let y = node.value.tensor();
                     let g_sum: f32 = grad.data().iter().sum();
                     let ga = Tensor::from_vec(
                         grad.data()
@@ -1088,20 +1521,20 @@ impl Tape {
                     accumulate(&mut grads, a.0, &ga);
                 }
                 Op::Pick(a, index) => {
-                    let av = &self.nodes[a.0].value;
+                    let av = value_of(&self.nodes, *a);
                     let mut ga = Tensor::zeros(av.shape());
                     ga.data_mut()[*index] = grad.item();
                     accumulate(&mut grads, a.0, &ga);
                 }
                 Op::Clamp(a, lo, hi) => {
-                    let av = &self.nodes[a.0].value;
+                    let av = value_of(&self.nodes, *a);
                     let (lo, hi) = (*lo, *hi);
                     let ga = grad.zip(av, |g, x| if x > lo && x < hi { g } else { 0.0 });
                     accumulate(&mut grads, a.0, &ga);
                 }
                 Op::Minimum(a, b) => {
-                    let av = &self.nodes[a.0].value;
-                    let bv = &self.nodes[b.0].value;
+                    let av = value_of(&self.nodes, *a);
+                    let bv = value_of(&self.nodes, *b);
                     let ga = Tensor::from_vec(
                         grad.data()
                             .iter()
@@ -1115,8 +1548,8 @@ impl Tape {
                     accumulate(&mut grads, b.0, &gb);
                 }
                 Op::Maximum(a, b) => {
-                    let av = &self.nodes[a.0].value;
-                    let bv = &self.nodes[b.0].value;
+                    let av = value_of(&self.nodes, *a);
+                    let bv = value_of(&self.nodes, *b);
                     let ga = Tensor::from_vec(
                         grad.data()
                             .iter()
@@ -1139,22 +1572,6 @@ fn accumulate(grads: &mut [Option<Tensor>], idx: usize, grad: &Tensor) {
         Some(g) => *g = g.add(grad),
         slot @ None => *slot = Some(grad.clone()),
     }
-}
-
-fn segment_softmax_forward(values: &Tensor, segments: &[usize], num_segments: usize) -> Tensor {
-    let mut seg_max = vec![f32::NEG_INFINITY; num_segments];
-    for (i, &s) in segments.iter().enumerate() {
-        seg_max[s] = seg_max[s].max(values.data()[i]);
-    }
-    let mut exps = vec![0.0f32; values.rows()];
-    let mut seg_sum = vec![0.0f32; num_segments];
-    for (i, &s) in segments.iter().enumerate() {
-        let e = (values.data()[i] - seg_max[s]).exp();
-        exps[i] = e;
-        seg_sum[s] += e;
-    }
-    let out: Vec<f32> = segments.iter().enumerate().map(|(i, &s)| exps[i] / seg_sum[s].max(1e-12)).collect();
-    Tensor::from_vec(out, values.shape())
 }
 
 #[cfg(test)]
@@ -1305,6 +1722,129 @@ mod tests {
             Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]),
             1e-2,
         );
+    }
+
+    #[test]
+    fn grad_of_fused_bias_activations() {
+        for act in [
+            FusedActivation::Identity,
+            FusedActivation::Relu,
+            FusedActivation::LeakyRelu(0.2),
+            FusedActivation::Tanh,
+            FusedActivation::Sigmoid,
+        ] {
+            check_gradient(
+                |tape, store, pid| {
+                    let x = tape.param(store, pid);
+                    let b = tape.constant(Tensor::from_vec(vec![0.4, -0.3], &[2]));
+                    let y = tape.add_bias_act(x, b, act);
+                    let sq = tape.mul(y, y);
+                    tape.sum_all(sq)
+                },
+                Tensor::from_vec(vec![0.7, -1.2, 0.5, 2.0], &[2, 2]),
+                1e-2,
+            );
+        }
+    }
+
+    /// The fused bias+activation op must match the unfused pair to the bit,
+    /// both forward and backward.
+    fn assert_fused_matches_unfused(act: FusedActivation, apply_unfused: impl Fn(&mut Tape, VarId) -> VarId) {
+        let mut store = ParamStore::new();
+        let x = store.register("x", Tensor::from_vec(vec![0.5, -1.5, 2.0, -0.25, 0.0, 1.0], &[3, 2]));
+        let b = store.register("b", Tensor::from_vec(vec![0.3, -0.6], &[2]));
+
+        let mut fused_tape = Tape::new();
+        let xf = fused_tape.param(&store, x);
+        let bf = fused_tape.param(&store, b);
+        let yf = fused_tape.add_bias_act(xf, bf, act);
+        let lossf = fused_tape.sum_all(yf);
+        let mut fused_grads = GradBuffer::zeros_like(&store);
+        fused_tape.backward_into(lossf, &mut fused_grads);
+
+        let mut tape = Tape::new();
+        let xu = tape.param(&store, x);
+        let bu = tape.param(&store, b);
+        let z = tape.add_bias(xu, bu);
+        let yu = apply_unfused(&mut tape, z);
+        let lossu = tape.sum_all(yu);
+        let mut grads = GradBuffer::zeros_like(&store);
+        tape.backward_into(lossu, &mut grads);
+
+        let (fv, uv) = (fused_tape.value(yf), tape.value(yu));
+        assert_eq!(fv.shape(), uv.shape());
+        for (a, b) in fv.data().iter().zip(uv.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{act:?}: fused forward diverges");
+        }
+        for pid in [x, b] {
+            for (a, b) in fused_grads.grad(pid).data().iter().zip(grads.grad(pid).data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{act:?}: fused backward diverges");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_bias_activation_is_bit_identical_to_unfused() {
+        assert_fused_matches_unfused(FusedActivation::Relu, |t, z| t.relu(z));
+        assert_fused_matches_unfused(FusedActivation::LeakyRelu(0.2), |t, z| t.leaky_relu(z, 0.2));
+        assert_fused_matches_unfused(FusedActivation::Tanh, |t, z| t.tanh(z));
+        assert_fused_matches_unfused(FusedActivation::Sigmoid, |t, z| t.sigmoid(z));
+    }
+
+    /// A recycled tape must reproduce the exact bits of a fresh tape: the
+    /// pool changes where buffers come from, never what is computed.
+    #[test]
+    fn recycled_tape_is_bit_identical_to_fresh() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::from_vec(vec![0.5, -1.0, 0.25, 2.0], &[2, 2]));
+
+        let run = |tape: &mut Tape, store: &mut ParamStore| -> (Vec<f32>, Vec<f32>) {
+            let wv = tape.param(store, w);
+            let x = tape.constant_copied(&Tensor::from_vec(vec![1.0, 2.0, -3.0, 0.5], &[2, 2]));
+            let h = tape.matmul(x, wv);
+            let g = tape.gather_rows(h, &[1, 0, 1]);
+            let s = tape.scatter_add_rows(g, &[0, 1, 0], 2);
+            let proj = tape.constant_copied(&Tensor::from_vec(vec![0.5, -0.75], &[2, 1]));
+            let col = tape.matmul(s, proj);
+            let sm = tape.segment_softmax(col, &[0, 0], 1);
+            let weighted = tape.broadcast_mul_col(sm, s);
+            let pooled = tape.mean_rows(weighted);
+            let loss = tape.sum_all(pooled);
+            store.zero_grad();
+            tape.backward(loss, store);
+            (tape.value(loss).data().to_vec(), store.grad(w).data().to_vec())
+        };
+
+        let mut fresh = Tape::new();
+        let (loss_fresh, grad_fresh) = run(&mut fresh, &mut store);
+
+        let mut recycled = Tape::new();
+        for _ in 0..3 {
+            recycled.recycle();
+            let (loss_r, grad_r) = run(&mut recycled, &mut store);
+            assert_eq!(
+                loss_r.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                loss_fresh.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                grad_r.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                grad_fresh.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_filled_buffer_matches_fresh_buffer() {
+        let (store, w, _, tape, loss) = grad_buffer_fixture();
+        let mut fresh = GradBuffer::zeros_like(&store);
+        tape.backward_into(loss, &mut fresh);
+
+        let mut reused = GradBuffer::zeros_like(&store);
+        tape.backward_into(loss, &mut reused); // dirty it
+        reused.zero_fill();
+        tape.backward_into(loss, &mut reused);
+        assert_eq!(fresh, reused);
+        assert_eq!(fresh.grad(w).data(), reused.grad(w).data());
     }
 
     #[test]

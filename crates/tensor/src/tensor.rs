@@ -4,8 +4,57 @@
 //! rank-1/rank-2 tensors (node-feature matrices, weight matrices, logits),
 //! so this module favours clarity and predictable performance over
 //! generality.
+//!
+//! ## Hot-path kernels
+//!
+//! [`Tensor::matmul`] and its transposed-operand variants
+//! ([`Tensor::matmul_transposed_rhs`], [`Tensor::matmul_transposed_lhs`])
+//! share slice-level kernels with the tape, so the serial oracles and the
+//! parallel paths run the *same* floating-point code. Every kernel
+//! accumulates each output element as one running sum over the inner
+//! dimension in ascending order — the exact per-element arithmetic of the
+//! naive triple loop ([`Tensor::matmul_naive`]) — so tiling changes memory
+//! traffic, never bits. The kernels contain no value-dependent branches:
+//! `0.0 * inf` and `0.0 * NaN` propagate NaN per IEEE 754 (the previous
+//! kernel's zero-skip silently dropped them).
 
 use std::fmt;
+
+/// Maximum tensor rank supported by the inline shape representation.
+pub(crate) const MAX_RANK: usize = 4;
+
+/// Inline fixed-capacity shape: dimensions live in the tensor itself, so
+/// constructing a tensor from a pooled data buffer performs zero heap
+/// allocations. Unused trailing dims are zeroed, keeping derived equality
+/// exact.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: u8,
+}
+
+impl Shape {
+    pub(crate) fn from_dims(dims: &[usize]) -> Self {
+        assert!(dims.len() <= MAX_RANK, "tensors support at most rank {MAX_RANK}, got {dims:?}");
+        let mut out = [0usize; MAX_RANK];
+        out[..dims.len()].copy_from_slice(dims);
+        Self { dims: out, rank: dims.len() as u8 }
+    }
+
+    pub(crate) fn as_slice(&self) -> &[usize] {
+        &self.dims[..self.rank as usize]
+    }
+
+    pub(crate) fn numel(&self) -> usize {
+        self.as_slice().iter().product()
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
 
 /// A dense, row-major tensor of `f32` values.
 ///
@@ -20,7 +69,7 @@ use std::fmt;
 /// ```
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
-    shape: Vec<usize>,
+    shape: Shape,
     data: Vec<f32>,
 }
 
@@ -43,37 +92,49 @@ impl Tensor {
     /// Panics if the number of elements does not match the product of the
     /// shape dimensions.
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
-        let numel: usize = shape.iter().product();
-        assert_eq!(data.len(), numel, "data length {} does not match shape {:?}", data.len(), shape);
-        Self { shape: shape.to_vec(), data }
+        Self::from_shape(data, Shape::from_dims(shape))
+    }
+
+    /// Creates a tensor from a flat vector and an inline [`Shape`]. This is
+    /// the allocation-free construction path the tape's buffer pool uses:
+    /// `data` is typically a recycled buffer and `Shape` is `Copy`.
+    pub(crate) fn from_shape(data: Vec<f32>, shape: Shape) -> Self {
+        assert_eq!(data.len(), shape.numel(), "data length {} does not match shape {:?}", data.len(), shape);
+        Self { shape, data }
+    }
+
+    /// The tensor's inline shape (`Copy`, for rebuilding same-shaped tensors
+    /// without borrowing issues).
+    pub(crate) fn shape_c(&self) -> Shape {
+        self.shape
     }
 
     /// Creates a tensor filled with zeros.
     pub fn zeros(shape: &[usize]) -> Self {
-        let numel: usize = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![0.0; numel] }
+        let shape = Shape::from_dims(shape);
+        Self { data: vec![0.0; shape.numel()], shape }
     }
 
     /// Creates a tensor filled with ones.
     pub fn ones(shape: &[usize]) -> Self {
-        let numel: usize = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![1.0; numel] }
+        let shape = Shape::from_dims(shape);
+        Self { data: vec![1.0; shape.numel()], shape }
     }
 
     /// Creates a tensor filled with a constant value.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        let numel: usize = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![value; numel] }
+        let shape = Shape::from_dims(shape);
+        Self { data: vec![value; shape.numel()], shape }
     }
 
     /// Creates a scalar (rank-0 represented as shape `[1]`) tensor.
     pub fn scalar(value: f32) -> Self {
-        Self { shape: vec![1], data: vec![value] }
+        Self { shape: Shape::from_dims(&[1]), data: vec![value] }
     }
 
     /// Returns the shape of the tensor.
     pub fn shape(&self) -> &[usize] {
-        &self.shape
+        self.shape.as_slice()
     }
 
     /// Returns the total number of elements.
@@ -85,18 +146,18 @@ impl Tensor {
     ///
     /// Rank-1 tensors are interpreted as a single row.
     pub fn rows(&self) -> usize {
-        match self.shape.len() {
+        match self.shape.rank {
             0 | 1 => 1,
-            _ => self.shape[0],
+            _ => self.shape.dims[0],
         }
     }
 
     /// Returns the number of columns when the tensor is interpreted as a matrix.
     pub fn cols(&self) -> usize {
-        match self.shape.len() {
+        match self.shape.rank {
             0 => 1,
-            1 => self.shape[0],
-            _ => self.shape[1..].iter().product(),
+            1 => self.shape.dims[0],
+            _ => self.shape.as_slice()[1..].iter().product(),
         }
     }
 
@@ -135,9 +196,10 @@ impl Tensor {
     }
 
     fn flat_index(&self, index: &[usize]) -> usize {
-        assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
+        let shape = self.shape.as_slice();
+        assert_eq!(index.len(), shape.len(), "index rank mismatch");
         let mut flat = 0;
-        for (i, (&idx, &dim)) in index.iter().zip(self.shape.iter()).enumerate() {
+        for (i, (&idx, &dim)) in index.iter().zip(shape.iter()).enumerate() {
             assert!(idx < dim, "index {} out of bounds for dim {} (size {})", idx, i, dim);
             flat = flat * dim + idx;
         }
@@ -154,15 +216,38 @@ impl Tensor {
         self.data[0]
     }
 
-    /// Reshapes the tensor without changing its data.
+    /// Reshapes the tensor without changing its data, deep-copying the data.
+    ///
+    /// Prefer [`Tensor::into_reshape`] when the original tensor is no longer
+    /// needed — it moves the buffer instead of copying it.
     ///
     /// # Panics
     ///
     /// Panics if the new shape has a different number of elements.
     pub fn reshape(&self, shape: &[usize]) -> Self {
-        let numel: usize = shape.iter().product();
-        assert_eq!(numel, self.data.len(), "reshape numel mismatch");
-        Self { shape: shape.to_vec(), data: self.data.clone() }
+        self.clone().into_reshape(shape)
+    }
+
+    /// Consuming reshape: reinterprets the existing buffer under a new shape
+    /// with zero copies and zero allocations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xrlflow_tensor::Tensor;
+    ///
+    /// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+    /// let flat = t.into_reshape(&[4]);
+    /// assert_eq!(flat.shape(), &[4]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different number of elements.
+    pub fn into_reshape(self, shape: &[usize]) -> Self {
+        let shape = Shape::from_dims(shape);
+        assert_eq!(shape.numel(), self.data.len(), "reshape numel mismatch");
+        Self { shape, data: self.data }
     }
 
     /// Returns a row of a rank-2 tensor as a slice.
@@ -171,14 +256,14 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank-2 or the row is out of bounds.
     pub fn row(&self, r: usize) -> &[f32] {
-        assert_eq!(self.shape.len(), 2, "row() requires a rank-2 tensor");
-        let c = self.shape[1];
+        assert_eq!(self.shape.rank, 2, "row() requires a rank-2 tensor");
+        let c = self.shape.dims[1];
         &self.data[r * c..(r + 1) * c]
     }
 
     /// Applies a function to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Self { shape: self.shape, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Element-wise addition.
@@ -225,7 +310,7 @@ impl Tensor {
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Self {
         assert_eq!(self.shape, other.shape, "shape mismatch: {:?} vs {:?}", self.shape, other.shape);
         Self {
-            shape: self.shape.clone(),
+            shape: self.shape,
             data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
         }
     }
@@ -259,32 +344,93 @@ impl Tensor {
         self.data.iter().map(|&x| x * x).sum()
     }
 
+    fn matmul_dims(&self, other: &Tensor) -> (usize, usize, usize) {
+        assert_eq!(self.shape.rank, 2, "matmul lhs must be rank-2, got {:?}", self.shape);
+        assert_eq!(other.shape.rank, 2, "matmul rhs must be rank-2, got {:?}", other.shape);
+        let (m, k) = (self.shape.dims[0], self.shape.dims[1]);
+        let (k2, n) = (other.shape.dims[0], other.shape.dims[1]);
+        assert_eq!(k, k2, "matmul inner dim mismatch: {} vs {}", k, k2);
+        (m, k, n)
+    }
+
     /// Matrix multiplication of two rank-2 tensors (`[m, k] x [k, n] -> [m, n]`).
+    ///
+    /// Runs the register-tiled kernel; results are
+    /// bit-identical to [`Tensor::matmul_naive`].
     ///
     /// # Panics
     ///
     /// Panics if either tensor is not rank-2 or the inner dimensions differ.
     pub fn matmul(&self, other: &Tensor) -> Self {
-        assert_eq!(self.shape.len(), 2, "matmul lhs must be rank-2, got {:?}", self.shape);
-        assert_eq!(other.shape.len(), 2, "matmul rhs must be rank-2, got {:?}", other.shape);
-        let (m, k) = (self.shape[0], self.shape[1]);
-        let (k2, n) = (other.shape[0], other.shape[1]);
-        assert_eq!(k, k2, "matmul inner dim mismatch: {} vs {}", k, k2);
+        let (m, k, n) = self.matmul_dims(other);
+        let mut out = vec![0.0f32; m * n];
+        matmul_into(&self.data, &other.data, &mut out, m, k, n);
+        Self { shape: Shape::from_dims(&[m, n]), data: out }
+    }
+
+    /// The reference matrix multiplication: the plain triple loop, kept as
+    /// the differential-testing oracle for the tiled kernels. Unlike the
+    /// kernel this used to be, it does **not** skip zero elements of the
+    /// left-hand side — `0.0 * inf` and `0.0 * NaN` must produce NaN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank-2 or the inner dimensions differ.
+    pub fn matmul_naive(&self, other: &Tensor) -> Self {
+        let (m, k, n) = self.matmul_dims(other);
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                for j in 0..n {
+                    out[i * n + j] += a * other.data[p * n + j];
                 }
             }
         }
-        Self { shape: vec![m, n], data: out }
+        Self { shape: Shape::from_dims(&[m, n]), data: out }
+    }
+
+    /// `self × otherᵀ` without the caller materialising the transpose:
+    /// `self` is `[m, q]`, `other` is `[n, q]`, and the result `[m, n]`
+    /// satisfies `out[i][j] = Σ_p self[i][p] * other[j][p]` with `p`
+    /// ascending — the exact bits of `self.matmul(&other.transpose())`.
+    /// The kernel picks a packing or dot-product strategy by shape (see
+    /// the internal kernel); the choice never changes the bits.
+    /// The matmul backward pass's `grad × Bᵀ` product runs through this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank-2 or the shared inner dimensions
+    /// differ.
+    pub fn matmul_transposed_rhs(&self, other: &Tensor) -> Self {
+        assert_eq!(self.shape.rank, 2, "matmul lhs must be rank-2, got {:?}", self.shape);
+        assert_eq!(other.shape.rank, 2, "matmul rhs must be rank-2, got {:?}", other.shape);
+        let (m, q) = (self.shape.dims[0], self.shape.dims[1]);
+        let (n, q2) = (other.shape.dims[0], other.shape.dims[1]);
+        assert_eq!(q, q2, "matmul inner dim mismatch: {} vs {}", q, q2);
+        let mut out = vec![0.0f32; m * n];
+        matmul_transposed_rhs_into(&self.data, &other.data, &mut out, m, q, n);
+        Self { shape: Shape::from_dims(&[m, n]), data: out }
+    }
+
+    /// `selfᵀ × other` without materialising the transpose: `self` is
+    /// `[m, q]`, `other` is `[m, n]`, and the result `[q, n]` satisfies
+    /// `out[i][j] = Σ_p self[p][i] * other[p][j]` with `p` ascending — the
+    /// exact bits of `self.transpose().matmul(other)`. The backward pass's
+    /// `Aᵀ × grad` product runs through this kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank-2 or the shared row counts differ.
+    pub fn matmul_transposed_lhs(&self, other: &Tensor) -> Self {
+        assert_eq!(self.shape.rank, 2, "matmul lhs must be rank-2, got {:?}", self.shape);
+        assert_eq!(other.shape.rank, 2, "matmul rhs must be rank-2, got {:?}", other.shape);
+        let (m, q) = (self.shape.dims[0], self.shape.dims[1]);
+        let (m2, n) = (other.shape.dims[0], other.shape.dims[1]);
+        assert_eq!(m, m2, "matmul inner dim mismatch: {} vs {}", m, m2);
+        let mut out = vec![0.0f32; q * n];
+        matmul_transposed_lhs_into(&self.data, &other.data, &mut out, m, q, n);
+        Self { shape: Shape::from_dims(&[q, n]), data: out }
     }
 
     /// Transpose of a rank-2 tensor.
@@ -293,15 +439,15 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank-2.
     pub fn transpose(&self) -> Self {
-        assert_eq!(self.shape.len(), 2, "transpose requires a rank-2 tensor");
-        let (m, n) = (self.shape[0], self.shape[1]);
+        assert_eq!(self.shape.rank, 2, "transpose requires a rank-2 tensor");
+        let (m, n) = (self.shape.dims[0], self.shape.dims[1]);
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
             for j in 0..n {
                 out[j * m + i] = self.data[i * n + j];
             }
         }
-        Self { shape: vec![n, m], data: out }
+        Self { shape: Shape::from_dims(&[n, m]), data: out }
     }
 
     /// Concatenates rank-2 tensors along the column axis.
@@ -327,7 +473,7 @@ impl Tensor {
                 offset += c;
             }
         }
-        Self { shape: vec![rows, total_cols], data: out }
+        Self { shape: Shape::from_dims(&[rows, total_cols]), data: out }
     }
 
     /// Stacks rank-2 tensors (or rank-1 rows) along the row axis.
@@ -346,7 +492,7 @@ impl Tensor {
             data.extend_from_slice(&t.data);
             rows += t.rows();
         }
-        Self { shape: vec![rows, cols], data }
+        Self { shape: Shape::from_dims(&[rows, cols]), data }
     }
 }
 
@@ -356,9 +502,195 @@ impl Default for Tensor {
     }
 }
 
+/// Rows processed together by the tiled matmul: each streamed row of `b` is
+/// reused across this many output rows, quartering the `b` traffic. The
+/// working set of the X-RLflow shapes (`k, n ≤ 256`) fits L1, so register
+/// reuse — not cache blocking over `k`/`n` — is the lever that matters here.
+const MM_ROW_TILE: usize = 4;
+
+/// Writes `a (m×k) × b (k×n)` into `out` (`m×n`), zeroing `out` first.
+///
+/// Register-tiled over rows ([`MM_ROW_TILE`] output rows share each streamed
+/// row of `b`); each output element is one running sum over `p = 0..k` in
+/// ascending order, so the result is bit-identical to the naive triple loop
+/// for every tile size. There are no value-dependent branches: IEEE
+/// `0.0 * inf = NaN` propagates.
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    if n == 1 {
+        // Column RHS (the GAT attention projections): each output is a plain
+        // dot product of two contiguous slices.
+        for (i, o) in out.iter_mut().enumerate() {
+            let a_row = &a[i * k..(i + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b.iter()) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+        return;
+    }
+    let mut row = 0;
+    let mut tiles = out.chunks_exact_mut(MM_ROW_TILE * n);
+    for tile in &mut tiles {
+        let (o0, rest) = tile.split_at_mut(n);
+        let (o1, rest) = rest.split_at_mut(n);
+        let (o2, o3) = rest.split_at_mut(n);
+        let a0 = &a[row * k..(row + 1) * k];
+        let a1 = &a[(row + 1) * k..(row + 2) * k];
+        let a2 = &a[(row + 2) * k..(row + 3) * k];
+        let a3 = &a[(row + 3) * k..(row + 4) * k];
+        for p in 0..k {
+            let b_row = &b[p * n..(p + 1) * n];
+            let (c0, c1, c2, c3) = (a0[p], a1[p], a2[p], a3[p]);
+            for j in 0..n {
+                o0[j] += c0 * b_row[j];
+                o1[j] += c1 * b_row[j];
+                o2[j] += c2 * b_row[j];
+                o3[j] += c3 * b_row[j];
+            }
+        }
+        row += MM_ROW_TILE;
+    }
+    for out_row in tiles.into_remainder().chunks_exact_mut(n) {
+        let a_row = &a[row * k..(row + 1) * k];
+        for (p, &av) in a_row.iter().enumerate() {
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+        row += 1;
+    }
+}
+
+/// Writes `a (m×q) × bt (n×q)ᵀ` into `out` (`m×n`), zeroing `out` first.
+/// Every output element is accumulated over `p = 0..q` ascending with a
+/// single running sum — bit-identical to `a.matmul(&bt.transpose())` —
+/// but the kernel picks its strategy by shape: large products pack the
+/// transposed operand once and run the vectorisable row-tiled kernel
+/// (dot-product chains are FP-add-latency-bound and cannot legally be
+/// vectorised, so packing wins despite the extra pass), while small and
+/// skinny shapes run a register-tiled dot kernel over the contiguous rows
+/// with no scratch buffer. The strategy choice never changes the bits.
+pub(crate) fn matmul_transposed_rhs_into(
+    a: &[f32],
+    bt: &[f32],
+    out: &mut [f32],
+    m: usize,
+    q: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), m * q);
+    debug_assert_eq!(bt.len(), n * q);
+    debug_assert_eq!(out.len(), m * n);
+    if m >= 16 && q >= 16 && n >= 16 {
+        // Big enough that the O(q·n) packing pass amortises over m output
+        // rows: lay `bt` out transposed and reuse the axpy-form kernel, whose
+        // independent per-column sums the compiler can vectorise.
+        let mut b = vec![0.0f32; q * n];
+        for (j, bt_row) in bt.chunks_exact(q).enumerate() {
+            for (p, &v) in bt_row.iter().enumerate() {
+                b[p * n + j] = v;
+            }
+        }
+        matmul_into(a, &b, out, m, q, n);
+        return;
+    }
+    // Register tile of 2 output rows × 4 output columns: every output
+    // element keeps its own scalar accumulator, but the eight dependency
+    // chains interleave so the dot products are not serialised on FP-add
+    // latency, and each streamed `bt` row is consumed by both `a` rows.
+    let mut i = 0;
+    while i + 2 <= m {
+        let a0 = &a[i * q..(i + 1) * q];
+        let a1 = &a[(i + 1) * q..(i + 2) * q];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &bt[j * q..(j + 1) * q];
+            let b1 = &bt[(j + 1) * q..(j + 2) * q];
+            let b2 = &bt[(j + 2) * q..(j + 3) * q];
+            let b3 = &bt[(j + 3) * q..(j + 4) * q];
+            let mut s = [0.0f32; 8];
+            for p in 0..q {
+                let (x0, x1) = (a0[p], a1[p]);
+                let (v0, v1, v2, v3) = (b0[p], b1[p], b2[p], b3[p]);
+                s[0] += x0 * v0;
+                s[1] += x0 * v1;
+                s[2] += x0 * v2;
+                s[3] += x0 * v3;
+                s[4] += x1 * v0;
+                s[5] += x1 * v1;
+                s[6] += x1 * v2;
+                s[7] += x1 * v3;
+            }
+            out[i * n + j..i * n + j + 4].copy_from_slice(&s[..4]);
+            out[(i + 1) * n + j..(i + 1) * n + j + 4].copy_from_slice(&s[4..]);
+            j += 4;
+        }
+        while j < n {
+            let b_row = &bt[j * q..(j + 1) * q];
+            let (mut s0, mut s1) = (0.0f32, 0.0f32);
+            for ((&v, &x0), &x1) in b_row.iter().zip(a0).zip(a1) {
+                s0 += x0 * v;
+                s1 += x1 * v;
+            }
+            out[i * n + j] = s0;
+            out[(i + 1) * n + j] = s1;
+            j += 1;
+        }
+        i += 2;
+    }
+    if i < m {
+        let a_row = &a[i * q..(i + 1) * q];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &bt[j * q..(j + 1) * q];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// Writes `at (m×q)ᵀ × b (m×n)` into `out` (`q×n`), zeroing `out` first.
+/// The reduction dimension `m` is the outer loop, so each output element is
+/// one running sum over `p = 0..m` ascending — bit-identical to
+/// `at.transpose().matmul(&b)` without materialising the transpose, with
+/// both operands streamed row-contiguously.
+pub(crate) fn matmul_transposed_lhs_into(
+    at: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    q: usize,
+    n: usize,
+) {
+    debug_assert_eq!(at.len(), m * q);
+    debug_assert_eq!(b.len(), m * n);
+    debug_assert_eq!(out.len(), q * n);
+    out.fill(0.0);
+    for p in 0..m {
+        let a_row = &at[p * q..(p + 1) * q];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::XorShiftRng;
 
     #[test]
     fn from_vec_and_get() {
@@ -403,6 +735,68 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[2, 3]);
         a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_propagates_nan_and_inf_through_zero_rows() {
+        // Regression for the old kernel's `if a == 0.0 { continue }` skip:
+        // IEEE 754 defines 0.0 * inf = NaN and 0.0 * NaN = NaN, so a zero in
+        // the LHS must NOT silence a non-finite RHS contribution.
+        let a = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![f32::INFINITY, 1.0], &[2, 1]);
+        assert!(a.matmul(&b).item().is_nan(), "0 * inf must poison the dot product with NaN");
+
+        let b_nan = Tensor::from_vec(vec![f32::NAN, 1.0], &[2, 1]);
+        assert!(a.matmul(&b_nan).item().is_nan(), "0 * NaN must propagate NaN");
+
+        // The naive reference agrees — it is the semantic oracle, not the
+        // buggy historical kernel.
+        assert!(a.matmul_naive(&b).item().is_nan());
+        assert!(a.matmul_naive(&b_nan).item().is_nan());
+
+        // And a genuinely zero product stays finite.
+        let zeros = Tensor::zeros(&[1, 2]);
+        let finite = Tensor::from_vec(vec![3.0, 4.0], &[2, 1]);
+        assert_eq!(zeros.matmul(&finite).item(), 0.0);
+    }
+
+    /// Seeded property sweep: the tiled kernel, the transposed-operand
+    /// kernels and the naive reference must agree to the BIT on random
+    /// shapes. Absolute bit equality is the right tolerance here because
+    /// every kernel accumulates each output element over the inner dimension
+    /// in the identical ascending order — tiling only changes memory
+    /// traffic, never the sequence of floating-point operations per element.
+    #[test]
+    fn matmul_kernels_match_naive_bit_for_bit() {
+        let mut rng = XorShiftRng::new(0xC0FFEE);
+        for trial in 0..50 {
+            let m = 1 + (rng.next_u64() % 13) as usize;
+            let k = 1 + (rng.next_u64() % 17) as usize;
+            let n = 1 + (rng.next_u64() % 11) as usize;
+            let a = Tensor::from_vec((0..m * k).map(|_| rng.uniform(-2.0, 2.0)).collect(), &[m, k]);
+            let b = Tensor::from_vec((0..k * n).map(|_| rng.uniform(-2.0, 2.0)).collect(), &[k, n]);
+
+            let tiled = a.matmul(&b);
+            let naive = a.matmul_naive(&b);
+            assert_eq!(tiled.shape(), naive.shape());
+            for (i, (x, y)) in tiled.data().iter().zip(naive.data()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "trial {trial} ({m}x{k}x{n}): tiled[{i}]={x} differs from naive[{i}]={y}"
+                );
+            }
+
+            // a × bᵀᵀ via the transposed-RHS kernel == a × b.
+            let via_rhs = a.matmul_transposed_rhs(&b.transpose());
+            assert_eq!(via_rhs, naive, "trial {trial}: matmul_transposed_rhs diverges");
+
+            // aᵀᵀ × b via the transposed-LHS kernel == a × b.
+            let via_lhs = a.transpose().matmul_transposed_lhs(&b);
+            for (x, y) in via_lhs.data().iter().zip(naive.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "trial {trial}: matmul_transposed_lhs diverges");
+            }
+        }
     }
 
     #[test]
@@ -453,6 +847,22 @@ mod tests {
         let b = a.reshape(&[4]);
         assert_eq!(b.shape(), &[4]);
         assert_eq!(b.data(), a.data());
+    }
+
+    #[test]
+    fn into_reshape_moves_the_buffer() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let ptr = a.data().as_ptr();
+        let b = a.into_reshape(&[4, 1]);
+        assert_eq!(b.shape(), &[4, 1]);
+        assert_eq!(b.data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(b.data().as_ptr(), ptr, "into_reshape must not copy the buffer");
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape numel mismatch")]
+    fn into_reshape_rejects_numel_mismatch() {
+        Tensor::from_vec(vec![1.0, 2.0], &[2]).into_reshape(&[3]);
     }
 
     #[test]
