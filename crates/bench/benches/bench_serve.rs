@@ -1,0 +1,83 @@
+//! Serving-layer benchmark: graph ingestion cost, cold-miss vs warm
+//! cache-hit request latency, sustained requests/sec against a warm cache,
+//! and the cache-hit ratio of a mixed request stream.
+//!
+//! The service under test is a frozen snapshot replica behind the
+//! canonical-hash result cache — the production configuration described in
+//! ROADMAP's "Serving dataflow". Cold misses pay one greedy policy episode;
+//! warm hits pay a hash and a map lookup, so the hit/miss ratio is the
+//! headline number a deployment cares about.
+//!
+//! Knobs: `XRLFLOW_ITERS` (timed repetitions), `XRLFLOW_MAX_CANDIDATES`
+//! (action-space bound), `XRLFLOW_SERVE_REQUESTS` (requests per timed
+//! batch), `XRLFLOW_BENCH_JSON` (result artifact path).
+
+use xrlflow_bench::{env_usize, finish, iters_from_env, report, report_rate, report_ratio, time_ns};
+use xrlflow_core::{XrlflowAgent, XrlflowConfig};
+use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+use xrlflow_graph::Graph;
+use xrlflow_serve::OptimizeService;
+
+fn main() {
+    let iters = iters_from_env(3);
+    let requests = env_usize("XRLFLOW_SERVE_REQUESTS", 64);
+
+    let mut config = XrlflowConfig::bench();
+    config.env.max_candidates = env_usize("XRLFLOW_MAX_CANDIDATES", config.env.max_candidates);
+
+    let snapshot = XrlflowAgent::new(&config, 0).snapshot();
+    let kinds = [ModelKind::SqueezeNet, ModelKind::Bert];
+    let graphs: Vec<Graph> = kinds.iter().map(|&k| build_model(k, ModelScale::Bench).unwrap()).collect();
+    let bodies: Vec<String> = graphs.iter().map(Graph::to_json).collect();
+
+    println!("== optimisation service ({requests} requests/batch) ==\n");
+
+    // Ingestion: JSON import (parse + full validation) of a request body.
+    for (kind, body) in kinds.iter().zip(&bodies) {
+        let ns = time_ns(1, iters, || Graph::from_json(body).unwrap().num_nodes());
+        report(&format!("serve/import_json/{}", kind.name()), ns);
+    }
+
+    // Cold miss vs warm hit on one graph. A fresh service per iteration
+    // keeps every "cold" measurement genuinely cold.
+    let cold_ns = time_ns(0, iters, || {
+        let service = OptimizeService::from_snapshot(&config, &snapshot).unwrap();
+        service.optimize_json(&bodies[0]).unwrap().steps
+    });
+    report("serve/request_cold_miss/SqueezeNet", cold_ns);
+
+    let warm_service = OptimizeService::from_snapshot(&config, &snapshot).unwrap();
+    for body in &bodies {
+        warm_service.optimize_json(body).unwrap();
+    }
+    let warm_ns = time_ns(1, iters, || warm_service.optimize_json(&bodies[0]).unwrap().steps);
+    report("serve/request_warm_hit/SqueezeNet", warm_ns);
+    report_ratio("serve/cold_over_warm/SqueezeNet", cold_ns / warm_ns.max(1.0));
+
+    // Sustained throughput over a mixed stream of known graphs (all warm).
+    let stream_ns = time_ns(1, iters, || {
+        let mut steps = 0;
+        for i in 0..requests {
+            steps += warm_service.optimize_json(&bodies[i % bodies.len()]).unwrap().steps;
+        }
+        steps
+    });
+    report_rate("serve/requests_per_sec_warm", requests as f64 / (stream_ns / 1e9));
+
+    // Cache-hit ratio of everything this process sent to the warm service.
+    let stats = warm_service.stats();
+    report_ratio("serve/cache_hit_ratio", stats.cache_hits as f64 / stats.requests.max(1) as f64);
+    println!(
+        "   ({} requests, {} hits, {} policy episodes)",
+        stats.requests, stats.cache_hits, stats.policy_invocations
+    );
+
+    // Cache persistence round trip (save + load of the warm cache).
+    let persist_ns = time_ns(1, iters, || {
+        let restored = xrlflow_serve::ResultCache::from_json(&warm_service.cache_to_json()).unwrap();
+        restored.len()
+    });
+    report("serve/cache_persist_roundtrip", persist_ns);
+
+    finish("bench_serve");
+}

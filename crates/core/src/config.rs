@@ -96,6 +96,159 @@ impl XrlflowConfig {
             .unwrap_or(self.num_workers)
             .max(1)
     }
+
+    /// Starts a validating builder seeded with the paper configuration.
+    ///
+    /// The presets ([`XrlflowConfig::paper`], [`XrlflowConfig::bench`],
+    /// [`XrlflowConfig::smoke_test`]) stay infallible; the builder is the
+    /// boundary-facing path for externally supplied settings, rejecting
+    /// degenerate values (zero workers, episodes, batch sizes, …) with a
+    /// typed [`ConfigError`] instead of panicking deep inside training.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xrlflow_core::XrlflowConfig;
+    ///
+    /// let cfg = XrlflowConfig::builder().training_episodes(50).num_workers(2).build().unwrap();
+    /// assert_eq!(cfg.training_episodes, 50);
+    /// assert!(XrlflowConfig::builder().num_workers(0).build().is_err());
+    /// ```
+    pub fn builder() -> XrlflowConfigBuilder {
+        XrlflowConfigBuilder { config: XrlflowConfig::paper() }
+    }
+
+    /// Checks the configuration for degenerate values. Presets always pass;
+    /// hand-assembled configurations can use this before handing the value
+    /// to a trainer or service.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let positive = |field: &'static str, value: usize| {
+            if value == 0 {
+                Err(ConfigError { field, message: "must be positive".to_string() })
+            } else {
+                Ok(())
+            }
+        };
+        positive("training_episodes", self.training_episodes)?;
+        positive("num_workers", self.num_workers)?;
+        positive("ppo.batch_size", self.ppo.batch_size)?;
+        positive("ppo.update_frequency", self.ppo.update_frequency)?;
+        positive("ppo.epochs_per_update", self.ppo.epochs_per_update)?;
+        positive("encoder.hidden_dim", self.encoder.hidden_dim)?;
+        positive("encoder.num_gat_layers", self.encoder.num_gat_layers)?;
+        positive("env.max_steps", self.env.max_steps)?;
+        positive("env.max_candidates", self.env.max_candidates)?;
+        positive("env.feedback_frequency", self.env.feedback_frequency)?;
+        if self.head_dims.is_empty() {
+            return Err(ConfigError {
+                field: "head_dims",
+                message: "must name at least one hidden layer".to_string(),
+            });
+        }
+        for (i, &dim) in self.head_dims.iter().enumerate() {
+            if dim == 0 {
+                return Err(ConfigError {
+                    field: "head_dims",
+                    message: format!("layer {i} must be positive"),
+                });
+            }
+        }
+        if !(self.ppo.learning_rate.is_finite() && self.ppo.learning_rate > 0.0) {
+            return Err(ConfigError {
+                field: "ppo.learning_rate",
+                message: format!("must be positive and finite, got {}", self.ppo.learning_rate),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A rejected [`XrlflowConfigBuilder::build`]: which field failed and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Dotted path of the offending field (e.g. `"ppo.batch_size"`).
+    pub field: &'static str,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid configuration: {} {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`XrlflowConfig`] — see [`XrlflowConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct XrlflowConfigBuilder {
+    config: XrlflowConfig,
+}
+
+impl XrlflowConfigBuilder {
+    /// Starts from an existing configuration instead of the paper preset.
+    pub fn from_config(config: XrlflowConfig) -> Self {
+        Self { config }
+    }
+
+    /// Sets the total number of training episodes.
+    pub fn training_episodes(mut self, episodes: usize) -> Self {
+        self.config.training_episodes = episodes;
+        self
+    }
+
+    /// Sets the rollout worker count.
+    pub fn num_workers(mut self, workers: usize) -> Self {
+        self.config.num_workers = workers;
+        self
+    }
+
+    /// Sets the PPO hyper-parameters wholesale.
+    pub fn ppo(mut self, ppo: PpoHyperParams) -> Self {
+        self.config.ppo = ppo;
+        self
+    }
+
+    /// Sets the PPO mini-batch size.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.config.ppo.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the PPO learning rate.
+    pub fn learning_rate(mut self, learning_rate: f32) -> Self {
+        self.config.ppo.learning_rate = learning_rate;
+        self
+    }
+
+    /// Sets the GNN encoder configuration.
+    pub fn encoder(mut self, encoder: EncoderConfig) -> Self {
+        self.config.encoder = encoder;
+        self
+    }
+
+    /// Sets the MLP head hidden sizes.
+    pub fn head_dims(mut self, head_dims: Vec<usize>) -> Self {
+        self.config.head_dims = head_dims;
+        self
+    }
+
+    /// Sets the environment configuration.
+    pub fn env(mut self, env: EnvConfig) -> Self {
+        self.config.env = env;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first degenerate field.
+    pub fn build(self) -> Result<XrlflowConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 impl Default for XrlflowConfig {
@@ -168,6 +321,54 @@ mod tests {
         assert!(cfg.encoder.hidden_dim <= 16);
         assert!(cfg.env.max_steps <= 5);
         assert!(cfg.training_episodes <= 4);
+    }
+
+    #[test]
+    fn builder_accepts_valid_overrides() {
+        let cfg = XrlflowConfig::builder()
+            .training_episodes(12)
+            .num_workers(3)
+            .batch_size(4)
+            .head_dims(vec![32])
+            .build()
+            .unwrap();
+        assert_eq!(cfg.training_episodes, 12);
+        assert_eq!(cfg.num_workers, 3);
+        assert_eq!(cfg.ppo.batch_size, 4);
+        assert_eq!(cfg.head_dims, vec![32]);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_values() {
+        let cases: Vec<(XrlflowConfigBuilder, &str)> = vec![
+            (XrlflowConfig::builder().training_episodes(0), "training_episodes"),
+            (XrlflowConfig::builder().num_workers(0), "num_workers"),
+            (XrlflowConfig::builder().batch_size(0), "ppo.batch_size"),
+            (XrlflowConfig::builder().head_dims(vec![]), "head_dims"),
+            (XrlflowConfig::builder().head_dims(vec![64, 0]), "head_dims"),
+            (XrlflowConfig::builder().learning_rate(0.0), "ppo.learning_rate"),
+            (XrlflowConfig::builder().learning_rate(f32::NAN), "ppo.learning_rate"),
+            (
+                XrlflowConfig::builder().encoder(EncoderConfig { hidden_dim: 0, num_gat_layers: 1 }),
+                "encoder.hidden_dim",
+            ),
+            (
+                XrlflowConfig::builder().env(EnvConfig { max_steps: 0, ..EnvConfig::default() }),
+                "env.max_steps",
+            ),
+        ];
+        for (builder, field) in cases {
+            let err = builder.build().expect_err(field);
+            assert_eq!(err.field, field);
+            assert!(err.to_string().contains(field));
+        }
+    }
+
+    #[test]
+    fn presets_all_validate() {
+        for cfg in [XrlflowConfig::paper(), XrlflowConfig::bench(), XrlflowConfig::smoke_test()] {
+            cfg.validate().unwrap();
+        }
     }
 
     #[test]

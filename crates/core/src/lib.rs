@@ -31,9 +31,9 @@ mod optimizer;
 mod trainer;
 
 pub use agent::{AgentDecision, PolicyEvaluation, XrlflowAgent};
-pub use config::{HyperParameterTable, XrlflowConfig};
+pub use config::{ConfigError, HyperParameterTable, XrlflowConfig, XrlflowConfigBuilder};
 pub use generalization::{run_generalization, GeneralizationPoint, GeneralizationReport};
-pub use optimizer::{XrlflowResult, XrlflowSystem};
+pub use optimizer::{greedy_optimize, XrlflowResult, XrlflowSystem};
 pub use trainer::{
     collect_episode_with_rng, minibatch_grads_serial, minibatch_shuffle_seed, transition_grad,
     transition_grad_into, MinibatchContext, MinibatchGrads, ModelBreakdown, TrainReport, Trainer,

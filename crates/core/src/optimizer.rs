@@ -109,37 +109,8 @@ impl XrlflowSystem {
     /// Optimises a graph with the current policy acting greedily (the
     /// deployment path: one forward pass per transformation step).
     pub fn optimize(&mut self, graph: &Graph) -> XrlflowResult {
-        let start = Instant::now();
         let mut env = self.make_environment(graph);
-        let mut obs = env.reset(0);
-        let mut rule_applications: HashMap<&'static str, usize> = HashMap::new();
-        let mut steps = 0;
-        loop {
-            if obs.num_candidates() == 0 {
-                break;
-            }
-            let decision = self.agent.act(&obs, &mut self.rng, true);
-            if decision.action == obs.noop_action() {
-                break;
-            }
-            let rule = obs.candidates[decision.action].rule_name;
-            let result = env.step(&obs, decision.action);
-            *rule_applications.entry(rule).or_insert(0) += 1;
-            steps += 1;
-            if result.done {
-                break;
-            }
-            obs = result.observation;
-        }
-        let stats = env.episode_stats();
-        XrlflowResult {
-            graph: env.current_graph().clone(),
-            initial_latency_ms: stats.initial_latency_ms,
-            final_latency_ms: stats.final_latency_ms,
-            steps,
-            rule_applications,
-            optimisation_time_s: start.elapsed().as_secs_f64(),
-        }
+        greedy_optimize(&self.agent, &mut env, &mut self.rng)
     }
 
     /// Trains on a graph and then optimises it greedily — the end-to-end
@@ -148,6 +119,47 @@ impl XrlflowSystem {
         let report = self.train_on(graph, episodes);
         let result = self.optimize(graph);
         (report, result)
+    }
+}
+
+/// Runs one greedy optimisation episode of `agent` against `env` and
+/// collects the deployment-path metrics.
+///
+/// This is the policy-inference loop shared by [`XrlflowSystem::optimize`]
+/// and the serving layer, which drives it with a read-only snapshot replica
+/// of a trained agent (`XrlflowAgent::from_snapshot`) over a shared
+/// environment — the agent is only read, so one replica can serve many
+/// sequential requests.
+pub fn greedy_optimize(agent: &XrlflowAgent, env: &mut Environment, rng: &mut XorShiftRng) -> XrlflowResult {
+    let start = Instant::now();
+    let mut obs = env.reset(0);
+    let mut rule_applications: HashMap<&'static str, usize> = HashMap::new();
+    let mut steps = 0;
+    loop {
+        if obs.num_candidates() == 0 {
+            break;
+        }
+        let decision = agent.act(&obs, rng, true);
+        if decision.action == obs.noop_action() {
+            break;
+        }
+        let rule = obs.candidates[decision.action].rule_name;
+        let result = env.step(&obs, decision.action);
+        *rule_applications.entry(rule).or_insert(0) += 1;
+        steps += 1;
+        if result.done {
+            break;
+        }
+        obs = result.observation;
+    }
+    let stats = env.episode_stats();
+    XrlflowResult {
+        graph: env.current_graph().clone(),
+        initial_latency_ms: stats.initial_latency_ms,
+        final_latency_ms: stats.final_latency_ms,
+        steps,
+        rule_applications,
+        optimisation_time_s: start.elapsed().as_secs_f64(),
     }
 }
 

@@ -103,6 +103,12 @@ pub enum GraphError {
         /// Output port referenced.
         port: usize,
     },
+    /// A serialised graph document is malformed or violates the interchange
+    /// schema (bad JSON syntax, wrong format marker, unsupported version,
+    /// missing or ill-typed keys).
+    Parse(String),
+    /// A serialised graph named an operator kind this build does not know.
+    UnknownOp(String),
 }
 
 impl std::fmt::Display for GraphError {
@@ -123,6 +129,8 @@ impl std::fmt::Display for GraphError {
             GraphError::InvalidPatchRef { node, port } => {
                 write!(f, "invalid patch reference: added node {node}, port {port}")
             }
+            GraphError::Parse(message) => write!(f, "malformed graph document: {message}"),
+            GraphError::UnknownOp(name) => write!(f, "unknown operator {name:?}"),
         }
     }
 }
@@ -232,6 +240,24 @@ impl Graph {
         if !self.outputs.contains(&r) {
             self.outputs.push(r);
         }
+    }
+
+    /// Marks a tensor as a graph output after checking that it resolves —
+    /// the fallible variant for references from untrusted input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the node or port does not exist.
+    pub fn try_mark_output(&mut self, r: TensorRef) -> Result<(), GraphError> {
+        self.tensor_shape(r)?;
+        self.mark_output(r);
+        Ok(())
+    }
+
+    /// Assembles a graph directly from node storage and output references —
+    /// used by the JSON importer, which validates the result afterwards.
+    pub(crate) fn from_raw_parts(nodes: Vec<Option<Node>>, outputs: Vec<TensorRef>) -> Self {
+        Self { nodes, outputs }
     }
 
     /// The graph outputs.

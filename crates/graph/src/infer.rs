@@ -114,6 +114,9 @@ pub fn infer_output_shapes(
                 )));
             }
             let stride = attrs.stride.unwrap_or([1, 1]);
+            if stride[0] == 0 || stride[1] == 0 {
+                return Err(shape_err(format!("Conv2d stride must be positive, got {:?}", stride)));
+            }
             let oh = conv_spatial(h, kh, stride[0], attrs.padding);
             let ow = conv_spatial(wd, kw, stride[1], attrs.padding);
             if oh == 0 || ow == 0 {
@@ -161,7 +164,13 @@ pub fn infer_output_shapes(
                 return Err(shape_err(format!("pooling requires NCHW input, got {x}")));
             }
             let kernel = attrs.kernel.ok_or_else(|| shape_err("pooling requires a kernel".into()))?;
+            if kernel[0] == 0 || kernel[1] == 0 {
+                return Err(shape_err(format!("pooling kernel must be positive, got {:?}", kernel)));
+            }
             let stride = attrs.stride.unwrap_or(kernel);
+            if stride[0] == 0 || stride[1] == 0 {
+                return Err(shape_err(format!("pooling stride must be positive, got {:?}", stride)));
+            }
             let oh = conv_spatial(x.dim(2), kernel[0], stride[0], attrs.padding);
             let ow = conv_spatial(x.dim(3), kernel[1], stride[1], attrs.padding);
             if oh == 0 || ow == 0 {
@@ -198,7 +207,7 @@ pub fn infer_output_shapes(
             if axis >= first.rank() {
                 return Err(shape_err(format!("concat axis {axis} out of range for {first}")));
             }
-            let mut total = 0;
+            let mut total = 0usize;
             for s in inputs {
                 if s.rank() != first.rank() {
                     return Err(shape_err(format!("concat rank mismatch: {first} vs {s}")));
@@ -208,7 +217,9 @@ pub fn infer_output_shapes(
                         return Err(shape_err(format!("concat dim {d} mismatch: {first} vs {s}")));
                     }
                 }
-                total += s.dim(axis);
+                total = total
+                    .checked_add(s.dim(axis))
+                    .ok_or_else(|| shape_err(format!("concat size along axis {axis} overflows usize")))?;
             }
             let mut dims = first.dims().to_vec();
             dims[axis] = total;
@@ -262,10 +273,12 @@ pub fn infer_output_shapes(
                 Some(p) => p.clone(),
                 None => (0..x.rank()).rev().collect(),
             };
-            if perm.len() != x.rank() {
-                return Err(shape_err(format!("transpose perm {:?} does not match rank of {x}", perm)));
+            match x.try_permute(&perm) {
+                Some(out) => Ok(vec![out]),
+                None => {
+                    Err(shape_err(format!("transpose perm {:?} is not a permutation of {x}'s axes", perm)))
+                }
             }
-            Ok(vec![x.permute(&perm)])
         }
 
         OpKind::Reshape => {
@@ -274,8 +287,14 @@ pub fn infer_output_shapes(
                 .target_shape
                 .as_ref()
                 .ok_or_else(|| shape_err("Reshape requires a target shape".into()))?;
-            let numel: usize = target.iter().product();
-            if numel != inputs[0].numel() {
+            let numel = target
+                .iter()
+                .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+                .ok_or_else(|| shape_err(format!("reshape target {:?} overflows usize", target)))?;
+            let in_numel = inputs[0]
+                .checked_numel()
+                .ok_or_else(|| shape_err(format!("element count of {} overflows usize", inputs[0])))?;
+            if numel != in_numel {
                 return Err(shape_err(format!(
                     "reshape of {} to {:?} changes element count",
                     inputs[0], target

@@ -19,6 +19,7 @@
 
 mod graph;
 mod infer;
+pub mod json;
 pub mod models;
 mod op;
 mod patch;
@@ -26,6 +27,7 @@ mod shape;
 
 pub use graph::{Graph, GraphError, Node, NodeId, TensorRef};
 pub use infer::infer_output_shapes;
+pub use json::JsonValue;
 pub use op::{FusedActivation, OpAttributes, OpKind, Padding};
 pub use patch::{GraphPatch, PatchBuilder, PatchNode, PatchNodeId, PatchRef};
 pub use shape::TensorShape;

@@ -19,6 +19,29 @@ pub enum FusedActivation {
     Gelu,
 }
 
+impl FusedActivation {
+    /// Lower-case name used by the JSON graph interchange.
+    pub fn name(self) -> &'static str {
+        match self {
+            FusedActivation::Relu => "relu",
+            FusedActivation::Sigmoid => "sigmoid",
+            FusedActivation::Tanh => "tanh",
+            FusedActivation::Gelu => "gelu",
+        }
+    }
+
+    /// Parses a fused activation from its [`FusedActivation::name`] string.
+    pub fn from_name(name: &str) -> Option<FusedActivation> {
+        match name {
+            "relu" => Some(FusedActivation::Relu),
+            "sigmoid" => Some(FusedActivation::Sigmoid),
+            "tanh" => Some(FusedActivation::Tanh),
+            "gelu" => Some(FusedActivation::Gelu),
+            _ => None,
+        }
+    }
+}
+
 /// Padding mode for convolution and pooling operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Padding {
@@ -27,6 +50,25 @@ pub enum Padding {
     Same,
     /// No implicit padding (TF "VALID").
     Valid,
+}
+
+impl Padding {
+    /// Lower-case name used by the JSON graph interchange.
+    pub fn name(self) -> &'static str {
+        match self {
+            Padding::Same => "same",
+            Padding::Valid => "valid",
+        }
+    }
+
+    /// Parses a padding mode from its [`Padding::name`] string.
+    pub fn from_name(name: &str) -> Option<Padding> {
+        match name {
+            "same" => Some(Padding::Same),
+            "valid" => Some(Padding::Valid),
+            _ => None,
+        }
+    }
 }
 
 /// The operator kinds supported by the graph IR.
@@ -145,6 +187,12 @@ impl OpKind {
     /// Index of this operator in [`OpKind::ALL`] (stable one-hot position).
     pub fn index(self) -> usize {
         Self::ALL.iter().position(|&k| k == self).expect("operator missing from OpKind::ALL")
+    }
+
+    /// Parses an operator kind from its [`OpKind::name`] string — the
+    /// inverse used by the JSON graph interchange.
+    pub fn from_name(name: &str) -> Option<OpKind> {
+        Self::ALL.iter().copied().find(|op| op.name() == name)
     }
 
     /// Returns `true` for graph-source operators that carry no computation

@@ -46,6 +46,13 @@ impl TensorShape {
         self.0.iter().product()
     }
 
+    /// Total number of elements, or `None` when the product overflows
+    /// `usize` — the overflow-safe variant used when validating untrusted
+    /// shapes at the graph ingestion boundary.
+    pub fn checked_numel(&self) -> Option<usize> {
+        self.0.iter().try_fold(1usize, |acc, &d| acc.checked_mul(d))
+    }
+
     /// Size of the given dimension.
     ///
     /// # Panics
@@ -83,19 +90,31 @@ impl TensorShape {
         Self(dims)
     }
 
+    /// Returns a new shape permuted by `perm`, or `None` when `perm` is not
+    /// a permutation of `0..rank` — the fallible variant shape inference
+    /// uses so untrusted `Transpose` attributes surface as typed errors.
+    pub fn try_permute(&self, perm: &[usize]) -> Option<Self> {
+        if perm.len() != self.rank() {
+            return None;
+        }
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            if p >= perm.len() || seen[p] {
+                return None;
+            }
+            seen[p] = true;
+        }
+        Some(Self(perm.iter().map(|&p| self.0[p]).collect()))
+    }
+
     /// Returns a new shape permuted by `perm`.
     ///
     /// # Panics
     ///
-    /// Panics if `perm` is not a permutation of `0..rank`.
+    /// Panics if `perm` is not a permutation of `0..rank`; use
+    /// [`TensorShape::try_permute`] for untrusted input.
     pub fn permute(&self, perm: &[usize]) -> Self {
-        assert_eq!(perm.len(), self.rank(), "permutation rank mismatch");
-        let mut seen = vec![false; perm.len()];
-        for &p in perm {
-            assert!(p < perm.len() && !seen[p], "invalid permutation {:?}", perm);
-            seen[p] = true;
-        }
-        Self(perm.iter().map(|&p| self.0[p]).collect())
+        self.try_permute(perm).unwrap_or_else(|| panic!("invalid permutation {:?} of {self}", perm))
     }
 
     /// Returns `true` when two shapes are broadcast-compatible in the NumPy

@@ -1,0 +1,131 @@
+//! Round-trip property tests for the JSON interchange format over the whole
+//! model zoo, plus negative tests proving malformed documents surface as
+//! typed [`GraphError`]s and never panics.
+
+use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+use xrlflow_graph::{Graph, GraphError};
+
+const ALL_MODELS: &[ModelKind] = &[
+    ModelKind::InceptionV3,
+    ModelKind::SqueezeNet,
+    ModelKind::ResNext50,
+    ModelKind::ResNet18,
+    ModelKind::Bert,
+    ModelKind::DallE,
+    ModelKind::TransformerTransducer,
+    ModelKind::Vit,
+];
+
+#[test]
+fn every_zoo_model_round_trips_exactly() {
+    for &kind in ALL_MODELS {
+        let graph = build_model(kind, ModelScale::Bench).unwrap();
+        let text = graph.to_json();
+        let back = Graph::from_json(&text).unwrap_or_else(|e| panic!("{kind:?} failed to re-import: {e}"));
+        assert_eq!(back.canonical_hash(), graph.canonical_hash(), "{kind:?}: canonical hash changed");
+        assert_eq!(back.num_nodes(), graph.num_nodes(), "{kind:?}: node count changed");
+        assert_eq!(back.num_edges(), graph.num_edges(), "{kind:?}: edge count changed");
+        assert_eq!(back.outputs(), graph.outputs(), "{kind:?}: output refs changed");
+        // A second trip through text is byte-identical (the format is a
+        // stable cache key, not just semantically faithful).
+        assert_eq!(back.to_json(), text, "{kind:?}: export not stable under round trip");
+    }
+}
+
+#[test]
+fn paper_scale_model_round_trips() {
+    // One paper-scale graph keeps the big-graph path honest without making
+    // the suite slow.
+    let graph = build_model(ModelKind::SqueezeNet, ModelScale::Paper).unwrap();
+    let back = Graph::from_json(&graph.to_json()).unwrap();
+    assert_eq!(back.canonical_hash(), graph.canonical_hash());
+    assert_eq!(back.num_nodes(), graph.num_nodes());
+}
+
+#[test]
+fn truncations_of_a_real_model_never_panic() {
+    let text = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap().to_json();
+    // Every prefix would be slow; sample a spread of cut points.
+    let step = (text.len() / 64).max(1);
+    for cut in (0..text.len()).step_by(step) {
+        match Graph::from_json(&text[..cut]) {
+            Err(_) => {}
+            Ok(_) => panic!("truncation at {cut} unexpectedly imported"),
+        }
+    }
+}
+
+#[test]
+fn wrong_version_is_a_typed_error() {
+    let text = build_model(ModelKind::Bert, ModelScale::Bench).unwrap().to_json();
+    let bumped = text.replacen("\"version\": 1", "\"version\": 2", 1);
+    match Graph::from_json(&bumped) {
+        Err(GraphError::Parse(message)) => assert!(message.contains("version"), "got {message:?}"),
+        other => panic!("expected parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupted_documents_are_typed_errors() {
+    let docs = [
+        // Unknown operator name.
+        r#"{"format": "xrlflow-graph", "version": 1, "nodes": [
+            {"op": "Nope", "outputs": [[1]]}], "outputs": [[0, 0]]}"#,
+        // Dangling input reference.
+        r#"{"format": "xrlflow-graph", "version": 1, "nodes": [
+            {"op": "Relu", "inputs": [[5, 0]], "outputs": [[1]]}], "outputs": [[0, 0]]}"#,
+        // Two-node cycle.
+        r#"{"format": "xrlflow-graph", "version": 1, "nodes": [
+            {"op": "Relu", "inputs": [[1, 0]], "outputs": [[1]]},
+            {"op": "Relu", "inputs": [[0, 0]], "outputs": [[1]]}], "outputs": [[1, 0]]}"#,
+        // Stored shape disagreeing with inference.
+        r#"{"format": "xrlflow-graph", "version": 1, "nodes": [
+            {"op": "Input", "outputs": [[1, 8]]},
+            {"op": "Relu", "inputs": [[0, 0]], "outputs": [[1, 9]]}], "outputs": [[1, 0]]}"#,
+        // Dangling graph output.
+        r#"{"format": "xrlflow-graph", "version": 1, "nodes": [
+            {"op": "Input", "outputs": [[1, 8]]}], "outputs": [[4, 0]]}"#,
+        // Negative node index.
+        r#"{"format": "xrlflow-graph", "version": 1, "nodes": [
+            {"op": "Input", "outputs": [[1, 8]]},
+            {"op": "Relu", "inputs": [[-1, 0]], "outputs": [[1, 8]]}], "outputs": [[1, 0]]}"#,
+        // Shape product overflowing usize.
+        r#"{"format": "xrlflow-graph", "version": 1, "nodes": [
+            {"op": "Input", "outputs": [[4000000000, 4000000000, 4000000000]]}], "outputs": [[0, 0]]}"#,
+        // Transpose attribute that is not a permutation.
+        r#"{"format": "xrlflow-graph", "version": 1, "nodes": [
+            {"op": "Input", "outputs": [[2, 3]]},
+            {"op": "Transpose", "inputs": [[0, 0]], "attrs": {"perm": [1, 1]},
+             "outputs": [[3, 2]]}], "outputs": [[1, 0]]}"#,
+        // Conv with zero stride (division-by-zero hazard).
+        r#"{"format": "xrlflow-graph", "version": 1, "nodes": [
+            {"op": "Input", "outputs": [[1, 3, 8, 8]]},
+            {"op": "Weight", "outputs": [[4, 3, 3, 3]]},
+            {"op": "Conv2d", "inputs": [[0, 0], [1, 0]],
+             "attrs": {"kernel": [3, 3], "stride": [0, 0]}, "outputs": [[1, 4, 8, 8]]}],
+            "outputs": [[2, 0]]}"#,
+    ];
+    for (i, doc) in docs.iter().enumerate() {
+        match Graph::from_json(doc) {
+            Err(_) => {}
+            Ok(_) => panic!("corrupted document {i} unexpectedly imported"),
+        }
+    }
+}
+
+#[test]
+fn bit_flips_in_a_real_document_never_panic() {
+    // Fuzz-lite: single-character corruptions of a valid document must
+    // either re-import (the character was in a name) or fail with a typed
+    // error — never panic. Deterministic, no RNG.
+    let text = build_model(ModelKind::Vit, ModelScale::Bench).unwrap().to_json();
+    let bytes = text.as_bytes();
+    let step = (bytes.len() / 48).max(1);
+    for pos in (0..bytes.len()).step_by(step) {
+        let mut corrupted = bytes.to_vec();
+        corrupted[pos] = corrupted[pos].wrapping_add(1);
+        if let Ok(s) = String::from_utf8(corrupted) {
+            let _ = Graph::from_json(&s);
+        }
+    }
+}

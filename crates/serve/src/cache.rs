@@ -1,0 +1,272 @@
+//! The persistent optimisation-result cache.
+//!
+//! Results are keyed by the *request* graph's [`Graph::canonical_hash`], so
+//! structurally identical graphs — regardless of node numbering, insertion
+//! order, or names — share one entry. The cache serialises to a versioned
+//! JSON document (graphs embedded in the interchange format of
+//! [`xrlflow_graph::json`]) so a restarted server can reload it and keep
+//! answering repeat requests without re-running the policy.
+//!
+//! Cache keys are serialised as **decimal strings**, not JSON numbers:
+//! canonical hashes use all 64 bits and JSON numbers are `f64`, which is
+//! only exact up to 2^53.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use xrlflow_graph::{Graph, JsonValue};
+
+use crate::error::ServeError;
+
+/// The persistence format version this build writes and accepts.
+pub const CACHE_JSON_VERSION: u64 = 1;
+
+/// The `"format"` marker identifying a cache snapshot document.
+pub const CACHE_JSON_FORMAT: &str = "xrlflow-serve-cache";
+
+/// One cached optimisation outcome.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The optimised graph.
+    pub graph: Arc<Graph>,
+    /// Simulated latency of the request graph (ms).
+    pub initial_latency_ms: f64,
+    /// Simulated latency of the optimised graph (ms).
+    pub final_latency_ms: f64,
+    /// Number of substitutions the policy applied.
+    pub steps: usize,
+}
+
+/// An in-memory result cache keyed by canonical graph hash, snapshot-
+/// persistable to disk.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    entries: HashMap<u64, CacheEntry>,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the result for a request graph's canonical hash.
+    pub fn get(&self, key: u64) -> Option<&CacheEntry> {
+        self.entries.get(&key)
+    }
+
+    /// Stores a result. Overwriting an existing key is deliberate and
+    /// harmless: optimisation is deterministic per key (the policy is
+    /// read-only and the episode RNG is seeded from the key), so two racing
+    /// misses compute identical entries.
+    pub fn insert(&mut self, key: u64, entry: CacheEntry) {
+        self.entries.insert(key, entry);
+    }
+
+    /// Serialises the cache as a versioned JSON snapshot. Entries are
+    /// ordered by key so the output is byte-stable.
+    pub fn to_json(&self) -> String {
+        let mut keys: Vec<u64> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
+        let entries: Vec<JsonValue> = keys
+            .iter()
+            .map(|key| {
+                let e = &self.entries[key];
+                JsonValue::Object(vec![
+                    ("key".to_string(), JsonValue::String(key.to_string())),
+                    ("initial_latency_ms".to_string(), JsonValue::Number(e.initial_latency_ms)),
+                    ("final_latency_ms".to_string(), JsonValue::Number(e.final_latency_ms)),
+                    ("steps".to_string(), JsonValue::Number(e.steps as f64)),
+                    ("graph".to_string(), e.graph.to_json_value()),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("format".to_string(), JsonValue::String(CACHE_JSON_FORMAT.to_string())),
+            ("version".to_string(), JsonValue::Number(CACHE_JSON_VERSION as f64)),
+            ("entries".to_string(), JsonValue::Array(entries)),
+        ])
+        .to_json()
+    }
+
+    /// Restores a cache from a JSON snapshot, fully validating it: the
+    /// format marker and version, every key, every latency, and every
+    /// embedded graph (which goes through the same import validation as a
+    /// request graph).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Cache`] for malformed documents, [`ServeError::Graph`]
+    /// for embedded graphs that fail import validation.
+    pub fn from_json(text: &str) -> Result<Self, ServeError> {
+        let cache_err = |message: String| ServeError::Cache(message);
+        let value = JsonValue::parse(text).map_err(cache_err)?;
+        let format = value
+            .get("format")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| cache_err("missing \"format\" marker".to_string()))?;
+        if format != CACHE_JSON_FORMAT {
+            return Err(cache_err(format!("not a cache snapshot (format {format:?})")));
+        }
+        let version = value
+            .get("version")
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| cache_err("missing \"version\"".to_string()))?;
+        if version as u64 != CACHE_JSON_VERSION {
+            return Err(cache_err(format!(
+                "unsupported version {version} (this build reads version {CACHE_JSON_VERSION})"
+            )));
+        }
+        let entry_values = value
+            .get("entries")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| cache_err("missing \"entries\" array".to_string()))?;
+        let mut entries = HashMap::with_capacity(entry_values.len());
+        for (i, ev) in entry_values.iter().enumerate() {
+            let key = ev
+                .get("key")
+                .and_then(JsonValue::as_str)
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| cache_err(format!("entry {i}: key must be a decimal u64 string")))?;
+            let latency = |field: &str| {
+                ev.get(field)
+                    .and_then(JsonValue::as_f64)
+                    .filter(|l| l.is_finite() && *l >= 0.0)
+                    .ok_or_else(|| cache_err(format!("entry {i}: {field} must be a non-negative number")))
+            };
+            let initial_latency_ms = latency("initial_latency_ms")?;
+            let final_latency_ms = latency("final_latency_ms")?;
+            let steps = ev
+                .get("steps")
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| cache_err(format!("entry {i}: steps must be a non-negative integer")))?;
+            let graph_value =
+                ev.get("graph").ok_or_else(|| cache_err(format!("entry {i}: missing graph")))?;
+            let graph = Graph::from_json_value(graph_value)?;
+            entries.insert(
+                key,
+                CacheEntry { graph: Arc::new(graph), initial_latency_ms, final_latency_ms, steps },
+            );
+        }
+        Ok(Self { entries })
+    }
+
+    /// Writes a JSON snapshot of the cache to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the file cannot be written.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ServeError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_json())
+            .map_err(|e| ServeError::Io(format!("writing {}: {e}", path.display())))
+    }
+
+    /// Loads and validates a JSON snapshot from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the file cannot be read; the
+    /// [`ResultCache::from_json`] errors for malformed content.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ServeError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ServeError::Io(format!("reading {}: {e}", path.display())))?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+
+    fn entry() -> (u64, CacheEntry) {
+        let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+        let key = graph.canonical_hash();
+        (
+            key,
+            CacheEntry { graph: Arc::new(graph), initial_latency_ms: 4.25, final_latency_ms: 3.5, steps: 7 },
+        )
+    }
+
+    #[test]
+    fn json_round_trip_preserves_entries_exactly() {
+        let mut cache = ResultCache::new();
+        let (key, e) = entry();
+        cache.insert(key, e.clone());
+        let back = ResultCache::from_json(&cache.to_json()).unwrap();
+        assert_eq!(back.len(), 1);
+        let b = back.get(key).unwrap();
+        assert_eq!(b.graph.canonical_hash(), e.graph.canonical_hash());
+        assert_eq!(b.initial_latency_ms, e.initial_latency_ms);
+        assert_eq!(b.final_latency_ms, e.final_latency_ms);
+        assert_eq!(b.steps, e.steps);
+        // Byte-stable output.
+        assert_eq!(back.to_json(), cache.to_json());
+    }
+
+    #[test]
+    fn large_keys_survive_the_round_trip() {
+        // Keys above 2^53 are exactly the ones JSON numbers would corrupt.
+        let (_, e) = entry();
+        let mut cache = ResultCache::new();
+        let key = u64::MAX - 1;
+        cache.insert(key, e);
+        let back = ResultCache::from_json(&cache.to_json()).unwrap();
+        assert!(back.get(key).is_some());
+        assert!(back.get(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn malformed_snapshots_are_typed_errors() {
+        assert!(matches!(ResultCache::from_json("nope"), Err(ServeError::Cache(_))));
+        assert!(matches!(
+            ResultCache::from_json("{\"format\": \"other\", \"version\": 1, \"entries\": []}"),
+            Err(ServeError::Cache(_))
+        ));
+        assert!(matches!(
+            ResultCache::from_json("{\"format\": \"xrlflow-serve-cache\", \"version\": 9, \"entries\": []}"),
+            Err(ServeError::Cache(_))
+        ));
+        // Numeric (non-string) key: rejected to protect 64-bit exactness.
+        let doc = "{\"format\": \"xrlflow-serve-cache\", \"version\": 1, \"entries\": [\
+            {\"key\": 12, \"initial_latency_ms\": 1, \"final_latency_ms\": 1, \"steps\": 0, \
+             \"graph\": {}}]}";
+        assert!(matches!(ResultCache::from_json(doc), Err(ServeError::Cache(_))));
+        // Corrupted embedded graph: surfaces as a graph import error.
+        let mut cache = ResultCache::new();
+        let (key, e) = entry();
+        cache.insert(key, e);
+        let broken = cache.to_json().replace("MatMul", "BogusOp").replace("Conv2d", "BogusOp");
+        assert!(matches!(ResultCache::from_json(&broken), Err(ServeError::Graph(_))));
+    }
+
+    #[test]
+    fn save_load_round_trip_on_disk() {
+        let mut cache = ResultCache::new();
+        let (key, e) = entry();
+        cache.insert(key, e);
+        let path = std::env::temp_dir().join("xrlflow-serve-cache-unit-test.json");
+        cache.save(&path).unwrap();
+        let back = ResultCache::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.len(), 1);
+        assert!(back.get(key).is_some());
+        assert!(matches!(
+            ResultCache::load(std::env::temp_dir().join("xrlflow-no-such-cache.json")),
+            Err(ServeError::Io(_))
+        ));
+    }
+}

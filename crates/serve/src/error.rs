@@ -1,0 +1,69 @@
+//! The serving layer's error type.
+
+use std::fmt;
+
+use xrlflow_core::ConfigError;
+use xrlflow_graph::GraphError;
+use xrlflow_tensor::SnapshotError;
+
+/// Anything that can go wrong while serving optimisation requests.
+///
+/// Every failure at the service boundary — malformed graph documents,
+/// incompatible policy snapshots, degenerate configurations, cache
+/// persistence problems — arrives as one of these variants; the service
+/// never panics on untrusted input.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The request graph is malformed or semantically invalid.
+    Graph(GraphError),
+    /// The policy snapshot does not match the configured architecture, or
+    /// could not be read.
+    Snapshot(SnapshotError),
+    /// The service configuration is degenerate.
+    Config(ConfigError),
+    /// A cache snapshot could not be read or written.
+    Io(String),
+    /// A persisted cache document is malformed.
+    Cache(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Graph(e) => write!(f, "invalid request graph: {e}"),
+            ServeError::Snapshot(e) => write!(f, "policy snapshot rejected: {e}"),
+            ServeError::Config(e) => write!(f, "service misconfigured: {e}"),
+            ServeError::Io(message) => write!(f, "cache i/o failed: {message}"),
+            ServeError::Cache(message) => write!(f, "malformed cache snapshot: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Graph(e) => Some(e),
+            ServeError::Snapshot(e) => Some(e),
+            ServeError::Config(e) => Some(e),
+            ServeError::Io(_) | ServeError::Cache(_) => None,
+        }
+    }
+}
+
+impl From<GraphError> for ServeError {
+    fn from(e: GraphError) -> Self {
+        ServeError::Graph(e)
+    }
+}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}
+
+impl From<ConfigError> for ServeError {
+    fn from(e: ConfigError) -> Self {
+        ServeError::Config(e)
+    }
+}

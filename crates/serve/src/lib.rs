@@ -1,0 +1,61 @@
+//! # xrlflow-serve
+//!
+//! Optimisation-as-a-service on top of the X-RLflow stack: accept arbitrary
+//! graphs in the JSON interchange format, optimise them with a frozen
+//! policy replica built from a [`ParamSnapshot`](xrlflow_tensor::ParamSnapshot),
+//! and answer repeat requests from a persistent result cache keyed by
+//! [`Graph::canonical_hash`](xrlflow_graph::Graph::canonical_hash).
+//!
+//! Three rules govern the design:
+//!
+//! 1. **The boundary never panics.** Every request — malformed JSON,
+//!    unknown operators, cyclic graphs, tampered shapes — either succeeds
+//!    or returns a typed [`ServeError`].
+//! 2. **The cache key is the canonical hash.** Structurally identical
+//!    graphs share one entry regardless of node numbering or names, and a
+//!    hit costs no policy forward passes.
+//! 3. **Serving never mutates the policy.** The agent is a read-only
+//!    snapshot replica (the rollout engine's replica protocol), so one
+//!    service can be shared across request threads behind an `Arc`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xrlflow_core::{XrlflowAgent, XrlflowConfig};
+//! use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+//! use xrlflow_serve::OptimizeService;
+//!
+//! // Train (or checkpoint-load) a policy, snapshot it, serve the snapshot.
+//! let config = XrlflowConfig::smoke_test();
+//! let snapshot = XrlflowAgent::new(&config, 0).snapshot();
+//! let service = OptimizeService::from_snapshot(&config, &snapshot).unwrap();
+//!
+//! // A client ships a graph as JSON; the first request runs the policy…
+//! let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+//! let request_body = graph.to_json();
+//! let first = service.optimize_json(&request_body).unwrap();
+//! assert!(!first.cache_hit);
+//!
+//! // …and the repeat request is answered from the cache, policy untouched.
+//! let second = service.optimize_json(&request_body).unwrap();
+//! assert!(second.cache_hit);
+//! assert_eq!(service.stats().policy_invocations, 1);
+//! assert_eq!(second.final_latency_ms, first.final_latency_ms);
+//!
+//! // Malformed input is a typed error, never a panic.
+//! assert!(service.optimize_json("{\"format\": \"bogus\"}").is_err());
+//! ```
+//!
+//! The cache snapshots to disk ([`OptimizeService::save_cache`] /
+//! [`OptimizeService::load_cache`]) so a restarted server keeps answering
+//! previously seen graphs without re-running the policy.
+
+#![warn(missing_docs)]
+
+mod cache;
+mod error;
+mod service;
+
+pub use cache::{CacheEntry, ResultCache, CACHE_JSON_FORMAT, CACHE_JSON_VERSION};
+pub use error::ServeError;
+pub use service::{OptimizeResponse, OptimizeService, ServeStats};

@@ -1,0 +1,228 @@
+//! The optimisation service: snapshot-replica policy serving behind a
+//! persistent result cache.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use xrlflow_core::{greedy_optimize, XrlflowAgent, XrlflowConfig};
+use xrlflow_cost::{DeviceProfile, InferenceSimulator};
+use xrlflow_env::Environment;
+use xrlflow_graph::Graph;
+use xrlflow_rewrite::RuleSet;
+use xrlflow_tensor::{ParamSnapshot, XorShiftRng};
+
+use crate::cache::{CacheEntry, ResultCache};
+use crate::error::ServeError;
+
+/// The outcome of one optimisation request.
+#[derive(Debug, Clone)]
+pub struct OptimizeResponse {
+    /// The optimised graph (shared with the cache — cheap to clone).
+    pub graph: Arc<Graph>,
+    /// Simulated latency of the request graph (ms).
+    pub initial_latency_ms: f64,
+    /// Simulated latency of the optimised graph (ms).
+    pub final_latency_ms: f64,
+    /// Number of substitutions the policy applied.
+    pub steps: usize,
+    /// Whether the response came from the result cache (no policy run).
+    pub cache_hit: bool,
+}
+
+impl OptimizeResponse {
+    /// End-to-end speedup in percent.
+    pub fn speedup_percent(&self) -> f64 {
+        if self.final_latency_ms == 0.0 {
+            0.0
+        } else {
+            (self.initial_latency_ms / self.final_latency_ms - 1.0) * 100.0
+        }
+    }
+}
+
+/// Monotonic request counters, for observability and for asserting cache
+/// behaviour in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Total optimisation requests accepted (invalid graphs not counted).
+    pub requests: usize,
+    /// Requests answered from the result cache.
+    pub cache_hits: usize,
+    /// Requests that ran the policy (greedy episodes executed).
+    pub policy_invocations: usize,
+}
+
+/// Optimisation-as-a-service over a frozen policy.
+///
+/// The service owns a read-only agent replica built from a
+/// [`ParamSnapshot`] (the same bit-identical replica protocol the parallel
+/// rollout engine uses), a shared rewrite rule set and latency simulator,
+/// and a [`ResultCache`] keyed by [`Graph::canonical_hash`]. Repeat
+/// requests for structurally identical graphs are answered from the cache
+/// without touching the policy; the cache snapshots to disk so a restarted
+/// server stays warm.
+///
+/// All methods take `&self`: the service is `Sync` and can be shared across
+/// request threads behind an `Arc`.
+#[derive(Debug)]
+pub struct OptimizeService {
+    agent: XrlflowAgent,
+    config: XrlflowConfig,
+    rules: Arc<RuleSet>,
+    simulator: Arc<InferenceSimulator>,
+    cache: Mutex<ResultCache>,
+    requests: AtomicUsize,
+    cache_hits: AtomicUsize,
+    policy_invocations: AtomicUsize,
+}
+
+impl OptimizeService {
+    /// Builds a service around a trained policy snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] when the configuration is degenerate,
+    /// [`ServeError::Snapshot`] when the snapshot does not match the
+    /// architecture the configuration describes.
+    pub fn from_snapshot(config: &XrlflowConfig, snapshot: &ParamSnapshot) -> Result<Self, ServeError> {
+        config.validate()?;
+        let agent = XrlflowAgent::from_snapshot(config, snapshot)?;
+        Ok(Self::assemble(config.clone(), agent))
+    }
+
+    /// Builds a service around a freshly initialised (untrained) policy —
+    /// useful for smoke tests and for exercising the serving path before a
+    /// training run has produced a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] when the configuration is degenerate.
+    pub fn untrained(config: &XrlflowConfig, seed: u64) -> Result<Self, ServeError> {
+        config.validate()?;
+        let agent = XrlflowAgent::new(config, seed);
+        Ok(Self::assemble(config.clone(), agent))
+    }
+
+    fn assemble(config: XrlflowConfig, agent: XrlflowAgent) -> Self {
+        Self {
+            agent,
+            config,
+            rules: Arc::new(RuleSet::standard()),
+            simulator: Arc::new(InferenceSimulator::new(DeviceProfile::default())),
+            cache: Mutex::new(ResultCache::new()),
+            requests: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
+            policy_invocations: AtomicUsize::new(0),
+        }
+    }
+
+    /// Optimises a graph document in the JSON interchange format — the
+    /// boundary a network front-end would call with a request body.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Graph`] when the document is malformed or invalid;
+    /// never panics on untrusted input.
+    pub fn optimize_json(&self, text: &str) -> Result<OptimizeResponse, ServeError> {
+        let graph = Graph::from_json(text)?;
+        self.optimize_validated(graph)
+    }
+
+    /// Optimises an in-process graph.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Graph`] when the graph fails validation.
+    pub fn optimize(&self, graph: &Graph) -> Result<OptimizeResponse, ServeError> {
+        graph.validate()?;
+        self.optimize_validated(graph.clone())
+    }
+
+    fn optimize_validated(&self, graph: Graph) -> Result<OptimizeResponse, ServeError> {
+        let key = graph.canonical_hash();
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if let Some(entry) = self.cache.lock().expect("cache lock").get(key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(response_from(entry, true));
+        }
+        // Miss: run a greedy episode against the frozen policy. The lock is
+        // NOT held while optimising, so a slow request never blocks cache
+        // hits; two racing misses for the same key both compute and one
+        // idempotently overwrites the other (per-key determinism: read-only
+        // policy, episode RNG seeded from the key, memoised simulator).
+        self.policy_invocations.fetch_add(1, Ordering::Relaxed);
+        let mut env = Environment::from_shared(
+            Arc::new(graph),
+            Arc::clone(&self.rules),
+            Arc::clone(&self.simulator),
+            self.config.env.clone(),
+        );
+        let mut rng = XorShiftRng::new(key);
+        let result = greedy_optimize(&self.agent, &mut env, &mut rng);
+        let entry = CacheEntry {
+            graph: Arc::new(result.graph),
+            initial_latency_ms: result.initial_latency_ms,
+            final_latency_ms: result.final_latency_ms,
+            steps: result.steps,
+        };
+        let response = response_from(&entry, false);
+        self.cache.lock().expect("cache lock").insert(key, entry);
+        Ok(response)
+    }
+
+    /// Current request counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            policy_invocations: self.policy_invocations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct graphs with cached results.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+
+    /// Serialises the current result cache as a JSON snapshot.
+    pub fn cache_to_json(&self) -> String {
+        self.cache.lock().expect("cache lock").to_json()
+    }
+
+    /// Writes the result cache to disk so a restarted service can
+    /// [`OptimizeService::load_cache`] it and stay warm.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the file cannot be written.
+    pub fn save_cache(&self, path: impl AsRef<std::path::Path>) -> Result<(), ServeError> {
+        self.cache.lock().expect("cache lock").save(path)
+    }
+
+    /// Replaces the result cache with a snapshot loaded from disk
+    /// (validating every entry).
+    ///
+    /// # Errors
+    ///
+    /// The [`ResultCache::load`] errors.
+    pub fn load_cache(&self, path: impl AsRef<std::path::Path>) -> Result<(), ServeError> {
+        let loaded = ResultCache::load(path)?;
+        *self.cache.lock().expect("cache lock") = loaded;
+        Ok(())
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> &XrlflowConfig {
+        &self.config
+    }
+}
+
+fn response_from(entry: &CacheEntry, cache_hit: bool) -> OptimizeResponse {
+    OptimizeResponse {
+        graph: Arc::clone(&entry.graph),
+        initial_latency_ms: entry.initial_latency_ms,
+        final_latency_ms: entry.final_latency_ms,
+        steps: entry.steps,
+        cache_hit,
+    }
+}

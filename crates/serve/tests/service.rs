@@ -1,0 +1,180 @@
+//! End-to-end tests of the optimisation service: cache hits bypass the
+//! policy, persisted caches survive a restart, the boundary returns typed
+//! errors, and the service is usable from multiple request threads.
+
+use std::sync::Arc;
+
+use xrlflow_core::{XrlflowAgent, XrlflowConfig};
+use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+use xrlflow_graph::{Graph, OpAttributes, OpKind, TensorShape};
+use xrlflow_serve::{OptimizeService, ServeError};
+
+fn service() -> OptimizeService {
+    let config = XrlflowConfig::smoke_test();
+    let snapshot = XrlflowAgent::new(&config, 7).snapshot();
+    OptimizeService::from_snapshot(&config, &snapshot).unwrap()
+}
+
+fn zoo_graph() -> Graph {
+    build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap()
+}
+
+#[test]
+fn repeat_requests_hit_the_cache_without_running_the_policy() {
+    let service = service();
+    let graph = zoo_graph();
+    let first = service.optimize(&graph).unwrap();
+    assert!(!first.cache_hit);
+    assert_eq!(service.stats().policy_invocations, 1);
+
+    // Same graph again: cache hit, and the policy invocation counter is
+    // the proof no episode ran.
+    let second = service.optimize(&graph).unwrap();
+    assert!(second.cache_hit);
+    assert_eq!(service.stats().policy_invocations, 1, "cache hit must not run the policy");
+    assert_eq!(second.graph.canonical_hash(), first.graph.canonical_hash());
+    assert_eq!(second.final_latency_ms, first.final_latency_ms);
+    assert_eq!(second.steps, first.steps);
+
+    // A structurally identical graph arriving as JSON (different route,
+    // same canonical hash) also hits.
+    let third = service.optimize_json(&graph.to_json()).unwrap();
+    assert!(third.cache_hit);
+    assert_eq!(
+        service.stats(),
+        xrlflow_serve::ServeStats { requests: 3, cache_hits: 2, policy_invocations: 1 }
+    );
+}
+
+#[test]
+fn distinct_graphs_get_distinct_entries() {
+    let service = service();
+    service.optimize(&zoo_graph()).unwrap();
+    let other = build_model(ModelKind::Bert, ModelScale::Bench).unwrap();
+    let response = service.optimize(&other).unwrap();
+    assert!(!response.cache_hit);
+    assert_eq!(service.cache_len(), 2);
+    assert_eq!(service.stats().policy_invocations, 2);
+}
+
+#[test]
+fn persisted_cache_survives_a_service_restart() {
+    let path = std::env::temp_dir().join("xrlflow-serve-restart-test.json");
+    let graph = zoo_graph();
+
+    let first = {
+        let service = service();
+        let first = service.optimize(&graph).unwrap();
+        service.save_cache(&path).unwrap();
+        first
+    };
+
+    // A brand-new service instance (fresh policy replica, empty cache)
+    // reloads the snapshot and answers the repeat request without a single
+    // policy invocation.
+    let restarted = service();
+    restarted.load_cache(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let replay = restarted.optimize(&graph).unwrap();
+    assert!(replay.cache_hit);
+    assert_eq!(restarted.stats().policy_invocations, 0, "warm restart must not run the policy");
+    assert_eq!(replay.graph.canonical_hash(), first.graph.canonical_hash());
+    assert_eq!(replay.final_latency_ms, first.final_latency_ms);
+    assert_eq!(replay.steps, first.steps);
+}
+
+#[test]
+fn optimised_graphs_are_valid_and_reported_latencies_positive() {
+    let service = service();
+    let response = service.optimize(&zoo_graph()).unwrap();
+    assert!(response.graph.validate().is_ok());
+    assert!(response.initial_latency_ms > 0.0);
+    assert!(response.final_latency_ms > 0.0);
+}
+
+#[test]
+fn malformed_requests_are_typed_errors_not_panics() {
+    let service = service();
+    for body in ["", "not json", "{\"format\": \"xrlflow-graph\"}", "[1, 2, 3]"] {
+        match service.optimize_json(body) {
+            Err(ServeError::Graph(_)) => {}
+            other => panic!("expected a graph error for {body:?}, got {other:?}"),
+        }
+    }
+    // Semantically invalid but well-formed JSON too.
+    let cyclic = r#"{"format": "xrlflow-graph", "version": 1, "nodes": [
+        {"op": "Relu", "inputs": [[1, 0]], "outputs": [[1]]},
+        {"op": "Relu", "inputs": [[0, 0]], "outputs": [[1]]}], "outputs": [[1, 0]]}"#;
+    assert!(matches!(service.optimize_json(cyclic), Err(ServeError::Graph(_))));
+    // Failed requests are not counted and nothing was cached.
+    assert_eq!(service.stats().requests, 0);
+    assert_eq!(service.cache_len(), 0);
+}
+
+#[test]
+fn mismatched_snapshot_is_rejected_at_construction() {
+    // Snapshot taken from a wider architecture than the config describes.
+    let big = XrlflowConfig::bench();
+    let snapshot = XrlflowAgent::new(&big, 0).snapshot();
+    let small = XrlflowConfig::smoke_test();
+    match OptimizeService::from_snapshot(&small, &snapshot) {
+        Err(ServeError::Snapshot(_)) => {}
+        other => panic!("expected a snapshot error, got {:?}", other.map(|_| "service")),
+    }
+}
+
+#[test]
+fn degenerate_config_is_rejected_at_construction() {
+    let mut config = XrlflowConfig::smoke_test();
+    config.training_episodes = 0;
+    let snapshot = XrlflowAgent::new(&XrlflowConfig::smoke_test(), 0).snapshot();
+    assert!(matches!(OptimizeService::from_snapshot(&config, &snapshot), Err(ServeError::Config(_))));
+    assert!(matches!(OptimizeService::untrained(&config, 0), Err(ServeError::Config(_))));
+}
+
+#[test]
+fn concurrent_requests_share_the_cache() {
+    let service = Arc::new(service());
+    let graph = Arc::new(zoo_graph());
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let service = Arc::clone(&service);
+            let graph = Arc::clone(&graph);
+            scope.spawn(move || {
+                let a = service.optimize(&graph).unwrap();
+                let b = service.optimize(&graph).unwrap();
+                assert!(b.cache_hit);
+                assert_eq!(a.final_latency_ms, b.final_latency_ms);
+            });
+        }
+    });
+    // Racing misses may each run the policy, but per-key determinism means
+    // one entry with one value; afterwards everything hits.
+    assert_eq!(service.cache_len(), 1);
+    let after = service.optimize(&graph).unwrap();
+    assert!(after.cache_hit);
+    let stats = service.stats();
+    assert_eq!(stats.requests, 9);
+    assert!(stats.policy_invocations >= 1 && stats.policy_invocations <= 4);
+    assert_eq!(stats.cache_hits + stats.policy_invocations, stats.requests);
+}
+
+#[test]
+fn hand_built_graphs_serve_like_zoo_graphs() {
+    let service = service();
+    let mut g = Graph::new();
+    let x = g.add_input(TensorShape::new(vec![1, 3, 16, 16]));
+    let w = g.add_weight(TensorShape::new(vec![8, 3, 3, 3]));
+    let conv = g
+        .add_node(
+            OpKind::Conv2d,
+            OpAttributes::conv2d([3, 3], [1, 1], xrlflow_graph::Padding::Same, 1),
+            vec![x.into(), w.into()],
+        )
+        .unwrap();
+    let relu = g.add_node(OpKind::Relu, OpAttributes::default(), vec![conv.into()]).unwrap();
+    g.mark_output(relu.into());
+    let response = service.optimize_json(&g.to_json()).unwrap();
+    assert!(response.graph.validate().is_ok());
+    assert!(service.optimize(&g).unwrap().cache_hit);
+}

@@ -15,7 +15,12 @@
 //! * [`mod@env`] — the Gym-style graph-transformation environment,
 //! * [`core`] — the X-RLflow agent, trainer and optimiser,
 //! * [`rollout`] — the parallel rollout engine (multi-worker episode
-//!   collection with snapshot-based parameter broadcast).
+//!   collection with snapshot-based parameter broadcast),
+//! * [`serve`] — optimisation-as-a-service: JSON graph ingestion, a
+//!   persistent result cache and snapshot-replica policy serving.
+//!
+//! Fallible APIs across the stack surface their failures through
+//! [`XrlflowError`], the umbrella error type.
 //!
 //! ## Quickstart
 //!
@@ -38,5 +43,129 @@ pub use xrlflow_graph as graph;
 pub use xrlflow_rewrite as rewrite;
 pub use xrlflow_rl as rl;
 pub use xrlflow_rollout as rollout;
+pub use xrlflow_serve as serve;
 pub use xrlflow_taso as taso;
 pub use xrlflow_tensor as tensor;
+
+use std::fmt;
+
+/// The umbrella error: every typed failure the public API can produce,
+/// unified so applications can `?` across subsystem boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use xrlflow::graph::Graph;
+/// use xrlflow::XrlflowError;
+///
+/// fn import(text: &str) -> Result<Graph, XrlflowError> {
+///     Ok(Graph::from_json(text)?)
+/// }
+///
+/// let err = import("{\"format\": \"bogus\"}").unwrap_err();
+/// assert!(matches!(err, XrlflowError::Graph(_)));
+/// assert!(err.to_string().contains("graph"));
+/// ```
+#[derive(Debug)]
+pub enum XrlflowError {
+    /// A graph failed construction, validation or JSON import.
+    Graph(graph::GraphError),
+    /// A parameter snapshot could not be read or did not match the model.
+    Snapshot(tensor::SnapshotError),
+    /// The equality-saturation baseline failed.
+    EGraph(egraph::EGraphError),
+    /// A configuration was rejected by the validating builder.
+    Config(core::ConfigError),
+    /// The optimisation service rejected a request or cache snapshot.
+    Serve(serve::ServeError),
+}
+
+impl fmt::Display for XrlflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XrlflowError::Graph(e) => write!(f, "graph error: {e}"),
+            XrlflowError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            XrlflowError::EGraph(e) => write!(f, "e-graph error: {e}"),
+            XrlflowError::Config(e) => write!(f, "config error: {e}"),
+            XrlflowError::Serve(e) => write!(f, "serve error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for XrlflowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XrlflowError::Graph(e) => Some(e),
+            XrlflowError::Snapshot(e) => Some(e),
+            XrlflowError::EGraph(e) => Some(e),
+            XrlflowError::Config(e) => Some(e),
+            XrlflowError::Serve(e) => Some(e),
+        }
+    }
+}
+
+impl From<graph::GraphError> for XrlflowError {
+    fn from(e: graph::GraphError) -> Self {
+        XrlflowError::Graph(e)
+    }
+}
+
+impl From<tensor::SnapshotError> for XrlflowError {
+    fn from(e: tensor::SnapshotError) -> Self {
+        XrlflowError::Snapshot(e)
+    }
+}
+
+impl From<egraph::EGraphError> for XrlflowError {
+    fn from(e: egraph::EGraphError) -> Self {
+        XrlflowError::EGraph(e)
+    }
+}
+
+impl From<core::ConfigError> for XrlflowError {
+    fn from(e: core::ConfigError) -> Self {
+        XrlflowError::Config(e)
+    }
+}
+
+impl From<serve::ServeError> for XrlflowError {
+    fn from(e: serve::ServeError) -> Self {
+        XrlflowError::Serve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn every_subsystem_error_converts_and_chains() {
+        let graph_err: XrlflowError = graph::Graph::from_json("nope").unwrap_err().into();
+        assert!(matches!(graph_err, XrlflowError::Graph(_)));
+        assert!(graph_err.source().is_some());
+
+        let snap_err: XrlflowError = tensor::ParamSnapshot::from_bytes(&[0, 1, 2]).unwrap_err().into();
+        assert!(matches!(snap_err, XrlflowError::Snapshot(_)));
+        assert!(snap_err.to_string().contains("snapshot"));
+
+        let cfg_err: XrlflowError = core::XrlflowConfig::builder().num_workers(0).build().unwrap_err().into();
+        assert!(matches!(cfg_err, XrlflowError::Config(_)));
+        assert!(cfg_err.to_string().contains("num_workers"));
+
+        let serve_err: XrlflowError = serve::ResultCache::from_json("nope").unwrap_err().into();
+        assert!(matches!(serve_err, XrlflowError::Serve(_)));
+        assert!(serve_err.source().is_some());
+    }
+
+    #[test]
+    fn question_mark_crosses_subsystem_boundaries() {
+        fn pipeline(text: &str) -> Result<u64, XrlflowError> {
+            let graph = graph::Graph::from_json(text)?;
+            let config = core::XrlflowConfig::builder().build()?;
+            let _ = config.training_episodes;
+            Ok(graph.canonical_hash())
+        }
+        assert!(pipeline("{}").is_err());
+    }
+}
