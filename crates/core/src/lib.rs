@@ -35,7 +35,7 @@ pub use config::{ConfigError, HyperParameterTable, XrlflowConfig, XrlflowConfigB
 pub use generalization::{run_generalization, GeneralizationPoint, GeneralizationReport};
 pub use optimizer::{greedy_optimize, XrlflowResult, XrlflowSystem};
 pub use trainer::{
-    collect_episode_with_rng, minibatch_grads_serial, minibatch_shuffle_seed, transition_grad,
-    transition_grad_into, MinibatchContext, MinibatchGrads, ModelBreakdown, TrainReport, Trainer,
-    TransitionLossStats, UpdateTiming,
+    collect_episode_with_rng, collect_phase_breakdown_ns, minibatch_grads_serial, minibatch_shuffle_seed,
+    transition_grad, transition_grad_into, MinibatchContext, MinibatchGrads, ModelBreakdown, TrainReport,
+    Trainer, TransitionLossStats, UpdateTiming,
 };

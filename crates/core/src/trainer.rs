@@ -43,12 +43,35 @@ use crate::config::XrlflowConfig;
 pub struct UpdateTiming {
     /// Milliseconds spent collecting the episodes consumed by this update.
     pub collect_ms: f64,
+    /// Milliseconds of the collect phase spent inside the latency
+    /// simulator's `measure_ms` (summed across worker threads, so this can
+    /// exceed the wall-clock `collect_ms` under parallel collection).
+    /// Attributed from the telemetry registry; `0` while telemetry is
+    /// disabled.
+    pub sim_ms: f64,
+    /// Milliseconds of the collect phase spent generating rewrite
+    /// candidates (summed across worker threads, like
+    /// [`UpdateTiming::sim_ms`]). `0` while telemetry is disabled.
+    pub candidate_gen_ms: f64,
     /// Milliseconds spent in the PPO update itself.
     pub update_ms: f64,
     /// Worker threads the update phase ran on (`1` = the serial oracle
     /// path; both phases are sized by `XrlflowConfig::effective_num_workers`
     /// when driven by `ParallelTrainer`).
     pub update_workers: usize,
+}
+
+/// Cumulative (simulator-measure, candidate-generation) span time in
+/// nanoseconds from the global telemetry registry. Training loops read this
+/// before and after a collect phase and attribute the delta to
+/// [`UpdateTiming::sim_ms`] / [`UpdateTiming::candidate_gen_ms`]. The sums
+/// aggregate across threads (span histograms are process-wide atomics), and
+/// stay flat while telemetry is disabled.
+pub fn collect_phase_breakdown_ns() -> (u64, u64) {
+    (
+        xrlflow_obs::histogram!("cost/simulator/measure").sum(),
+        xrlflow_obs::histogram!("rewrite/generate_candidates").sum(),
+    )
 }
 
 /// Per-model aggregate of a multi-model (curriculum) training run: how one
@@ -189,6 +212,11 @@ pub struct TransitionLossStats {
     pub entropy: f32,
     /// The value head's prediction for this observation.
     pub predicted_value: f32,
+    /// Whether the PPO probability ratio left the `[1-ε, 1+ε]` trust
+    /// region, i.e. the clip in Eq. 3 was active for this transition. The
+    /// fraction of clipped transitions per update is the standard check
+    /// that the policy is not stepping too far per update.
+    pub clipped: bool,
 }
 
 /// Everything a minibatch gradient evaluator needs: the stored transitions,
@@ -296,11 +324,15 @@ pub fn transition_grad_into(
     let sample_loss = tape.scale(sample_loss, inv);
 
     tape.backward_into(sample_loss, grads);
+    // A pure read of the already-computed ratio: recording whether the clip
+    // was active changes no tape node and no gradient bit.
+    let ratio_value = tape.value(ratio).item();
     TransitionLossStats {
         policy_loss: tape.value(policy_loss).item(),
         value_loss: tape.value(value_loss).item(),
         entropy: tape.value(eval.entropy).item(),
         predicted_value: tape.value(eval.value).item(),
+        clipped: ratio_value < 1.0 - ppo.clip_epsilon || ratio_value > 1.0 + ppo.clip_epsilon,
     }
 }
 
@@ -419,6 +451,7 @@ impl Trainer {
         segments: &[std::ops::Range<usize>],
         minibatch_grads: &mut dyn FnMut(&XrlflowAgent, &MinibatchContext) -> MinibatchGrads,
     ) -> TrainingStats {
+        let _span = xrlflow_obs::span!("core/ppo_update");
         let ppo = self.config.ppo;
         buffer.compute_advantages_segmented(ppo.gamma, ppo.gae_lambda, segments);
         let advantages = buffer.advantages().to_vec();
@@ -429,6 +462,7 @@ impl Trainer {
         let mut entropies = Vec::new();
         let mut grad_norms = Vec::new();
         let mut predicted_values = Vec::new();
+        let mut clipped_evals = 0usize;
 
         self.update_counter += 1;
         for epoch in 0..ppo.epochs_per_update {
@@ -455,6 +489,7 @@ impl Trainer {
                     policy_losses.push(stats.policy_loss);
                     value_losses.push(stats.value_loss);
                     entropies.push(stats.entropy);
+                    clipped_evals += stats.clipped as usize;
                     if epoch == 0 {
                         predicted_values.push((i, stats.predicted_value));
                     }
@@ -478,8 +513,23 @@ impl Trainer {
             mean_episode_reward: mean(&buffer.episode_rewards()),
             explained_variance: explained_variance(&preds, &returns),
             grad_norm: mean(&grad_norms),
+            clip_fraction: if policy_losses.is_empty() {
+                0.0
+            } else {
+                clipped_evals as f32 / policy_losses.len() as f32
+            },
             transitions: buffer.len(),
         };
+        // Export the update's diagnostic series to the telemetry registry —
+        // pure reads of already-computed statistics, bit-transparent.
+        xrlflow_obs::counter!("core/updates").inc();
+        xrlflow_obs::counter!("core/update_transitions").add(stats.transitions as u64);
+        xrlflow_obs::gauge!("core/policy_loss").set(stats.policy_loss as f64);
+        xrlflow_obs::gauge!("core/value_loss").set(stats.value_loss as f64);
+        xrlflow_obs::gauge!("core/entropy").set(stats.entropy as f64);
+        xrlflow_obs::gauge!("core/grad_norm").set(stats.grad_norm as f64);
+        xrlflow_obs::gauge!("core/clip_fraction").set(stats.clip_fraction as f64);
+        xrlflow_obs::gauge!("core/explained_variance").set(stats.explained_variance as f64);
         buffer.clear();
         stats
     }
@@ -497,9 +547,13 @@ impl Trainer {
         let mut report = TrainReport::default();
         let mut buffer = RolloutBuffer::new();
         let mut collect_ms = 0.0;
+        let (mut sim_ns, mut candgen_ns) = collect_phase_breakdown_ns();
         for episode in 0..episodes {
             let collect_start = Instant::now();
-            let stats = self.collect_episode(agent, env, &mut buffer, episode as u64);
+            let stats = {
+                let _span = xrlflow_obs::span!("core/collect");
+                self.collect_episode(agent, env, &mut buffer, episode as u64)
+            };
             collect_ms += collect_start.elapsed().as_secs_f64() * 1e3;
             report.episodes.push(stats);
             let is_last = episode + 1 == episodes;
@@ -507,8 +561,16 @@ impl Trainer {
                 let update_start = Instant::now();
                 report.updates.push(self.update(agent, &mut buffer));
                 let update_ms = update_start.elapsed().as_secs_f64() * 1e3;
-                report.timings.push(UpdateTiming { collect_ms, update_ms, update_workers: 1 });
+                let (sim_now, candgen_now) = collect_phase_breakdown_ns();
+                report.timings.push(UpdateTiming {
+                    collect_ms,
+                    sim_ms: sim_now.saturating_sub(sim_ns) as f64 / 1e6,
+                    candidate_gen_ms: candgen_now.saturating_sub(candgen_ns) as f64 / 1e6,
+                    update_ms,
+                    update_workers: 1,
+                });
                 collect_ms = 0.0;
+                (sim_ns, candgen_ns) = (sim_now, candgen_now);
             }
         }
         report

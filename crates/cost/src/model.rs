@@ -140,11 +140,16 @@ impl InferenceSimulator {
     /// (the paper reports mean ± std over 5 runs) differ slightly; the
     /// underlying deterministic latency is identical for identical graphs.
     pub fn measure_ms(&self, graph: &Graph, seed: u64) -> f64 {
+        let _span = xrlflow_obs::span!("cost/simulator/measure");
         let key = graph.canonical_hash();
         let cached = self.cache.lock().expect("simulator cache poisoned").get(&key).copied();
         let base_ms = match cached {
-            Some(ms) => ms,
+            Some(ms) => {
+                xrlflow_obs::counter!("cost/simulator/memo_hit").inc();
+                ms
+            }
             None => {
+                xrlflow_obs::counter!("cost/simulator/memo_miss").inc();
                 // Simulate outside the critical section so concurrent
                 // callers are never blocked behind a cold measurement (a
                 // racing duplicate simulation is deterministic and cheap).
@@ -157,6 +162,11 @@ impl InferenceSimulator {
                 ms
             }
         };
+        let hits = xrlflow_obs::counter!("cost/simulator/memo_hit").get();
+        let misses = xrlflow_obs::counter!("cost/simulator/memo_miss").get();
+        if hits + misses > 0 {
+            xrlflow_obs::gauge!("cost/simulator/memo_hit_ratio").set(hits as f64 / (hits + misses) as f64);
+        }
         let mut ms = base_ms;
         if self.config.noise_std > 0.0 {
             ms *= 1.0 + self.config.noise_std * hash_noise(key, seed);

@@ -1,0 +1,79 @@
+//! Proves steady-state metric recording is allocation-free.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after one
+//! warm-up pass resolves every call-site handle (registration leaks one
+//! allocation per *distinct* metric name, by design), recording through the
+//! `counter!`/`gauge!`/`histogram!`/`span!` macros must perform **zero**
+//! heap allocations — the contract behind the "Telemetry dataflow" rules in
+//! ROADMAP.md. This file holds exactly one test so no concurrent test
+//! thread can touch the counter mid-measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use xrlflow_obs::{counter, gauge, histogram, span};
+
+/// Counts every allocation (and reallocation) routed through the global
+/// allocator; frees are not counted — the test only cares that steady-state
+/// recording requests no new memory.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// One round of recording through every metric kind, exactly as call sites
+/// in rollout/core/cost/serve do it.
+fn record_round() {
+    counter!("alloc_test/events").inc();
+    counter!("alloc_test/batch").add(17);
+    gauge!("alloc_test/utilization").set(0.75);
+    histogram!("alloc_test/latency").record(1_234);
+    let _span = span!("alloc_test/phase");
+    std::hint::black_box(2 + 2);
+}
+
+#[test]
+fn steady_state_metric_recording_allocates_nothing() {
+    // Warm-up: registers the metric names (leaks one handle each) and fills
+    // every call-site OnceLock.
+    record_round();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..100 {
+        record_round();
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state metric recording must not allocate (saw {} allocations over 100 rounds)",
+        after - before
+    );
+
+    // The records actually landed — zero allocations must not mean no-op.
+    let snapshot = xrlflow_obs::Registry::global().snapshot();
+    assert_eq!(snapshot.counter("alloc_test/events"), Some(101));
+    assert_eq!(snapshot.counter("alloc_test/batch"), Some(17 * 101));
+    assert_eq!(snapshot.gauge("alloc_test/utilization"), Some(0.75));
+    assert_eq!(snapshot.histogram("alloc_test/latency").unwrap().count, 101);
+    assert_eq!(snapshot.histogram("alloc_test/phase").unwrap().count, 101);
+}

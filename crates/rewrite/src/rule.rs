@@ -246,6 +246,7 @@ impl RuleSet {
     /// the output (the paper pads the action space to a fixed constant
     /// anyway).
     pub fn generate_candidates(&self, graph: &Graph, max_candidates: usize) -> Vec<Candidate> {
+        let _span = xrlflow_obs::span!("rewrite/generate_candidates");
         let mut seen: HashSet<u64> = HashSet::new();
         let mut out = Vec::new();
         'outer: for (rule_id, rule) in self.rules.iter().enumerate() {
@@ -264,6 +265,7 @@ impl RuleSet {
                 }
             }
         }
+        xrlflow_obs::counter!("rewrite/candidates").add(out.len() as u64);
         out
     }
 

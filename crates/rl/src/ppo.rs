@@ -89,6 +89,11 @@ pub struct TrainingStats {
     pub explained_variance: f32,
     /// Global gradient norm before clipping.
     pub grad_norm: f32,
+    /// Fraction of transition evaluations whose probability ratio left the
+    /// `[1-ε, 1+ε]` trust region (the clip in the surrogate objective was
+    /// active). Persistently high values mean the policy moves too far per
+    /// update.
+    pub clip_fraction: f32,
     /// Number of transitions used in the update.
     pub transitions: usize,
 }

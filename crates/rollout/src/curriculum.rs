@@ -255,11 +255,13 @@ pub fn collect_curriculum_parallel(
         ));
     }
 
+    let meter = crate::PoolMeter::start(num_workers);
     type WorkerOutput = Vec<(usize, RolloutBuffer<Observation>, CurriculumEpisode)>;
     let mut per_item: WorkerOutput = std::thread::scope(|scope| -> Result<WorkerOutput, SnapshotError> {
         let mut handles = Vec::with_capacity(num_workers);
         for worker in 0..num_workers {
             handles.push(scope.spawn(move || -> Result<WorkerOutput, SnapshotError> {
+                let _busy = xrlflow_obs::span!("rollout/worker_busy");
                 let replica = XrlflowAgent::from_snapshot(config, snapshot)?;
                 // One lazily-built environment per spec this worker touches;
                 // reset() makes reuse across episodes bit-identical to a
@@ -290,6 +292,7 @@ pub fn collect_curriculum_parallel(
     // Ordered merge: item index == spec-then-episode order, the curriculum
     // half of the determinism contract.
     per_item.sort_by_key(|(item, _, _)| *item);
+    meter.finish();
     let mut out = CurriculumRollouts::default();
     let mut next_item = 0;
     for spec in 0..num_specs {

@@ -68,7 +68,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use xrlflow_core::{
-    collect_episode_with_rng, ModelBreakdown, TrainReport, Trainer, UpdateTiming, XrlflowAgent, XrlflowConfig,
+    collect_episode_with_rng, collect_phase_breakdown_ns, ModelBreakdown, TrainReport, Trainer, UpdateTiming,
+    XrlflowAgent, XrlflowConfig,
 };
 use xrlflow_cost::{DeviceProfile, InferenceSimulator};
 use xrlflow_env::{EnvConfig, Environment, EpisodeStats, Observation};
@@ -76,6 +77,42 @@ use xrlflow_graph::Graph;
 use xrlflow_rewrite::RuleSet;
 use xrlflow_rl::RolloutBuffer;
 use xrlflow_tensor::{ParamSnapshot, SnapshotError, XorShiftRng};
+
+/// Busy/idle accounting for one parallel collection: each worker wraps its
+/// whole closure in a `rollout/worker_busy` span, and the meter turns the
+/// busy-histogram delta plus the pool's wall-clock into the
+/// `rollout/worker_busy_ns` / `rollout/worker_wall_ns` counters and the
+/// `rollout/worker_utilization` gauge (busy ÷ wall × workers; 1.0 = no
+/// worker ever idled waiting for stragglers). Inert while telemetry is
+/// disabled — the clock is never read.
+pub(crate) struct PoolMeter {
+    busy_before_ns: u64,
+    start: Option<Instant>,
+    num_workers: usize,
+}
+
+impl PoolMeter {
+    pub(crate) fn start(num_workers: usize) -> Self {
+        Self {
+            busy_before_ns: xrlflow_obs::histogram!("rollout/worker_busy").sum(),
+            start: xrlflow_obs::enabled().then(Instant::now),
+            num_workers,
+        }
+    }
+
+    pub(crate) fn finish(self) {
+        let Some(start) = self.start else { return };
+        let wall_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let busy_ns =
+            xrlflow_obs::histogram!("rollout/worker_busy").sum().saturating_sub(self.busy_before_ns);
+        let pool_ns = wall_ns.saturating_mul(self.num_workers as u64);
+        xrlflow_obs::counter!("rollout/worker_busy_ns").add(busy_ns);
+        xrlflow_obs::counter!("rollout/worker_wall_ns").add(pool_ns);
+        if pool_ns > 0 {
+            xrlflow_obs::gauge!("rollout/worker_utilization").set(busy_ns as f64 / pool_ns as f64);
+        }
+    }
+}
 
 /// Everything a worker needs to build its own [`Environment`]: the initial
 /// graph (one shared model-zoo entry), the rule library, the latency
@@ -221,12 +258,14 @@ pub fn collect_parallel(
         return Ok(collect_serial(&replica, spec, first_episode, num_episodes, base_seed));
     }
 
+    let meter = PoolMeter::start(num_workers);
     type WorkerOutput = Vec<(u64, RolloutBuffer<Observation>, EpisodeStats)>;
     let mut per_episode: Vec<(u64, RolloutBuffer<Observation>, EpisodeStats)> =
         std::thread::scope(|scope| -> Result<WorkerOutput, SnapshotError> {
             let mut handles = Vec::with_capacity(num_workers);
             for worker in 0..num_workers {
                 handles.push(scope.spawn(move || -> Result<WorkerOutput, SnapshotError> {
+                    let _busy = xrlflow_obs::span!("rollout/worker_busy");
                     // Broadcast: a private replica per worker, built once per
                     // collection round from the snapshot.
                     let replica = XrlflowAgent::from_snapshot(config, snapshot)?;
@@ -254,6 +293,7 @@ pub fn collect_parallel(
     // Merge is ordered by episode index, not completion order — the last
     // piece of the determinism contract.
     per_episode.sort_by_key(|(episode, _, _)| *episode);
+    meter.finish();
     let mut out = CollectedRollouts::default();
     for (_, mut buffer, stats) in per_episode {
         out.buffer.append(&mut buffer);
@@ -477,22 +517,37 @@ fn run_rounds(
     let mut next_episode = 0usize;
     while next_episode < episodes {
         let batch = frequency.min(episodes - next_episode);
+        let (sim_before_ns, candgen_before_ns) = collect_phase_breakdown_ns();
         let collect_start = Instant::now();
-        let mut round = collect(agent, next_episode as u64, batch)?;
+        let mut round = {
+            let _span = xrlflow_obs::span!("rollout/collect");
+            collect(agent, next_episode as u64, batch)?
+        };
         let collect_ms = collect_start.elapsed().as_secs_f64() * 1e3;
+        let (sim_after_ns, candgen_after_ns) = collect_phase_breakdown_ns();
+        xrlflow_obs::counter!("rollout/episodes").add(round.episodes.len() as u64);
         for (spec, stats) in round.episodes {
             spec_tags.push(spec);
             report.episodes.push(stats);
         }
         let update_start = Instant::now();
-        let stats = if num_workers <= 1 {
-            trainer.update_with_segments(agent, &mut round.buffer, &round.segments)
-        } else {
-            update_parallel(trainer, agent, &mut round.buffer, &round.segments, num_workers)?
+        let stats = {
+            let _span = xrlflow_obs::span!("rollout/update");
+            if num_workers <= 1 {
+                trainer.update_with_segments(agent, &mut round.buffer, &round.segments)
+            } else {
+                update_parallel(trainer, agent, &mut round.buffer, &round.segments, num_workers)?
+            }
         };
         report.updates.push(stats);
         let update_ms = update_start.elapsed().as_secs_f64() * 1e3;
-        report.timings.push(UpdateTiming { collect_ms, update_ms, update_workers: num_workers });
+        report.timings.push(UpdateTiming {
+            collect_ms,
+            sim_ms: sim_after_ns.saturating_sub(sim_before_ns) as f64 / 1e6,
+            candidate_gen_ms: candgen_after_ns.saturating_sub(candgen_before_ns) as f64 / 1e6,
+            update_ms,
+            update_workers: num_workers,
+        });
         next_episode += batch;
     }
     Ok((report, spec_tags))

@@ -1,7 +1,6 @@
 //! The optimisation service: snapshot-replica policy serving behind a
 //! persistent result cache.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use xrlflow_core::{greedy_optimize, XrlflowAgent, XrlflowConfig};
@@ -42,7 +41,13 @@ impl OptimizeResponse {
 
 /// Monotonic request counters, for observability and for asserting cache
 /// behaviour in tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// A [`OptimizeService::stats`] snapshot is **consistent**: the three
+/// counters are updated and read under one lock, so
+/// `requests == cache_hits + policy_invocations` holds in every snapshot a
+/// concurrent reader can observe (earlier versions bumped three independent
+/// atomics and readers could see a torn trio).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeStats {
     /// Total optimisation requests accepted (invalid graphs not counted).
     pub requests: usize,
@@ -71,9 +76,7 @@ pub struct OptimizeService {
     rules: Arc<RuleSet>,
     simulator: Arc<InferenceSimulator>,
     cache: Mutex<ResultCache>,
-    requests: AtomicUsize,
-    cache_hits: AtomicUsize,
-    policy_invocations: AtomicUsize,
+    stats: Mutex<ServeStats>,
 }
 
 impl OptimizeService {
@@ -110,10 +113,24 @@ impl OptimizeService {
             rules: Arc::new(RuleSet::standard()),
             simulator: Arc::new(InferenceSimulator::new(DeviceProfile::default())),
             cache: Mutex::new(ResultCache::new()),
-            requests: AtomicUsize::new(0),
-            cache_hits: AtomicUsize::new(0),
-            policy_invocations: AtomicUsize::new(0),
+            stats: Mutex::new(ServeStats::default()),
         }
+    }
+
+    /// Classifies one accepted request, updating `requests` **and** its
+    /// outcome counter under a single lock so no reader ever observes
+    /// `requests != cache_hits + policy_invocations`.
+    fn record_request(&self, cache_hit: bool) {
+        let mut stats = self.stats.lock().expect("stats lock");
+        stats.requests += 1;
+        if cache_hit {
+            stats.cache_hits += 1;
+            xrlflow_obs::counter!("serve/cache_hit").inc();
+        } else {
+            stats.policy_invocations += 1;
+            xrlflow_obs::counter!("serve/policy_invocation").inc();
+        }
+        xrlflow_obs::counter!("serve/requests").inc();
     }
 
     /// Optimises a graph document in the JSON interchange format — the
@@ -139,10 +156,10 @@ impl OptimizeService {
     }
 
     fn optimize_validated(&self, graph: Graph) -> Result<OptimizeResponse, ServeError> {
+        let _span = xrlflow_obs::span!("serve/request");
         let key = graph.canonical_hash();
-        self.requests.fetch_add(1, Ordering::Relaxed);
         if let Some(entry) = self.cache.lock().expect("cache lock").get(key) {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.record_request(true);
             return Ok(response_from(entry, true));
         }
         // Miss: run a greedy episode against the frozen policy. The lock is
@@ -150,7 +167,7 @@ impl OptimizeService {
         // hits; two racing misses for the same key both compute and one
         // idempotently overwrites the other (per-key determinism: read-only
         // policy, episode RNG seeded from the key, memoised simulator).
-        self.policy_invocations.fetch_add(1, Ordering::Relaxed);
+        self.record_request(false);
         let mut env = Environment::from_shared(
             Arc::new(graph),
             Arc::clone(&self.rules),
@@ -170,13 +187,18 @@ impl OptimizeService {
         Ok(response)
     }
 
-    /// Current request counters.
+    /// Current request counters, as one consistent snapshot
+    /// (`requests == cache_hits + policy_invocations` always holds).
     pub fn stats(&self) -> ServeStats {
-        ServeStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            policy_invocations: self.policy_invocations.load(Ordering::Relaxed),
-        }
+        *self.stats.lock().expect("stats lock")
+    }
+
+    /// The process-wide telemetry registry as a metrics JSON document —
+    /// request counters, the `serve/request` latency histogram, and every
+    /// other subsystem's series — ready for a future HTTP `/metrics`
+    /// endpoint. See `xrlflow-obs` for the schema.
+    pub fn metrics_json(&self) -> String {
+        xrlflow_obs::Registry::global().snapshot().to_json()
     }
 
     /// Number of distinct graphs with cached results.

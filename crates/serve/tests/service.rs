@@ -160,6 +160,82 @@ fn concurrent_requests_share_the_cache() {
 }
 
 #[test]
+fn stats_snapshots_are_never_torn_under_concurrent_readers() {
+    // Writers hammer the (warm) cache while readers poll stats(); every
+    // snapshot a reader observes must satisfy
+    // requests == cache_hits + policy_invocations. With the three counters
+    // updated as independent atomics this test catches the torn trio (a
+    // reader could land between the `requests` bump and the outcome bump);
+    // the single-lock snapshot makes it impossible.
+    let service = Arc::new(service());
+    let graph = Arc::new(zoo_graph());
+    service.optimize(&graph).unwrap(); // warm the cache so writer requests are fast hits
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let service = Arc::clone(&service);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                    let stats = service.stats();
+                    assert_eq!(
+                        stats.cache_hits + stats.policy_invocations,
+                        stats.requests,
+                        "torn stats snapshot observed: {stats:?}"
+                    );
+                }
+            });
+        }
+        for _ in 0..2 {
+            let service = Arc::clone(&service);
+            let graph = Arc::clone(&graph);
+            scope.spawn(move || {
+                for _ in 0..300 {
+                    assert!(service.optimize(&graph).unwrap().cache_hit);
+                }
+            });
+        }
+        // Writers joined by scope exit order: flag the readers down once
+        // the writer handles finish. Spawn a small supervisor for that.
+        let service = Arc::clone(&service);
+        let done = Arc::clone(&done);
+        scope.spawn(move || {
+            while service.stats().requests < 601 {
+                std::thread::yield_now();
+            }
+            done.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+    });
+    let stats = service.stats();
+    assert_eq!(stats.requests, 601);
+    assert_eq!(stats.cache_hits + stats.policy_invocations, stats.requests);
+}
+
+#[test]
+fn metrics_json_exposes_serve_counters_and_latency_histogram() {
+    let service = service();
+    let graph = zoo_graph();
+    service.optimize(&graph).unwrap();
+    service.optimize(&graph).unwrap();
+    let parsed = xrlflow_graph::JsonValue::parse(&service.metrics_json()).expect("metrics JSON must parse");
+    assert_eq!(parsed.get("format").and_then(xrlflow_graph::JsonValue::as_str), Some("xrlflow-metrics"));
+    let counters = parsed.get("counters").expect("counters object");
+    let counter = |name: &str| counters.get(name).and_then(xrlflow_graph::JsonValue::as_f64).unwrap_or(0.0);
+    // The registry is process-wide and other tests in this binary also
+    // serve requests, so assert lower bounds, not exact counts.
+    assert!(counter("serve/requests") >= 2.0);
+    assert!(counter("serve/cache_hit") >= 1.0);
+    assert!(counter("serve/policy_invocation") >= 1.0);
+    let hist = parsed
+        .get("histograms")
+        .and_then(|h| h.get("serve/request"))
+        .expect("serve/request latency histogram");
+    assert!(hist.get("count").and_then(xrlflow_graph::JsonValue::as_f64).unwrap() >= 2.0);
+    let buckets = hist.get("buckets").and_then(xrlflow_graph::JsonValue::as_array).unwrap();
+    assert!(!buckets.is_empty(), "latency histogram must have non-empty buckets");
+}
+
+#[test]
 fn hand_built_graphs_serve_like_zoo_graphs() {
     let service = service();
     let mut g = Graph::new();

@@ -11,11 +11,15 @@
 //!   bit-identical training, only wall-clock time changes.
 //! * `XRLFLOW_QUICKSTART_EPISODES=N` — training episodes per curriculum
 //!   model (default 4; the CI `quickstart-smoke` job sets a tiny value).
+//! * `XRLFLOW_METRICS_JSON=path` — write the end-of-run telemetry snapshot
+//!   (every counter, gauge and span histogram the run recorded) as a
+//!   metrics JSON document to `path`.
 
 use xrlflow::core::{XrlflowAgent, XrlflowConfig, XrlflowSystem};
 use xrlflow::cost::DeviceProfile;
 use xrlflow::graph::models::{ModelKind, ModelScale};
 use xrlflow::rollout::{evaluate_curriculum, Curriculum, ParallelTrainer};
+use xrlflow::serve::OptimizeService;
 
 fn env_usize(var: &str, default: usize) -> usize {
     std::env::var(var).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -50,8 +54,13 @@ fn main() {
         .expect("agent matches trainer config");
     for (i, (update, timing)) in report.updates.iter().zip(&report.timings).enumerate() {
         println!(
-            "update {i}: collect {:7.1} ms | update {:7.1} ms ({}w) | mean episode reward {:+.3}",
-            timing.collect_ms, timing.update_ms, timing.update_workers, update.mean_episode_reward
+            "update {i}: collect {:7.1} ms (sim {:6.1} ms, candgen {:6.1} ms across workers) | update {:7.1} ms ({}w) | mean episode reward {:+.3}",
+            timing.collect_ms,
+            timing.sim_ms,
+            timing.candidate_gen_ms,
+            timing.update_ms,
+            timing.update_workers,
+            update.mean_episode_reward
         );
     }
     for breakdown in &report.per_model {
@@ -102,4 +111,38 @@ fn main() {
         result.optimisation_time_s,
     );
     println!("rules applied: {:?}", result.rule_applications);
+
+    // 7. Serve the trained policy: one cold request (runs the policy) and
+    //    one repeat (answered from the result cache), so the run trace below
+    //    includes serve request-latency buckets and cache counters.
+    let snapshot = agent.snapshot();
+    let service = OptimizeService::from_snapshot(system.config(), &snapshot).expect("service builds");
+    let cold = service.optimize(graph).expect("serve request succeeds");
+    let warm = service.optimize(graph).expect("repeat serve request succeeds");
+    let stats = service.stats();
+    println!(
+        "\nserved {} twice: cold {:.3} ms -> {:.3} ms, warm cache_hit={} | {} requests = {} hits + {} policy runs",
+        held_out.name,
+        cold.initial_latency_ms,
+        cold.final_latency_ms,
+        warm.cache_hit,
+        stats.requests,
+        stats.cache_hits,
+        stats.policy_invocations,
+    );
+
+    // 8. Export the whole run's telemetry — per-phase spans, worker
+    //    utilisation, simulator-memo hit ratio, serve latency histograms —
+    //    as one structured JSON trace.
+    let metrics = xrlflow::obs::Registry::global().snapshot();
+    println!(
+        "telemetry: {} episodes collected | worker utilization {:.0}% | simulator memo hit ratio {:.0}%",
+        metrics.counter("rollout/episodes").unwrap_or(0),
+        metrics.gauge("rollout/worker_utilization").unwrap_or(0.0) * 100.0,
+        metrics.gauge("cost/simulator/memo_hit_ratio").unwrap_or(0.0) * 100.0,
+    );
+    if let Ok(path) = std::env::var("XRLFLOW_METRICS_JSON") {
+        metrics.save(&path).expect("metrics snapshot writes");
+        println!("metrics snapshot written to {path}");
+    }
 }

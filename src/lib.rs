@@ -17,7 +17,10 @@
 //! * [`rollout`] — the parallel rollout engine (multi-worker episode
 //!   collection with snapshot-based parameter broadcast),
 //! * [`serve`] — optimisation-as-a-service: JSON graph ingestion, a
-//!   persistent result cache and snapshot-replica policy serving.
+//!   persistent result cache and snapshot-replica policy serving,
+//! * [`obs`] — zero-overhead telemetry: the process-wide metrics registry,
+//!   RAII phase spans and structured JSON run traces every phase above
+//!   records into.
 //!
 //! Fallible APIs across the stack surface their failures through
 //! [`XrlflowError`], the umbrella error type.
@@ -40,6 +43,7 @@ pub use xrlflow_egraph as egraph;
 pub use xrlflow_env as env;
 pub use xrlflow_gnn as gnn;
 pub use xrlflow_graph as graph;
+pub use xrlflow_obs as obs;
 pub use xrlflow_rewrite as rewrite;
 pub use xrlflow_rl as rl;
 pub use xrlflow_rollout as rollout;
