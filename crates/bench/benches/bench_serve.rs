@@ -12,11 +12,13 @@
 //! (action-space bound), `XRLFLOW_SERVE_REQUESTS` (requests per timed
 //! batch), `XRLFLOW_BENCH_JSON` (result artifact path).
 
+use std::sync::Arc;
+
 use xrlflow_bench::{env_usize, finish, iters_from_env, report, report_rate, report_ratio, time_ns};
 use xrlflow_core::{XrlflowAgent, XrlflowConfig};
 use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
 use xrlflow_graph::Graph;
-use xrlflow_serve::OptimizeService;
+use xrlflow_serve::{http_call, CacheConfig, CacheEntry, OptimizeServer, OptimizeService, ResultCache};
 
 fn main() {
     let iters = iters_from_env(3);
@@ -46,7 +48,7 @@ fn main() {
     });
     report("serve/request_cold_miss/SqueezeNet", cold_ns);
 
-    let warm_service = OptimizeService::from_snapshot(&config, &snapshot).unwrap();
+    let warm_service = Arc::new(OptimizeService::from_snapshot(&config, &snapshot).unwrap());
     for body in &bodies {
         warm_service.optimize_json(body).unwrap();
     }
@@ -74,10 +76,57 @@ fn main() {
 
     // Cache persistence round trip (save + load of the warm cache).
     let persist_ns = time_ns(1, iters, || {
-        let restored = xrlflow_serve::ResultCache::from_json(&warm_service.cache_to_json()).unwrap();
+        let restored = ResultCache::from_json(&warm_service.cache_to_json()).unwrap();
         restored.len()
     });
     report("serve/cache_persist_roundtrip", persist_ns);
+
+    // End-to-end HTTP throughput: the same warm-hit stream, but over a real
+    // socket through the blocking front end — connect + parse + route +
+    // respond per request, the cost a deployment actually pays per call.
+    let server = OptimizeServer::bind(Arc::clone(&warm_service), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let http_ns = time_ns(1, iters, || {
+        let mut hits = 0;
+        for i in 0..requests {
+            let reply = http_call(addr, "POST", "/optimize", bodies[i % bodies.len()].as_bytes()).unwrap();
+            assert_eq!(reply.status, 200);
+            hits += reply.body.len();
+        }
+        hits
+    });
+    report_rate("serve/http_requests_per_sec_warm", requests as f64 / (http_ns / 1e9));
+    drop(server);
+
+    // Eviction on vs off: raw cache insert throughput with no budget versus
+    // a budget small enough that nearly every insert also evicts (the LRU
+    // index bookkeeping is the difference being measured).
+    let inserts = 1024usize;
+    let entry_graph = Arc::new(graphs[0].clone());
+    let make_entry = || CacheEntry {
+        graph: Arc::clone(&entry_graph),
+        initial_latency_ms: 1.0,
+        final_latency_ms: 0.5,
+        steps: 3,
+    };
+    let unbounded_ns = time_ns(1, iters, || {
+        let mut cache = ResultCache::new();
+        for key in 0..inserts as u64 {
+            cache.insert(key, make_entry());
+        }
+        cache.len()
+    });
+    report_rate("serve/cache_inserts_per_sec_unbounded", inserts as f64 / (unbounded_ns / 1e9));
+    let budget = CacheConfig::builder().max_entries(inserts / 8).build().unwrap();
+    let evicting_ns = time_ns(1, iters, || {
+        let mut cache = ResultCache::with_config(budget);
+        for key in 0..inserts as u64 {
+            cache.insert(key, make_entry());
+        }
+        cache.len()
+    });
+    report_rate("serve/cache_inserts_per_sec_evicting", inserts as f64 / (evicting_ns / 1e9));
+    report_ratio("serve/eviction_overhead", evicting_ns / unbounded_ns.max(1.0));
 
     finish("bench_serve");
 }

@@ -5,6 +5,11 @@
 //! inference, the [`Graph`] DAG itself and a model zoo with builders for
 //! every DNN in the paper's evaluation.
 //!
+//! Graphs cross process boundaries in the versioned JSON interchange
+//! format of the [`json`] module, specified field-by-field in
+//! [`docs/FORMATS.md`](https://github.com/xrlflow/xrlflow/blob/main/docs/FORMATS.md)
+//! alongside the repository's other wire formats.
+//!
 //! ## Quickstart
 //!
 //! ```

@@ -1,20 +1,36 @@
-//! The persistent optimisation-result cache.
+//! The persistent optimisation-result cache, with configurable entry/byte
+//! budgets and LRU eviction.
 //!
 //! Results are keyed by the *request* graph's [`Graph::canonical_hash`], so
 //! structurally identical graphs — regardless of node numbering, insertion
 //! order, or names — share one entry. The cache serialises to a versioned
 //! JSON document (graphs embedded in the interchange format of
-//! [`xrlflow_graph::json`]) so a restarted server can reload it and keep
-//! answering repeat requests without re-running the policy.
+//! [`xrlflow_graph::json`]; see `docs/FORMATS.md` for the full schema) so a
+//! restarted server can reload it and keep answering repeat requests
+//! without re-running the policy.
 //!
 //! Cache keys are serialised as **decimal strings**, not JSON numbers:
 //! canonical hashes use all 64 bits and JSON numbers are `f64`, which is
 //! only exact up to 2^53.
+//!
+//! ## Budgets and eviction
+//!
+//! A [`CacheConfig`] bounds the cache by entry count and/or by (estimated)
+//! bytes; [`ResultCache::insert`] evicts least-recently-used entries until
+//! both budgets hold again. Recency is advanced by [`ResultCache::get`]
+//! (every served hit refreshes its entry) and by inserts; recency is **not**
+//! persisted — a reloaded snapshot starts with recency in document order, so
+//! when a snapshot is loaded into a smaller budget the clamp keeps the
+//! entries latest in the document. Every eviction bumps the
+//! `serve/cache_evictions` counter and the `serve/cache_entries` /
+//! `serve/cache_bytes` gauges track live occupancy, so budget pressure is
+//! visible in the `/metrics` snapshot.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 use std::sync::Arc;
 
+use xrlflow_core::ConfigError;
 use xrlflow_graph::{Graph, JsonValue};
 
 use crate::error::ServeError;
@@ -38,17 +54,186 @@ pub struct CacheEntry {
     pub steps: usize,
 }
 
-/// An in-memory result cache keyed by canonical graph hash, snapshot-
-/// persistable to disk.
+impl CacheEntry {
+    /// Deterministic structural estimate of this entry's in-memory
+    /// footprint, used for the [`CacheConfig`] byte budget.
+    ///
+    /// The estimate is intentionally *structural* (node and edge counts at
+    /// fixed per-item costs), not an exact heap measurement: it is cheap,
+    /// identical across platforms and allocator states, and scales with the
+    /// thing that actually dominates an entry — the optimised graph.
+    pub fn approx_bytes(&self) -> usize {
+        const ENTRY_OVERHEAD: usize = 128;
+        const PER_NODE: usize = 160;
+        const PER_EDGE: usize = 24;
+        ENTRY_OVERHEAD + self.graph.num_nodes() * PER_NODE + self.graph.num_edges() * PER_EDGE
+    }
+}
+
+/// Entry-count and byte budgets for a [`ResultCache`].
+///
+/// Built via the validating [`CacheConfig::builder`] (zero budgets are
+/// rejected — a cache that can hold nothing is a misconfiguration, not a
+/// policy) or read from the environment with [`CacheConfig::from_env`].
+/// `None` means unbounded on that axis; [`CacheConfig::unbounded`] (the
+/// [`ResultCache::new`] default) bounds neither.
+///
+/// # Examples
+///
+/// ```
+/// use xrlflow_serve::CacheConfig;
+///
+/// let config = CacheConfig::builder().max_entries(1024).max_bytes(64 << 20).build().unwrap();
+/// assert_eq!(config.max_entries(), Some(1024));
+/// assert!(CacheConfig::builder().max_entries(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheConfig {
+    max_entries: Option<usize>,
+    max_bytes: Option<usize>,
+}
+
+impl CacheConfig {
+    /// No budget on either axis — the pre-PR-9 behaviour.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Starts a validating builder with both axes unbounded.
+    pub fn builder() -> CacheConfigBuilder {
+        CacheConfigBuilder { max_entries: None, max_bytes: None }
+    }
+
+    /// Reads budgets from `XRLFLOW_CACHE_MAX_ENTRIES` and
+    /// `XRLFLOW_CACHE_MAX_BYTES`. Unset variables leave the axis unbounded;
+    /// set-but-invalid values (non-numeric, zero) are a typed error rather
+    /// than a silently unbounded cache.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending variable.
+    pub fn from_env() -> Result<Self, ConfigError> {
+        let axis = |var: &'static str, field: &'static str| -> Result<Option<usize>, ConfigError> {
+            match std::env::var(var) {
+                Err(_) => Ok(None),
+                Ok(raw) => raw
+                    .parse::<usize>()
+                    .map_err(|_| ConfigError {
+                        field,
+                        message: format!("{var} must be a positive integer, got {raw:?}"),
+                    })
+                    .map(Some),
+            }
+        };
+        let mut builder = Self::builder();
+        if let Some(n) = axis("XRLFLOW_CACHE_MAX_ENTRIES", "cache.max_entries")? {
+            builder = builder.max_entries(n);
+        }
+        if let Some(n) = axis("XRLFLOW_CACHE_MAX_BYTES", "cache.max_bytes")? {
+            builder = builder.max_bytes(n);
+        }
+        builder.build()
+    }
+
+    /// The entry-count budget, if bounded.
+    pub fn max_entries(&self) -> Option<usize> {
+        self.max_entries
+    }
+
+    /// The byte budget (against [`CacheEntry::approx_bytes`]), if bounded.
+    pub fn max_bytes(&self) -> Option<usize> {
+        self.max_bytes
+    }
+}
+
+/// Validating builder for [`CacheConfig`] — see [`CacheConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct CacheConfigBuilder {
+    max_entries: Option<usize>,
+    max_bytes: Option<usize>,
+}
+
+impl CacheConfigBuilder {
+    /// Bounds the cache to at most `n` entries.
+    pub fn max_entries(mut self, n: usize) -> Self {
+        self.max_entries = Some(n);
+        self
+    }
+
+    /// Bounds the cache to approximately `n` bytes of entries
+    /// (per [`CacheEntry::approx_bytes`]).
+    pub fn max_bytes(mut self, n: usize) -> Self {
+        self.max_bytes = Some(n);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] when a configured budget is zero.
+    pub fn build(self) -> Result<CacheConfig, ConfigError> {
+        if self.max_entries == Some(0) {
+            return Err(ConfigError {
+                field: "cache.max_entries",
+                message: "must be positive when set (omit it for an unbounded cache)".to_string(),
+            });
+        }
+        if self.max_bytes == Some(0) {
+            return Err(ConfigError {
+                field: "cache.max_bytes",
+                message: "must be positive when set (omit it for an unbounded cache)".to_string(),
+            });
+        }
+        Ok(CacheConfig { max_entries: self.max_entries, max_bytes: self.max_bytes })
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    entry: CacheEntry,
+    tick: u64,
+    bytes: usize,
+}
+
+/// An in-memory result cache keyed by canonical graph hash: budget-bounded
+/// with LRU eviction, snapshot-persistable to disk.
 #[derive(Debug, Default)]
 pub struct ResultCache {
-    entries: HashMap<u64, CacheEntry>,
+    entries: HashMap<u64, Slot>,
+    /// Recency index: monotonic tick -> key. The smallest tick is the
+    /// least-recently-used entry, so eviction is a `pop_first`.
+    recency: BTreeMap<u64, u64>,
+    next_tick: u64,
+    total_bytes: usize,
+    config: CacheConfig,
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache with the given budgets.
+    pub fn with_config(config: CacheConfig) -> Self {
+        Self { config, ..Self::default() }
+    }
+
+    /// The budgets currently in force.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Replaces the budgets, immediately evicting least-recently-used
+    /// entries until the new budgets hold. Returns the number of entries
+    /// evicted — the load path uses this to report how hard a reloaded
+    /// snapshot was clamped.
+    pub fn set_config(&mut self, config: CacheConfig) -> usize {
+        self.config = config;
+        let evicted = self.evict_to_budget();
+        self.record_occupancy();
+        evicted
     }
 
     /// Number of cached results.
@@ -61,28 +246,98 @@ impl ResultCache {
         self.entries.is_empty()
     }
 
-    /// Looks up the result for a request graph's canonical hash.
-    pub fn get(&self, key: u64) -> Option<&CacheEntry> {
-        self.entries.get(&key)
+    /// Estimated bytes held by all entries (see [`CacheEntry::approx_bytes`]).
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
     }
 
-    /// Stores a result. Overwriting an existing key is deliberate and
-    /// harmless: optimisation is deterministic per key (the policy is
-    /// read-only and the episode RNG is seeded from the key), so two racing
-    /// misses compute identical entries.
-    pub fn insert(&mut self, key: u64, entry: CacheEntry) {
-        self.entries.insert(key, entry);
+    /// Looks up the result for a request graph's canonical hash, refreshing
+    /// the entry's recency: a served hit is the signal the entry is worth
+    /// keeping, so `get` is `&mut self`. Use [`ResultCache::peek`] for a
+    /// recency-neutral read.
+    pub fn get(&mut self, key: u64) -> Option<&CacheEntry> {
+        let next_tick = self.next_tick;
+        let slot = self.entries.get_mut(&key)?;
+        self.recency.remove(&slot.tick);
+        slot.tick = next_tick;
+        self.recency.insert(next_tick, key);
+        self.next_tick += 1;
+        Some(&slot.entry)
+    }
+
+    /// Looks up a result without touching recency (tests, inspection).
+    pub fn peek(&self, key: u64) -> Option<&CacheEntry> {
+        self.entries.get(&key).map(|slot| &slot.entry)
+    }
+
+    /// Stores a result and evicts least-recently-used entries until the
+    /// configured budgets hold, returning how many were evicted.
+    ///
+    /// Overwriting an existing key is deliberate and harmless: optimisation
+    /// is deterministic per key (the policy is read-only and the episode RNG
+    /// is seeded from the key), so two racing misses compute identical
+    /// entries.
+    ///
+    /// Budgets are strict: an entry that alone exceeds the byte budget is
+    /// evicted immediately (the cache never lies about its footprint); the
+    /// `serve/cache_evictions` counter is where such a misconfiguration
+    /// becomes visible.
+    pub fn insert(&mut self, key: u64, entry: CacheEntry) -> usize {
+        if let Some(old) = self.entries.remove(&key) {
+            self.recency.remove(&old.tick);
+            self.total_bytes -= old.bytes;
+        }
+        let bytes = entry.approx_bytes();
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.entries.insert(key, Slot { entry, tick, bytes });
+        self.recency.insert(tick, key);
+        self.total_bytes += bytes;
+        let evicted = self.evict_to_budget();
+        self.record_occupancy();
+        evicted
+    }
+
+    /// Evicts LRU entries until both budgets hold. Returns the eviction
+    /// count (also recorded into the `serve/cache_evictions` counter).
+    fn evict_to_budget(&mut self) -> usize {
+        let mut evicted = 0;
+        loop {
+            let over_entries = self.config.max_entries.is_some_and(|max| self.entries.len() > max);
+            let over_bytes = self.config.max_bytes.is_some_and(|max| self.total_bytes > max);
+            if !(over_entries || over_bytes) {
+                break;
+            }
+            let Some((_, key)) = self.recency.pop_first() else { break };
+            if let Some(slot) = self.entries.remove(&key) {
+                self.total_bytes -= slot.bytes;
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            xrlflow_obs::counter!("serve/cache_evictions").add(evicted as u64);
+        }
+        evicted
+    }
+
+    /// Publishes current occupancy to the `serve/cache_entries` and
+    /// `serve/cache_bytes` gauges (values already computed — observation
+    /// only).
+    fn record_occupancy(&self) {
+        xrlflow_obs::gauge!("serve/cache_entries").set(self.entries.len() as f64);
+        xrlflow_obs::gauge!("serve/cache_bytes").set(self.total_bytes as f64);
     }
 
     /// Serialises the cache as a versioned JSON snapshot. Entries are
-    /// ordered by key so the output is byte-stable.
+    /// ordered by key so the output is byte-stable; recency is not
+    /// persisted (see the module docs).
     pub fn to_json(&self) -> String {
         let mut keys: Vec<u64> = self.entries.keys().copied().collect();
         keys.sort_unstable();
         let entries: Vec<JsonValue> = keys
             .iter()
             .map(|key| {
-                let e = &self.entries[key];
+                let e = &self.entries[key].entry;
                 JsonValue::Object(vec![
                     ("key".to_string(), JsonValue::String(key.to_string())),
                     ("initial_latency_ms".to_string(), JsonValue::Number(e.initial_latency_ms)),
@@ -100,16 +355,31 @@ impl ResultCache {
         .to_json()
     }
 
-    /// Restores a cache from a JSON snapshot, fully validating it: the
-    /// format marker and version, every key, every latency, and every
-    /// embedded graph (which goes through the same import validation as a
-    /// request graph).
+    /// Restores an unbounded cache from a JSON snapshot, fully validating
+    /// it: the format marker and version, every key, every latency, and
+    /// every embedded graph (which goes through the same import validation
+    /// as a request graph). See [`ResultCache::from_json_with_config`] to
+    /// restore under a budget.
     ///
     /// # Errors
     ///
     /// [`ServeError::Cache`] for malformed documents, [`ServeError::Graph`]
     /// for embedded graphs that fail import validation.
     pub fn from_json(text: &str) -> Result<Self, ServeError> {
+        Self::from_json_with_config(text, CacheConfig::unbounded())
+    }
+
+    /// Restores a cache from a JSON snapshot under `config`, clamping with
+    /// an eviction pass when the snapshot holds more than the budgets allow
+    /// (entries earliest in the document go first — recency is document
+    /// order on load). The clamp is visible: evictions land in the
+    /// `serve/cache_evictions` counter and the caller can compare
+    /// [`ResultCache::len`] against the document.
+    ///
+    /// # Errors
+    ///
+    /// See [`ResultCache::from_json`].
+    pub fn from_json_with_config(text: &str, config: CacheConfig) -> Result<Self, ServeError> {
         let cache_err = |message: String| ServeError::Cache(message);
         let value = JsonValue::parse(text).map_err(cache_err)?;
         let format = value
@@ -132,7 +402,8 @@ impl ResultCache {
             .get("entries")
             .and_then(JsonValue::as_array)
             .ok_or_else(|| cache_err("missing \"entries\" array".to_string()))?;
-        let mut entries = HashMap::with_capacity(entry_values.len());
+        let mut cache = Self::with_config(config);
+        let mut clamped = 0usize;
         for (i, ev) in entry_values.iter().enumerate() {
             let key = ev
                 .get("key")
@@ -154,12 +425,15 @@ impl ResultCache {
             let graph_value =
                 ev.get("graph").ok_or_else(|| cache_err(format!("entry {i}: missing graph")))?;
             let graph = Graph::from_json_value(graph_value)?;
-            entries.insert(
+            clamped += cache.insert(
                 key,
                 CacheEntry { graph: Arc::new(graph), initial_latency_ms, final_latency_ms, steps },
             );
         }
-        Ok(Self { entries })
+        if clamped > 0 {
+            xrlflow_obs::counter!("serve/cache_load_clamped").add(clamped as u64);
+        }
+        Ok(cache)
     }
 
     /// Writes a JSON snapshot of the cache to `path`.
@@ -173,17 +447,28 @@ impl ResultCache {
             .map_err(|e| ServeError::Io(format!("writing {}: {e}", path.display())))
     }
 
-    /// Loads and validates a JSON snapshot from `path`.
+    /// Loads and validates a JSON snapshot from `path` into an unbounded
+    /// cache.
     ///
     /// # Errors
     ///
     /// [`ServeError::Io`] when the file cannot be read; the
     /// [`ResultCache::from_json`] errors for malformed content.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, ServeError> {
+        Self::load_with_config(path, CacheConfig::unbounded())
+    }
+
+    /// Loads a JSON snapshot from `path` under `config`, clamping to the
+    /// budgets (see [`ResultCache::from_json_with_config`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`ResultCache::load`].
+    pub fn load_with_config(path: impl AsRef<Path>, config: CacheConfig) -> Result<Self, ServeError> {
         let path = path.as_ref();
         let text = std::fs::read_to_string(path)
             .map_err(|e| ServeError::Io(format!("reading {}: {e}", path.display())))?;
-        Self::from_json(&text)
+        Self::from_json_with_config(&text, config)
     }
 }
 
@@ -201,6 +486,13 @@ mod tests {
         )
     }
 
+    /// Distinct keys over one shared graph: cache budgets don't care that
+    /// the graphs coincide, only about keys and sizes.
+    fn synthetic_entries(n: usize) -> Vec<(u64, CacheEntry)> {
+        let (_, e) = entry();
+        (0..n as u64).map(|k| (k, e.clone())).collect()
+    }
+
     #[test]
     fn json_round_trip_preserves_entries_exactly() {
         let mut cache = ResultCache::new();
@@ -208,7 +500,7 @@ mod tests {
         cache.insert(key, e.clone());
         let back = ResultCache::from_json(&cache.to_json()).unwrap();
         assert_eq!(back.len(), 1);
-        let b = back.get(key).unwrap();
+        let b = back.peek(key).unwrap();
         assert_eq!(b.graph.canonical_hash(), e.graph.canonical_hash());
         assert_eq!(b.initial_latency_ms, e.initial_latency_ms);
         assert_eq!(b.final_latency_ms, e.final_latency_ms);
@@ -225,8 +517,8 @@ mod tests {
         let key = u64::MAX - 1;
         cache.insert(key, e);
         let back = ResultCache::from_json(&cache.to_json()).unwrap();
-        assert!(back.get(key).is_some());
-        assert!(back.get(u64::MAX).is_none());
+        assert!(back.peek(key).is_some());
+        assert!(back.peek(u64::MAX).is_none());
     }
 
     #[test]
@@ -263,10 +555,123 @@ mod tests {
         let back = ResultCache::load(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(back.len(), 1);
-        assert!(back.get(key).is_some());
+        assert!(back.peek(key).is_some());
         assert!(matches!(
             ResultCache::load(std::env::temp_dir().join("xrlflow-no-such-cache.json")),
             Err(ServeError::Io(_))
         ));
+    }
+
+    #[test]
+    fn config_builder_validates_budgets() {
+        assert!(CacheConfig::builder().build().unwrap().max_entries().is_none());
+        let cfg = CacheConfig::builder().max_entries(4).max_bytes(1 << 20).build().unwrap();
+        assert_eq!(cfg.max_entries(), Some(4));
+        assert_eq!(cfg.max_bytes(), Some(1 << 20));
+        assert_eq!(CacheConfig::builder().max_entries(0).build().unwrap_err().field, "cache.max_entries");
+        assert_eq!(CacheConfig::builder().max_bytes(0).build().unwrap_err().field, "cache.max_bytes");
+    }
+
+    #[test]
+    fn entry_budget_never_exceeded_and_eviction_is_lru() {
+        let config = CacheConfig::builder().max_entries(3).build().unwrap();
+        let mut cache = ResultCache::with_config(config);
+        let entries = synthetic_entries(5);
+        for (key, e) in entries.iter().take(3).cloned() {
+            assert_eq!(cache.insert(key, e), 0);
+        }
+        // Touch key 0 so key 1 becomes the LRU entry.
+        assert!(cache.get(0).is_some());
+        let (key3, e3) = entries[3].clone();
+        assert_eq!(cache.insert(key3, e3), 1, "inserting over budget evicts exactly one entry");
+        assert_eq!(cache.len(), 3);
+        assert!(cache.peek(1).is_none(), "the least-recently-used entry must be the one evicted");
+        assert!(cache.peek(0).is_some() && cache.peek(2).is_some() && cache.peek(3).is_some());
+        // Sustained load: the budget holds at every step.
+        let (key4, e4) = entries[4].clone();
+        cache.insert(key4, e4);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn byte_budget_evicts_and_accounting_tracks_entries() {
+        let (_, e) = entry();
+        let per_entry = e.approx_bytes();
+        assert!(per_entry > 0);
+        let config = CacheConfig::builder().max_bytes(per_entry * 2).build().unwrap();
+        let mut cache = ResultCache::with_config(config);
+        for (key, e) in synthetic_entries(4) {
+            cache.insert(key, e);
+        }
+        assert_eq!(cache.len(), 2, "byte budget fits exactly two entries");
+        assert!(cache.total_bytes() <= per_entry * 2);
+        // An unbounded cache tracks bytes without evicting.
+        let mut unbounded = ResultCache::new();
+        for (key, e) in synthetic_entries(4) {
+            assert_eq!(unbounded.insert(key, e), 0);
+        }
+        assert_eq!(unbounded.total_bytes(), per_entry * 4);
+        // Overwriting a key must not double-count its bytes.
+        let (_, e) = entry();
+        unbounded.insert(0, e);
+        assert_eq!(unbounded.total_bytes(), per_entry * 4);
+    }
+
+    #[test]
+    fn oversized_single_entry_is_evicted_not_kept_over_budget() {
+        let (_, e) = entry();
+        let config = CacheConfig::builder().max_bytes(e.approx_bytes() / 2).build().unwrap();
+        let mut cache = ResultCache::with_config(config);
+        assert_eq!(cache.insert(9, e), 1, "an entry alone over the byte budget cannot stay");
+        assert!(cache.is_empty());
+        assert_eq!(cache.total_bytes(), 0);
+    }
+
+    #[test]
+    fn set_config_clamps_immediately() {
+        let mut cache = ResultCache::new();
+        for (key, e) in synthetic_entries(5) {
+            cache.insert(key, e);
+        }
+        let evicted = cache.set_config(CacheConfig::builder().max_entries(2).build().unwrap());
+        assert_eq!(evicted, 3);
+        assert_eq!(cache.len(), 2);
+        // The survivors are the most recently inserted keys.
+        assert!(cache.peek(3).is_some() && cache.peek(4).is_some());
+    }
+
+    #[test]
+    fn loading_a_snapshot_larger_than_the_budget_clamps_with_evictions() {
+        let mut cache = ResultCache::new();
+        for (key, e) in synthetic_entries(4) {
+            cache.insert(key, e);
+        }
+        let json = cache.to_json();
+        let config = CacheConfig::builder().max_entries(2).build().unwrap();
+        let clamped = ResultCache::from_json_with_config(&json, config).unwrap();
+        assert_eq!(clamped.len(), 2, "load must clamp to the entry budget, not grow unbounded");
+        // Document order is recency order on load: the latest entries stay.
+        assert!(clamped.peek(2).is_some() && clamped.peek(3).is_some());
+        // An unbounded load of the same document keeps everything.
+        assert_eq!(ResultCache::from_json(&json).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn from_env_reads_and_validates_budgets() {
+        // Unset: unbounded. (Serial-safe: these vars are only read here.)
+        std::env::remove_var("XRLFLOW_CACHE_MAX_ENTRIES");
+        std::env::remove_var("XRLFLOW_CACHE_MAX_BYTES");
+        assert_eq!(CacheConfig::from_env().unwrap(), CacheConfig::unbounded());
+        std::env::set_var("XRLFLOW_CACHE_MAX_ENTRIES", "8");
+        std::env::set_var("XRLFLOW_CACHE_MAX_BYTES", "1048576");
+        let cfg = CacheConfig::from_env().unwrap();
+        assert_eq!(cfg.max_entries(), Some(8));
+        assert_eq!(cfg.max_bytes(), Some(1048576));
+        std::env::set_var("XRLFLOW_CACHE_MAX_ENTRIES", "lots");
+        assert_eq!(CacheConfig::from_env().unwrap_err().field, "cache.max_entries");
+        std::env::set_var("XRLFLOW_CACHE_MAX_ENTRIES", "0");
+        assert_eq!(CacheConfig::from_env().unwrap_err().field, "cache.max_entries");
+        std::env::remove_var("XRLFLOW_CACHE_MAX_ENTRIES");
+        std::env::remove_var("XRLFLOW_CACHE_MAX_BYTES");
     }
 }

@@ -25,6 +25,9 @@ pub enum ServeError {
     Io(String),
     /// A persisted cache document is malformed.
     Cache(String),
+    /// The HTTP front end could not bind, accept, or (client-side) speak
+    /// the protocol.
+    Http(String),
 }
 
 impl fmt::Display for ServeError {
@@ -35,6 +38,7 @@ impl fmt::Display for ServeError {
             ServeError::Config(e) => write!(f, "service misconfigured: {e}"),
             ServeError::Io(message) => write!(f, "cache i/o failed: {message}"),
             ServeError::Cache(message) => write!(f, "malformed cache snapshot: {message}"),
+            ServeError::Http(message) => write!(f, "http error: {message}"),
         }
     }
 }
@@ -45,7 +49,7 @@ impl std::error::Error for ServeError {
             ServeError::Graph(e) => Some(e),
             ServeError::Snapshot(e) => Some(e),
             ServeError::Config(e) => Some(e),
-            ServeError::Io(_) | ServeError::Cache(_) => None,
+            ServeError::Io(_) | ServeError::Cache(_) | ServeError::Http(_) => None,
         }
     }
 }

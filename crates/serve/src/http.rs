@@ -1,0 +1,521 @@
+//! A dependency-free blocking HTTP/1.1 front end for [`OptimizeService`].
+//!
+//! The server is deliberately small and boring: `std::net` sockets, one
+//! accept thread, one thread per connection, `Connection: close` on every
+//! response. What it is *not* casual about is the boundary — request
+//! parsing mirrors the [`JsonValue`] philosophy:
+//!
+//! * **Size-bounded.** Headers are read up to
+//!   [`ServerConfig::max_header_bytes`] (then `431`); a declared body
+//!   larger than [`ServerConfig::max_body_bytes`] is rejected with `413`
+//!   *before* a single body byte is read.
+//! * **Never panics on untrusted bytes.** Truncated requests, garbage
+//!   request lines, bad `Content-Length` values and malformed graph JSON
+//!   all map to typed `4xx` responses; a `5xx` can only mean a genuine
+//!   server-side defect (and even that is caught, not a crash).
+//! * **Slow clients cannot wedge a thread forever** — every socket gets
+//!   [`ServerConfig::io_timeout`] for reads and writes.
+//!
+//! ## Routes
+//!
+//! | Route | Body in | Body out |
+//! |---|---|---|
+//! | `POST /optimize` | graph interchange JSON | optimised graph + latency stats |
+//! | `GET /metrics` | — | the metrics snapshot JSON |
+//! | `GET /healthz` | — | `{"status": "ok"}` |
+//! | `POST /admin/swap` | `XRLFSNAP` checkpoint bytes | swap confirmation |
+//!
+//! All formats are specified in `docs/FORMATS.md`; `docs/OPERATIONS.md`
+//! covers running and operating the server.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xrlflow_core::XrlflowConfig;
+//! use xrlflow_serve::{http_call, OptimizeServer, OptimizeService};
+//!
+//! let service = OptimizeService::untrained(&XrlflowConfig::smoke_test(), 0).unwrap();
+//! let server = OptimizeServer::bind(Arc::new(service), "127.0.0.1:0").unwrap();
+//! let reply = http_call(server.local_addr(), "GET", "/healthz", &[]).unwrap();
+//! assert_eq!(reply.status, 200);
+//! assert!(reply.body.contains("ok"));
+//! ```
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use xrlflow_core::ConfigError;
+use xrlflow_graph::JsonValue;
+use xrlflow_tensor::ParamSnapshot;
+
+use crate::error::ServeError;
+use crate::service::OptimizeService;
+
+/// Size and patience bounds for the HTTP boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Largest accepted request body; a bigger `Content-Length` is
+    /// rejected with `413` before any body byte is read. Default 16 MiB.
+    pub max_body_bytes: usize,
+    /// Largest accepted request head (request line plus headers); longer
+    /// heads are rejected with `431`. Default 16 KiB.
+    pub max_header_bytes: usize,
+    /// Per-socket read/write timeout; a stalled client gets `408` (or a
+    /// dropped connection) instead of a wedged thread. Default 30 s.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_body_bytes: 16 * 1024 * 1024,
+            max_header_bytes: 16 * 1024,
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Builds a configuration from the environment, falling back to the
+    /// defaults: `XRLFLOW_HTTP_MAX_BODY_BYTES`, `XRLFLOW_HTTP_MAX_HEADER_BYTES`
+    /// and `XRLFLOW_HTTP_IO_TIMEOUT_MS` (all positive integers).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending variable when a value is set
+    /// but not a positive integer.
+    pub fn from_env() -> Result<Self, ConfigError> {
+        let mut config = Self::default();
+        if let Some(v) = env_usize("XRLFLOW_HTTP_MAX_BODY_BYTES", "http.max_body_bytes")? {
+            config.max_body_bytes = v;
+        }
+        if let Some(v) = env_usize("XRLFLOW_HTTP_MAX_HEADER_BYTES", "http.max_header_bytes")? {
+            config.max_header_bytes = v;
+        }
+        if let Some(v) = env_usize("XRLFLOW_HTTP_IO_TIMEOUT_MS", "http.io_timeout_ms")? {
+            config.io_timeout = Duration::from_millis(v as u64);
+        }
+        Ok(config)
+    }
+}
+
+fn env_usize(var: &str, field: &'static str) -> Result<Option<usize>, ConfigError> {
+    match std::env::var(var) {
+        Err(_) => Ok(None),
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(v) if v > 0 => Ok(Some(v)),
+            _ => {
+                Err(ConfigError { field, message: format!("{var} must be a positive integer, got {raw:?}") })
+            }
+        },
+    }
+}
+
+/// A running HTTP server wrapped around an [`OptimizeService`].
+///
+/// Binding spawns the accept loop; dropping the server (or calling
+/// [`OptimizeServer::shutdown`]) stops accepting new connections.
+/// Connections already being served run to completion on their own
+/// threads — a shutdown never drops an in-flight request.
+#[derive(Debug)]
+pub struct OptimizeServer {
+    service: Arc<OptimizeService>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl OptimizeServer {
+    /// Binds to `addr` (use port `0` for an ephemeral port) with the
+    /// default [`ServerConfig`] and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Http`] when the address cannot be bound.
+    pub fn bind(service: Arc<OptimizeService>, addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        Self::bind_with_config(service, addr, ServerConfig::default())
+    }
+
+    /// Binds with explicit boundary bounds.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Http`] when the address cannot be bound.
+    pub fn bind_with_config(
+        service: Arc<OptimizeService>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(addr).map_err(|e| ServeError::Http(format!("bind failed: {e}")))?;
+        let local = listener.local_addr().map_err(|e| ServeError::Http(format!("local_addr failed: {e}")))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(&listener, &service, &stop, config))
+        };
+        Ok(Self { service, addr: local, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address — read this after binding port `0` to learn the
+    /// ephemeral port the OS picked.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service this server fronts.
+    pub fn service(&self) -> &Arc<OptimizeService> {
+        &self.service
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// Connections already in flight finish on their own threads.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop is blocked in `accept`; poke it with a throwaway
+        // connection so it observes the stop flag and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for OptimizeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<OptimizeService>,
+    stop: &Arc<AtomicBool>,
+    config: ServerConfig,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let service = Arc::clone(service);
+        std::thread::spawn(move || serve_connection(stream, &service, config));
+    }
+}
+
+/// One response about to go on the wire.
+struct Response {
+    status: u16,
+    body: String,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Self {
+        Self { status, body }
+    }
+
+    /// A typed error response; the message is JSON-escaped through the
+    /// same writer the graph format uses.
+    fn error(status: u16, message: impl Into<String>) -> Self {
+        let body = JsonValue::Object(vec![("error".to_string(), JsonValue::String(message.into()))]);
+        Self { status, body: body.to_json() }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, service: &Arc<OptimizeService>, config: ServerConfig) {
+    let _ = stream.set_read_timeout(Some(config.io_timeout));
+    let _ = stream.set_write_timeout(Some(config.io_timeout));
+    let (response, rejected_early) = match read_request(&mut stream, &config) {
+        Err(resp) => (resp, true),
+        Ok(request) => {
+            // The handler is pure request → response over a `Sync` service;
+            // a panic here would be a server defect, and even then the
+            // client gets a 500 instead of a dropped connection.
+            let response = catch_unwind(AssertUnwindSafe(|| handle(service, &request)))
+                .unwrap_or_else(|_| Response::error(500, "internal error"));
+            (response, false)
+        }
+    };
+    xrlflow_obs::counter!("serve/http_requests").inc();
+    match response.status / 100 {
+        2 => xrlflow_obs::counter!("serve/http_2xx").inc(),
+        4 => xrlflow_obs::counter!("serve/http_4xx").inc(),
+        _ => xrlflow_obs::counter!("serve/http_5xx").inc(),
+    }
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.body.len()
+    );
+    // The client may already be gone; that is its problem, not ours.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(response.body.as_bytes());
+    let _ = stream.flush();
+    if rejected_early {
+        // The request was refused before being fully read (oversized head
+        // or body, truncation). Closing now would RST the connection —
+        // destroying the error response before the client reads it — so
+        // drain what the client already sent, bounded in bytes and time.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+        let mut scratch = [0u8; 4096];
+        let mut drained = 0usize;
+        while drained < 256 * 1024 {
+            match stream.read(&mut scratch) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => drained += n,
+            }
+        }
+    }
+}
+
+/// One parsed request: method, path and (for `POST`) the exact body.
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+/// Reads and parses one request off the socket, enforcing every bound in
+/// [`ServerConfig`]. Any violation is an `Err` carrying the 4xx to send.
+fn read_request(stream: &mut TcpStream, config: &ServerConfig) -> Result<Request, Response> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > config.max_header_bytes {
+            return Err(Response::error(431, "request head exceeds the configured limit"));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(Response::error(400, "truncated request: connection closed mid-head")),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(Response::error(408, "timed out reading the request head"));
+            }
+            Err(_) => return Err(Response::error(400, "error reading the request head")),
+        }
+    };
+    if head_end > config.max_header_bytes {
+        return Err(Response::error(431, "request head exceeds the configured limit"));
+    }
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(head) => head,
+        Err(_) => return Err(Response::error(400, "request head is not valid UTF-8")),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if v.starts_with("HTTP/") => (m, p, v),
+        _ => return Err(Response::error(400, format!("malformed request line: {request_line:?}"))),
+    };
+    let _ = version;
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            match value.trim().parse::<usize>() {
+                Ok(n) => content_length = Some(n),
+                Err(_) => return Err(Response::error(400, "malformed Content-Length header")),
+            }
+        }
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    if method.eq_ignore_ascii_case("POST") {
+        let Some(expected) = content_length else {
+            return Err(Response::error(411, "POST requires a Content-Length header"));
+        };
+        if expected > config.max_body_bytes {
+            return Err(Response::error(
+                413,
+                format!("body of {expected} bytes exceeds the limit of {}", config.max_body_bytes),
+            ));
+        }
+        while body.len() < expected {
+            match stream.read(&mut chunk) {
+                Ok(0) => return Err(Response::error(400, "truncated request: connection closed mid-body")),
+                Ok(n) => body.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Err(Response::error(408, "timed out reading the request body"));
+                }
+                Err(_) => return Err(Response::error(400, "error reading the request body")),
+            }
+        }
+        body.truncate(expected);
+    } else {
+        body.clear();
+    }
+    Ok(Request { method: method.to_string(), path: path.to_string(), body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Routes one well-formed request. Service-level failures surface as typed
+/// 4xx responses; this function never panics on untrusted content.
+fn handle(service: &Arc<OptimizeService>, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/optimize") => {
+            let Ok(text) = std::str::from_utf8(&request.body) else {
+                return Response::error(400, "request body is not valid UTF-8");
+            };
+            match service.optimize_json(text) {
+                Ok(response) => {
+                    let body = JsonValue::Object(vec![
+                        ("graph".to_string(), response.graph.to_json_value()),
+                        ("initial_latency_ms".to_string(), JsonValue::Number(response.initial_latency_ms)),
+                        ("final_latency_ms".to_string(), JsonValue::Number(response.final_latency_ms)),
+                        ("steps".to_string(), JsonValue::Number(response.steps as f64)),
+                        ("cache_hit".to_string(), JsonValue::Bool(response.cache_hit)),
+                        ("speedup_percent".to_string(), JsonValue::Number(response.speedup_percent())),
+                    ]);
+                    Response::json(200, body.to_json())
+                }
+                Err(e) => Response::error(400, e.to_string()),
+            }
+        }
+        ("GET", "/metrics") => Response::json(200, service.metrics_json()),
+        ("GET", "/healthz") => Response::json(
+            200,
+            JsonValue::Object(vec![("status".to_string(), JsonValue::String("ok".to_string()))]).to_json(),
+        ),
+        ("POST", "/admin/swap") => {
+            let snapshot = match ParamSnapshot::from_bytes(&request.body) {
+                Ok(snapshot) => snapshot,
+                Err(e) => return Response::error(400, format!("not a valid checkpoint: {e}")),
+            };
+            let tensors = snapshot.len();
+            let scalars = snapshot.num_scalars();
+            match service.swap_snapshot(&snapshot) {
+                Ok(()) => {
+                    let body = JsonValue::Object(vec![
+                        ("swapped".to_string(), JsonValue::Bool(true)),
+                        ("tensors".to_string(), JsonValue::Number(tensors as f64)),
+                        ("scalars".to_string(), JsonValue::Number(scalars as f64)),
+                    ]);
+                    Response::json(200, body.to_json())
+                }
+                Err(e) => Response::error(422, e.to_string()),
+            }
+        }
+        (_, "/optimize") | (_, "/admin/swap") => {
+            Response::error(405, format!("{} not allowed here; use POST", request.method))
+        }
+        (_, "/metrics") | (_, "/healthz") => {
+            Response::error(405, format!("{} not allowed here; use GET", request.method))
+        }
+        (_, path) => Response::error(404, format!("no such route: {path}")),
+    }
+}
+
+/// A response received by [`http_call`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpReply {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The response body (the servers in this crate always send JSON).
+    pub body: String,
+}
+
+/// A minimal blocking HTTP/1.1 client for one-shot calls against an
+/// [`OptimizeServer`] — shared by the integration tests, the bench harness
+/// and `examples/serve_http.rs`, and small enough to crib for ad-hoc
+/// scripting.
+///
+/// # Errors
+///
+/// [`ServeError::Http`] when the connection, write, read or response
+/// parse fails. A non-2xx status is **not** an error — inspect
+/// [`HttpReply::status`].
+pub fn http_call(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> Result<HttpReply, ServeError> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| ServeError::Http(format!("connect {addr}: {e}")))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).map_err(|e| ServeError::Http(format!("write: {e}")))?;
+    stream.write_all(body).map_err(|e| ServeError::Http(format!("write: {e}")))?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| ServeError::Http(format!("read: {e}")))?;
+    parse_reply(&raw)
+}
+
+fn parse_reply(raw: &[u8]) -> Result<HttpReply, ServeError> {
+    let head_end =
+        find_head_end(raw).ok_or_else(|| ServeError::Http("response has no header terminator".into()))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| ServeError::Http("response head is not valid UTF-8".into()))?;
+    let status_line = head.split("\r\n").next().unwrap_or("");
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| ServeError::Http(format!("malformed status line: {status_line:?}")))?;
+    let body = String::from_utf8_lossy(&raw[head_end + 4..]).into_owned();
+    Ok(HttpReply { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_is_found_only_when_complete() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\n"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+        assert_eq!(find_head_end(b""), None);
+    }
+
+    #[test]
+    fn reply_parser_rejects_garbage() {
+        assert!(parse_reply(b"not http at all").is_err());
+        assert!(parse_reply(b"HTTP/1.1 abc OK\r\n\r\n").is_err());
+        let ok = parse_reply(b"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\n{}").unwrap();
+        assert_eq!(ok, HttpReply { status: 200, body: "{}".to_string() });
+    }
+
+    #[test]
+    fn server_config_from_env_rejects_non_numbers() {
+        // Env mutation is process-global; this test owns these variables.
+        std::env::set_var("XRLFLOW_HTTP_MAX_BODY_BYTES", "12345");
+        std::env::set_var("XRLFLOW_HTTP_MAX_HEADER_BYTES", "zero");
+        assert!(ServerConfig::from_env().is_err());
+        std::env::set_var("XRLFLOW_HTTP_MAX_HEADER_BYTES", "4096");
+        std::env::set_var("XRLFLOW_HTTP_IO_TIMEOUT_MS", "250");
+        let config = ServerConfig::from_env().unwrap();
+        assert_eq!(config.max_body_bytes, 12345);
+        assert_eq!(config.max_header_bytes, 4096);
+        assert_eq!(config.io_timeout, Duration::from_millis(250));
+        std::env::remove_var("XRLFLOW_HTTP_MAX_BODY_BYTES");
+        std::env::remove_var("XRLFLOW_HTTP_MAX_HEADER_BYTES");
+        std::env::remove_var("XRLFLOW_HTTP_IO_TIMEOUT_MS");
+    }
+}

@@ -6,17 +6,37 @@
 //! and answer repeat requests from a persistent result cache keyed by
 //! [`Graph::canonical_hash`](xrlflow_graph::Graph::canonical_hash).
 //!
-//! Three rules govern the design:
+//! Five rules govern the design:
 //!
 //! 1. **The boundary never panics.** Every request — malformed JSON,
-//!    unknown operators, cyclic graphs, tampered shapes — either succeeds
-//!    or returns a typed [`ServeError`].
+//!    unknown operators, cyclic graphs, tampered shapes, truncated or
+//!    oversized HTTP requests — either succeeds or returns a typed
+//!    [`ServeError`] (a 4xx over HTTP).
 //! 2. **The cache key is the canonical hash.** Structurally identical
 //!    graphs share one entry regardless of node numbering or names, and a
 //!    hit costs no policy forward passes.
 //! 3. **Serving never mutates the policy.** The agent is a read-only
 //!    snapshot replica (the rollout engine's replica protocol), so one
 //!    service can be shared across request threads behind an `Arc`.
+//!    A new checkpoint enters via [`OptimizeService::swap_snapshot`]: the
+//!    replacement replica is built and validated off the request path and
+//!    swapped in as an `Arc` pointer exchange; a rejected checkpoint
+//!    leaves the old policy serving.
+//! 4. **The cache is bounded.** [`CacheConfig`] sets entry/byte budgets
+//!    enforced by LRU eviction — at insert time, at reconfiguration, and
+//!    when loading a persisted snapshot — with eviction counters and
+//!    occupancy gauges in the metrics snapshot.
+//! 5. **Concurrent identical misses coalesce.** Single-flight admission
+//!    runs one greedy episode per [`canonical_hash`] no matter how many
+//!    requests race on it; followers wait and read the leader's entry.
+//!
+//! The on-the-wire JSON formats (graph interchange, cache snapshot,
+//! metrics snapshot) and the `XRLFSNAP` checkpoint format are specified in
+//! [`docs/FORMATS.md`](https://github.com/xrlflow/xrlflow/blob/main/docs/FORMATS.md)
+//! in the repository; operational guidance (env knobs, cache sizing, the
+//! hot-swap procedure) lives in `docs/OPERATIONS.md` alongside it.
+//!
+//! [`canonical_hash`]: xrlflow_graph::Graph::canonical_hash
 //!
 //! ## Quickstart
 //!
@@ -48,14 +68,20 @@
 //!
 //! The cache snapshots to disk ([`OptimizeService::save_cache`] /
 //! [`OptimizeService::load_cache`]) so a restarted server keeps answering
-//! previously seen graphs without re-running the policy.
+//! previously seen graphs without re-running the policy, and the whole
+//! service goes on the network with [`http::OptimizeServer`] — a
+//! dependency-free blocking HTTP/1.1 front end over `std::net`.
 
 #![warn(missing_docs)]
 
 mod cache;
 mod error;
+pub mod http;
 mod service;
 
-pub use cache::{CacheEntry, ResultCache, CACHE_JSON_FORMAT, CACHE_JSON_VERSION};
+pub use cache::{
+    CacheConfig, CacheConfigBuilder, CacheEntry, ResultCache, CACHE_JSON_FORMAT, CACHE_JSON_VERSION,
+};
 pub use error::ServeError;
+pub use http::{http_call, HttpReply, OptimizeServer, ServerConfig};
 pub use service::{OptimizeResponse, OptimizeService, ServeStats};

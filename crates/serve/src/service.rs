@@ -1,7 +1,9 @@
 //! The optimisation service: snapshot-replica policy serving behind a
-//! persistent result cache.
+//! bounded persistent result cache, with hot snapshot swap and single-flight
+//! miss admission.
 
-use std::sync::{Arc, Mutex};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use xrlflow_core::{greedy_optimize, XrlflowAgent, XrlflowConfig};
 use xrlflow_cost::{DeviceProfile, InferenceSimulator};
@@ -10,7 +12,7 @@ use xrlflow_graph::Graph;
 use xrlflow_rewrite::RuleSet;
 use xrlflow_tensor::{ParamSnapshot, XorShiftRng};
 
-use crate::cache::{CacheEntry, ResultCache};
+use crate::cache::{CacheConfig, CacheEntry, ResultCache};
 use crate::error::ServeError;
 
 /// The outcome of one optimisation request.
@@ -42,8 +44,8 @@ impl OptimizeResponse {
 /// Monotonic request counters, for observability and for asserting cache
 /// behaviour in tests.
 ///
-/// A [`OptimizeService::stats`] snapshot is **consistent**: the three
-/// counters are updated and read under one lock, so
+/// A [`OptimizeService::stats`] snapshot is **consistent**: the counters are
+/// updated and read under one lock, so
 /// `requests == cache_hits + policy_invocations` holds in every snapshot a
 /// concurrent reader can observe (earlier versions bumped three independent
 /// atomics and readers could see a torn trio).
@@ -51,10 +53,56 @@ impl OptimizeResponse {
 pub struct ServeStats {
     /// Total optimisation requests accepted (invalid graphs not counted).
     pub requests: usize,
-    /// Requests answered from the result cache.
+    /// Requests answered from the result cache. Includes *coalesced* misses:
+    /// requests that arrived while another request was already optimising
+    /// the same graph, waited for it, and were then served from the cache.
     pub cache_hits: usize,
-    /// Requests that ran the policy (greedy episodes executed).
+    /// Requests that ran the policy (greedy episodes executed). With
+    /// single-flight admission, N racing misses on one key cost exactly one
+    /// invocation.
     pub policy_invocations: usize,
+    /// The subset of `cache_hits` that waited for an in-flight optimisation
+    /// of the same key instead of finding the entry already present.
+    pub coalesced: usize,
+}
+
+/// One in-flight optimisation a racing miss can wait on instead of running
+/// its own episode.
+#[derive(Debug, Default)]
+struct Flight {
+    done: Mutex<bool>,
+    condvar: Condvar,
+}
+
+impl Flight {
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("flight lock");
+        while !*done {
+            done = self.condvar.wait(done).expect("flight lock");
+        }
+    }
+
+    fn complete(&self) {
+        *self.done.lock().expect("flight lock") = true;
+        self.condvar.notify_all();
+    }
+}
+
+/// Removes the flight from the table and wakes every waiter when the leader
+/// is done — including when it unwinds, so waiters can never deadlock on a
+/// flight whose leader died.
+struct FlightGuard<'a> {
+    service: &'a OptimizeService,
+    key: u64,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        let flight = self.service.flights.lock().expect("flights lock").remove(&self.key);
+        if let Some(flight) = flight {
+            flight.complete();
+        }
+    }
 }
 
 /// Optimisation-as-a-service over a frozen policy.
@@ -62,21 +110,41 @@ pub struct ServeStats {
 /// The service owns a read-only agent replica built from a
 /// [`ParamSnapshot`] (the same bit-identical replica protocol the parallel
 /// rollout engine uses), a shared rewrite rule set and latency simulator,
-/// and a [`ResultCache`] keyed by [`Graph::canonical_hash`]. Repeat
-/// requests for structurally identical graphs are answered from the cache
-/// without touching the policy; the cache snapshots to disk so a restarted
-/// server stays warm.
+/// and a budget-bounded [`ResultCache`] keyed by [`Graph::canonical_hash`].
+/// Repeat requests for structurally identical graphs are answered from the
+/// cache without touching the policy; the cache snapshots to disk so a
+/// restarted server stays warm.
+///
+/// Three serving-hardening properties (PR 9) on top of that:
+///
+/// * **Hot snapshot swap** ([`OptimizeService::swap_snapshot`]): the policy
+///   replica lives behind an `Arc` pointer; a new checkpoint is loaded and
+///   validated *off* the request path and then swapped in as a pointer
+///   exchange. In-flight requests keep the replica they started with;
+///   rejected checkpoints leave the old policy serving.
+/// * **Single-flight admission**: concurrent misses on the same canonical
+///   hash run **one** greedy episode — the first request leads, the rest
+///   wait and are served from the cache (counted in
+///   [`ServeStats::coalesced`]).
+/// * **Bounded cache** ([`OptimizeService::set_cache_config`]): entry/byte
+///   budgets with LRU eviction, visible in `/metrics`.
 ///
 /// All methods take `&self`: the service is `Sync` and can be shared across
-/// request threads behind an `Arc`.
+/// request threads behind an `Arc` (the HTTP front end in
+/// [`crate::http`] does exactly that).
 #[derive(Debug)]
 pub struct OptimizeService {
-    agent: XrlflowAgent,
+    /// The serving replica. Requests clone the `Arc` under a read lock and
+    /// drop the lock before optimising; `swap_snapshot` exchanges the
+    /// pointer under the write lock. Neither side ever holds the lock while
+    /// running the policy.
+    policy: RwLock<Arc<XrlflowAgent>>,
     config: XrlflowConfig,
     rules: Arc<RuleSet>,
     simulator: Arc<InferenceSimulator>,
     cache: Mutex<ResultCache>,
     stats: Mutex<ServeStats>,
+    flights: Mutex<HashMap<u64, Arc<Flight>>>,
 }
 
 impl OptimizeService {
@@ -108,24 +176,68 @@ impl OptimizeService {
 
     fn assemble(config: XrlflowConfig, agent: XrlflowAgent) -> Self {
         Self {
-            agent,
+            policy: RwLock::new(Arc::new(agent)),
             config,
             rules: Arc::new(RuleSet::standard()),
             simulator: Arc::new(InferenceSimulator::new(DeviceProfile::default())),
             cache: Mutex::new(ResultCache::new()),
             stats: Mutex::new(ServeStats::default()),
+            flights: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Hot-swaps the serving policy to a new checkpoint while traffic keeps
+    /// flowing.
+    ///
+    /// The new snapshot is validated and materialised into a replica
+    /// **before** any serving state changes — the old policy keeps serving
+    /// throughout the load, and in-flight requests that already cloned the
+    /// old replica's `Arc` finish on it undisturbed. Only once the new
+    /// replica is fully built does the swap happen, as a pointer exchange
+    /// under a briefly held write lock. A snapshot that does not match the
+    /// service architecture is rejected with the old policy untouched.
+    ///
+    /// The result cache deliberately survives a swap: entries are keyed by
+    /// request graph, and serving a cached result computed by the previous
+    /// policy is exactly the paper's amortisation story. Call
+    /// [`OptimizeService::clear_cache`] after swapping if the new policy
+    /// should re-optimise everything from scratch.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Snapshot`] when the snapshot does not match the
+    /// configured architecture; the previous policy remains in service.
+    pub fn swap_snapshot(&self, snapshot: &ParamSnapshot) -> Result<(), ServeError> {
+        let replica = match XrlflowAgent::from_snapshot(&self.config, snapshot) {
+            Ok(agent) => Arc::new(agent),
+            Err(e) => {
+                xrlflow_obs::counter!("serve/snapshot_swap_rejected").inc();
+                return Err(e.into());
+            }
+        };
+        *self.policy.write().expect("policy lock") = replica;
+        xrlflow_obs::counter!("serve/snapshot_swaps").inc();
+        Ok(())
+    }
+
+    /// The replica currently serving (requests pin their own clone of this).
+    fn current_policy(&self) -> Arc<XrlflowAgent> {
+        Arc::clone(&self.policy.read().expect("policy lock"))
     }
 
     /// Classifies one accepted request, updating `requests` **and** its
     /// outcome counter under a single lock so no reader ever observes
     /// `requests != cache_hits + policy_invocations`.
-    fn record_request(&self, cache_hit: bool) {
+    fn record_request(&self, cache_hit: bool, coalesced: bool) {
         let mut stats = self.stats.lock().expect("stats lock");
         stats.requests += 1;
         if cache_hit {
             stats.cache_hits += 1;
             xrlflow_obs::counter!("serve/cache_hit").inc();
+            if coalesced {
+                stats.coalesced += 1;
+                xrlflow_obs::counter!("serve/coalesced").inc();
+            }
         } else {
             stats.policy_invocations += 1;
             xrlflow_obs::counter!("serve/policy_invocation").inc();
@@ -134,7 +246,8 @@ impl OptimizeService {
     }
 
     /// Optimises a graph document in the JSON interchange format — the
-    /// boundary a network front-end would call with a request body.
+    /// boundary the HTTP front end ([`crate::http`]) calls with a request
+    /// body.
     ///
     /// # Errors
     ///
@@ -158,16 +271,42 @@ impl OptimizeService {
     fn optimize_validated(&self, graph: Graph) -> Result<OptimizeResponse, ServeError> {
         let _span = xrlflow_obs::span!("serve/request");
         let key = graph.canonical_hash();
-        if let Some(entry) = self.cache.lock().expect("cache lock").get(key) {
-            self.record_request(true);
-            return Ok(response_from(entry, true));
+        let mut coalesced = false;
+        // Single-flight admission: check the cache, and on a miss either
+        // become the leader for this key or wait for the request already
+        // optimising it. Waiters loop back to the cache check; they may find
+        // the entry, or (if it was evicted in between, or the leader
+        // unwound) become the new leader themselves.
+        loop {
+            if let Some(entry) = self.cache.lock().expect("cache lock").get(key) {
+                self.record_request(true, coalesced);
+                return Ok(response_from(entry, true));
+            }
+            let existing = {
+                let mut flights = self.flights.lock().expect("flights lock");
+                match flights.get(&key) {
+                    Some(flight) => Some(Arc::clone(flight)),
+                    None => {
+                        flights.insert(key, Arc::new(Flight::default()));
+                        None
+                    }
+                }
+            };
+            match existing {
+                Some(flight) => {
+                    flight.wait();
+                    coalesced = true;
+                }
+                None => break,
+            }
         }
-        // Miss: run a greedy episode against the frozen policy. The lock is
-        // NOT held while optimising, so a slow request never blocks cache
-        // hits; two racing misses for the same key both compute and one
-        // idempotently overwrites the other (per-key determinism: read-only
-        // policy, episode RNG seeded from the key, memoised simulator).
-        self.record_request(false);
+        // Leader: run a greedy episode against the frozen policy. No lock is
+        // held while optimising — cache hits and other keys' misses proceed
+        // concurrently, and a hot swap can land mid-episode (this request
+        // pinned its replica). The guard wakes the waiters even on unwind.
+        let _flight_guard = FlightGuard { service: self, key };
+        let policy = self.current_policy();
+        self.record_request(false, false);
         let mut env = Environment::from_shared(
             Arc::new(graph),
             Arc::clone(&self.rules),
@@ -175,7 +314,7 @@ impl OptimizeService {
             self.config.env.clone(),
         );
         let mut rng = XorShiftRng::new(key);
-        let result = greedy_optimize(&self.agent, &mut env, &mut rng);
+        let result = greedy_optimize(&policy, &mut env, &mut rng);
         let entry = CacheEntry {
             graph: Arc::new(result.graph),
             initial_latency_ms: result.initial_latency_ms,
@@ -194,9 +333,10 @@ impl OptimizeService {
     }
 
     /// The process-wide telemetry registry as a metrics JSON document —
-    /// request counters, the `serve/request` latency histogram, and every
-    /// other subsystem's series — ready for a future HTTP `/metrics`
-    /// endpoint. See `xrlflow-obs` for the schema.
+    /// request counters, the `serve/request` latency histogram, cache
+    /// occupancy/eviction series, and every other subsystem's series. This
+    /// is the `GET /metrics` body of the HTTP front end; `docs/FORMATS.md`
+    /// and `docs/OPERATIONS.md` describe the schema field by field.
     pub fn metrics_json(&self) -> String {
         xrlflow_obs::Registry::global().snapshot().to_json()
     }
@@ -204,6 +344,31 @@ impl OptimizeService {
     /// Number of distinct graphs with cached results.
     pub fn cache_len(&self) -> usize {
         self.cache.lock().expect("cache lock").len()
+    }
+
+    /// Estimated bytes held by the result cache.
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.lock().expect("cache lock").total_bytes()
+    }
+
+    /// Replaces the result-cache budgets, evicting immediately if the live
+    /// cache exceeds them. Returns the number of entries evicted.
+    pub fn set_cache_config(&self, config: CacheConfig) -> usize {
+        self.cache.lock().expect("cache lock").set_config(config)
+    }
+
+    /// The result-cache budgets currently in force.
+    pub fn cache_config(&self) -> CacheConfig {
+        self.cache.lock().expect("cache lock").config()
+    }
+
+    /// Drops every cached result (budgets are kept). Useful after a
+    /// [`OptimizeService::swap_snapshot`] when the new policy should
+    /// re-optimise previously seen graphs.
+    pub fn clear_cache(&self) {
+        let mut cache = self.cache.lock().expect("cache lock");
+        let config = cache.config();
+        *cache = ResultCache::with_config(config);
     }
 
     /// Serialises the current result cache as a JSON snapshot.
@@ -222,14 +387,20 @@ impl OptimizeService {
     }
 
     /// Replaces the result cache with a snapshot loaded from disk
-    /// (validating every entry).
+    /// (validating every entry), **clamped to the budgets currently in
+    /// force**: a snapshot holding more than the configured entry/byte
+    /// budget is evicted down to fit during the load — never silently
+    /// adopted unbounded — with the clamp visible in the
+    /// `serve/cache_load_clamped` counter.
     ///
     /// # Errors
     ///
-    /// The [`ResultCache::load`] errors.
+    /// The [`ResultCache::load_with_config`] errors.
     pub fn load_cache(&self, path: impl AsRef<std::path::Path>) -> Result<(), ServeError> {
-        let loaded = ResultCache::load(path)?;
-        *self.cache.lock().expect("cache lock") = loaded;
+        let config = self.cache_config();
+        let loaded = ResultCache::load_with_config(path, config)?;
+        let mut cache = self.cache.lock().expect("cache lock");
+        *cache = loaded;
         Ok(())
     }
 

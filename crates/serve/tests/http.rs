@@ -1,0 +1,296 @@
+//! Integration tests of the HTTP front end: the happy path end to end, the
+//! negative suite (every malformed or out-of-bounds request is a typed 4xx,
+//! never a panic or a parse-triggered 5xx), hot snapshot swap under live
+//! traffic, and cache budgets enforced under HTTP load.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use xrlflow_core::{XrlflowAgent, XrlflowConfig};
+use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
+use xrlflow_graph::{Graph, JsonValue, OpAttributes, OpKind, TensorShape};
+use xrlflow_serve::{http_call, CacheConfig, OptimizeServer, OptimizeService, ServerConfig};
+
+fn start_server() -> OptimizeServer {
+    start_server_with_config(ServerConfig::default())
+}
+
+fn start_server_with_config(config: ServerConfig) -> OptimizeServer {
+    let service = OptimizeService::untrained(&XrlflowConfig::smoke_test(), 7).unwrap();
+    OptimizeServer::bind_with_config(Arc::new(service), "127.0.0.1:0", config).unwrap()
+}
+
+/// A hand-built graph whose canonical hash varies with `len`: a Relu chain
+/// of that length. Cheap to optimise, and each length is a distinct cache
+/// entry — the workload for eviction and miss-under-swap tests.
+fn relu_chain(len: usize) -> Graph {
+    let mut g = Graph::new();
+    let input = g.add_input(TensorShape::new(vec![1, 8]));
+    let mut last: xrlflow_graph::TensorRef = input.into();
+    for _ in 0..len {
+        last = g.add_node(OpKind::Relu, OpAttributes::default(), vec![last]).unwrap().into();
+    }
+    g.mark_output(last);
+    g
+}
+
+/// Sends raw bytes (possibly a deliberately broken request), half-closes,
+/// and returns the `(status, body)` the server answered with.
+fn raw_call(addr: SocketAddr, bytes: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream.write_all(bytes).unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    let status = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .unwrap_or_else(|| panic!("no status line in response: {text:?}"));
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn optimize_healthz_and_metrics_end_to_end() {
+    let server = start_server();
+    let addr = server.local_addr();
+
+    let health = http_call(addr, "GET", "/healthz", &[]).unwrap();
+    assert_eq!(health.status, 200);
+    let parsed = JsonValue::parse(&health.body).unwrap();
+    assert_eq!(parsed.get("status").and_then(JsonValue::as_str), Some("ok"));
+
+    // First optimisation request: a policy run, with the optimised graph
+    // round-trippable through the interchange format.
+    let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench).unwrap();
+    let first = http_call(addr, "POST", "/optimize", graph.to_json().as_bytes()).unwrap();
+    assert_eq!(first.status, 200, "body: {}", first.body);
+    let parsed = JsonValue::parse(&first.body).unwrap();
+    assert_eq!(parsed.get("cache_hit").and_then(JsonValue::as_bool), Some(false));
+    assert!(parsed.get("final_latency_ms").and_then(JsonValue::as_f64).unwrap() > 0.0);
+    let optimised = Graph::from_json_value(parsed.get("graph").unwrap()).unwrap();
+    assert!(optimised.validate().is_ok());
+
+    // The repeat request is a cache hit with identical latencies.
+    let second = http_call(addr, "POST", "/optimize", graph.to_json().as_bytes()).unwrap();
+    assert_eq!(second.status, 200);
+    let parsed2 = JsonValue::parse(&second.body).unwrap();
+    assert_eq!(parsed2.get("cache_hit").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(
+        parsed2.get("final_latency_ms").and_then(JsonValue::as_f64),
+        parsed.get("final_latency_ms").and_then(JsonValue::as_f64)
+    );
+
+    // /metrics is the versioned metrics snapshot and has seen this traffic.
+    let metrics = http_call(addr, "GET", "/metrics", &[]).unwrap();
+    assert_eq!(metrics.status, 200);
+    let parsed = JsonValue::parse(&metrics.body).unwrap();
+    assert_eq!(parsed.get("format").and_then(JsonValue::as_str), Some("xrlflow-metrics"));
+    let counters = parsed.get("counters").unwrap();
+    assert!(counters.get("serve/http_requests").and_then(JsonValue::as_f64).unwrap() >= 3.0);
+    assert!(counters.get("serve/http_2xx").and_then(JsonValue::as_f64).unwrap() >= 3.0);
+}
+
+#[test]
+fn concurrent_posts_are_served_end_to_end() {
+    let server = start_server();
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        for i in 0..8 {
+            scope.spawn(move || {
+                let graph = relu_chain(1 + (i % 2));
+                let reply = http_call(addr, "POST", "/optimize", graph.to_json().as_bytes()).unwrap();
+                assert_eq!(reply.status, 200, "body: {}", reply.body);
+                let parsed = JsonValue::parse(&reply.body).unwrap();
+                assert!(parsed.get("final_latency_ms").and_then(JsonValue::as_f64).unwrap() > 0.0);
+            });
+        }
+    });
+    let stats = server.service().stats();
+    assert_eq!(stats.requests, 8);
+    assert_eq!(stats.policy_invocations, 2, "two distinct graphs, single-flight per key");
+}
+
+#[test]
+fn negative_requests_get_typed_4xx_and_never_kill_the_server() {
+    let config =
+        ServerConfig { max_body_bytes: 1024, max_header_bytes: 512, io_timeout: Duration::from_secs(30) };
+    let server = start_server_with_config(config);
+    let addr = server.local_addr();
+
+    // Malformed request line.
+    let (status, body) = raw_call(addr, b"GARBAGE\r\n\r\n");
+    assert_eq!(status, 400, "body: {body}");
+
+    // Truncated mid-head.
+    let (status, _) = raw_call(addr, b"GET /healthz HTT");
+    assert_eq!(status, 400);
+
+    // Truncated mid-body: Content-Length promises more than arrives.
+    let (status, _) = raw_call(addr, b"POST /optimize HTTP/1.1\r\nContent-Length: 100\r\n\r\nabc");
+    assert_eq!(status, 400);
+
+    // POST without a Content-Length.
+    let (status, _) = raw_call(addr, b"POST /optimize HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 411);
+
+    // Unparseable Content-Length.
+    let (status, _) = raw_call(addr, b"POST /optimize HTTP/1.1\r\nContent-Length: lots\r\n\r\n");
+    assert_eq!(status, 400);
+
+    // Declared body over the budget is refused before any body byte is read.
+    let (status, _) = raw_call(addr, b"POST /optimize HTTP/1.1\r\nContent-Length: 9999\r\n\r\n");
+    assert_eq!(status, 413);
+
+    // A request head over the budget.
+    let mut huge_head = b"GET /healthz HTTP/1.1\r\n".to_vec();
+    for i in 0..64 {
+        huge_head.extend_from_slice(format!("X-Padding-{i}: {}\r\n", "y".repeat(64)).as_bytes());
+    }
+    huge_head.extend_from_slice(b"\r\n");
+    let (status, _) = raw_call(addr, &huge_head);
+    assert_eq!(status, 431);
+
+    // Wrong methods on known routes; unknown route.
+    let (status, _) = raw_call(addr, b"DELETE /optimize HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 405);
+    assert_eq!(http_call(addr, "POST", "/metrics", &[]).unwrap().status, 405);
+    assert_eq!(http_call(addr, "GET", "/nope", &[]).unwrap().status, 404);
+
+    // Malformed and semantically invalid graph JSON: typed 400 with an
+    // error body, not a panic and not a 5xx.
+    for bad in ["", "not json", "{\"format\": \"bogus\"}", "[1, 2, 3]"] {
+        let reply = http_call(addr, "POST", "/optimize", bad.as_bytes()).unwrap();
+        assert_eq!(reply.status, 400, "request body {bad:?}");
+        let parsed = JsonValue::parse(&reply.body).unwrap();
+        assert!(parsed.get("error").and_then(JsonValue::as_str).is_some());
+    }
+
+    // Non-UTF-8 request body.
+    let reply = http_call(addr, "POST", "/optimize", &[0xff, 0xfe, 0x00, 0x80]).unwrap();
+    assert_eq!(reply.status, 400);
+
+    // Garbage checkpoint bytes; then a structurally valid checkpoint for
+    // the wrong architecture.
+    let reply = http_call(addr, "POST", "/admin/swap", b"not a checkpoint").unwrap();
+    assert_eq!(reply.status, 400);
+    let wrong =
+        xrlflow_tensor::ParamSnapshot::new(vec![("w".to_string(), xrlflow_tensor::Tensor::zeros(&[2]))])
+            .to_bytes();
+    let reply = http_call(addr, "POST", "/admin/swap", &wrong).unwrap();
+    assert_eq!(reply.status, 422);
+
+    // After the whole gauntlet the server is still healthy and still
+    // optimises — nothing panicked, no thread died with a request.
+    assert_eq!(http_call(addr, "GET", "/healthz", &[]).unwrap().status, 200);
+    let graph = relu_chain(2);
+    let reply = http_call(addr, "POST", "/optimize", graph.to_json().as_bytes()).unwrap();
+    assert_eq!(reply.status, 200, "body: {}", reply.body);
+
+    // The process-wide 4xx counter saw this suite.
+    let metrics = JsonValue::parse(&server.service().metrics_json()).unwrap();
+    let rejected =
+        metrics.get("counters").unwrap().get("serve/http_4xx").and_then(JsonValue::as_f64).unwrap();
+    assert!(rejected >= 10.0, "expected the negative suite in serve/http_4xx, saw {rejected}");
+}
+
+#[test]
+fn hot_swap_mid_traffic_never_drops_or_errors_in_flight_requests() {
+    let config = XrlflowConfig::smoke_test();
+    let server = start_server();
+    let addr = server.local_addr();
+
+    // Traffic threads POST a rotating set of graphs — mostly misses, so
+    // greedy episodes are genuinely in flight while checkpoints swap.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for t in 0..3 {
+            let stop = Arc::clone(&stop);
+            workers.push(scope.spawn(move || {
+                let mut served = 0usize;
+                let mut len = t * 10;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    len += 1;
+                    let graph = relu_chain(1 + (len % 20));
+                    let reply = http_call(addr, "POST", "/optimize", graph.to_json().as_bytes())
+                        .expect("request during swap must not be dropped");
+                    assert_eq!(reply.status, 200, "request during swap must not error: {}", reply.body);
+                    served += 1;
+                }
+                served
+            }));
+        }
+
+        // Interleave several swaps (and one rejected one) with the traffic.
+        for seed in [11u64, 22, 33] {
+            let snapshot = XrlflowAgent::new(&config, seed).snapshot().to_bytes();
+            let reply = http_call(addr, "POST", "/admin/swap", &snapshot).unwrap();
+            assert_eq!(reply.status, 200, "body: {}", reply.body);
+            let parsed = JsonValue::parse(&reply.body).unwrap();
+            assert_eq!(parsed.get("swapped").and_then(JsonValue::as_bool), Some(true));
+            assert!(parsed.get("tensors").and_then(JsonValue::as_f64).unwrap() > 0.0);
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        let wrong = XrlflowAgent::new(&XrlflowConfig::bench(), 0).snapshot().to_bytes();
+        assert_eq!(http_call(addr, "POST", "/admin/swap", &wrong).unwrap().status, 422);
+
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let total: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert!(total > 0, "traffic threads must have served requests during the swaps");
+    });
+
+    // Every accepted request resolved to a hit or an episode; the rejected
+    // checkpoint left the (last swapped) policy serving.
+    let stats = server.service().stats();
+    assert_eq!(stats.cache_hits + stats.policy_invocations, stats.requests);
+    assert_eq!(http_call(addr, "GET", "/healthz", &[]).unwrap().status, 200);
+}
+
+#[test]
+fn cache_budget_is_never_exceeded_under_http_load() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let budget = 4;
+    let evicted =
+        server.service().set_cache_config(CacheConfig::builder().max_entries(budget).build().unwrap());
+    assert_eq!(evicted, 0);
+
+    for len in 1..=12 {
+        let graph = relu_chain(len);
+        let reply = http_call(addr, "POST", "/optimize", graph.to_json().as_bytes()).unwrap();
+        assert_eq!(reply.status, 200);
+        assert!(
+            server.service().cache_len() <= budget,
+            "cache exceeded its entry budget: {} > {budget}",
+            server.service().cache_len()
+        );
+    }
+    assert_eq!(server.service().cache_len(), budget);
+
+    // The evictions are visible in /metrics (process-wide counter: assert
+    // at least this test's eight evictions happened).
+    let metrics = http_call(addr, "GET", "/metrics", &[]).unwrap();
+    let parsed = JsonValue::parse(&metrics.body).unwrap();
+    let evictions =
+        parsed.get("counters").unwrap().get("serve/cache_evictions").and_then(JsonValue::as_f64).unwrap();
+    assert!(evictions >= 8.0, "expected >= 8 evictions in /metrics, saw {evictions}");
+
+    // LRU: the oldest entries are the ones gone. Graph 12 is resident…
+    let reply = http_call(addr, "POST", "/optimize", relu_chain(12).to_json().as_bytes()).unwrap();
+    assert_eq!(
+        JsonValue::parse(&reply.body).unwrap().get("cache_hit").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+    // …and graph 1 was evicted long ago.
+    let reply = http_call(addr, "POST", "/optimize", relu_chain(1).to_json().as_bytes()).unwrap();
+    assert_eq!(
+        JsonValue::parse(&reply.body).unwrap().get("cache_hit").and_then(JsonValue::as_bool),
+        Some(false)
+    );
+}

@@ -78,6 +78,62 @@ impl ParamSnapshot {
         self.entries.iter().map(|(_, t)| t.numel()).sum()
     }
 
+    /// Checks that `candidate` could replace this snapshot: same parameter
+    /// count, same names in registration order, same shapes.
+    ///
+    /// This is the validation a deployment performs before hot-swapping a
+    /// checkpoint into a live service: vet the candidate against the
+    /// currently-serving snapshot *without* constructing an agent, and keep
+    /// the old parameters serving when the check fails. It applies exactly
+    /// the strictness of
+    /// [`ParamStore::load_snapshot`](crate::ParamStore::load_snapshot), so a
+    /// candidate that passes here will also load into any store built from
+    /// `self`'s architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::CountMismatch`], [`SnapshotError::NameMismatch`]
+    /// or [`SnapshotError::ShapeMismatch`] describing the first divergence.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xrlflow_tensor::{ParamSnapshot, Tensor};
+    ///
+    /// let live = ParamSnapshot::new(vec![("w".to_string(), Tensor::zeros(&[2, 3]))]);
+    /// let good = ParamSnapshot::new(vec![("w".to_string(), Tensor::ones(&[2, 3]))]);
+    /// let bad = ParamSnapshot::new(vec![("w".to_string(), Tensor::ones(&[3, 2]))]);
+    /// assert!(live.compatible_with(&good).is_ok());
+    /// assert!(live.compatible_with(&bad).is_err());
+    /// ```
+    pub fn compatible_with(&self, candidate: &ParamSnapshot) -> Result<(), SnapshotError> {
+        if self.entries.len() != candidate.entries.len() {
+            return Err(SnapshotError::CountMismatch {
+                expected: self.entries.len(),
+                found: candidate.entries.len(),
+            });
+        }
+        for (index, ((name, value), (other_name, other_value))) in
+            self.entries.iter().zip(candidate.entries.iter()).enumerate()
+        {
+            if name != other_name {
+                return Err(SnapshotError::NameMismatch {
+                    index,
+                    expected: name.clone(),
+                    found: other_name.clone(),
+                });
+            }
+            if value.shape() != other_value.shape() {
+                return Err(SnapshotError::ShapeMismatch {
+                    name: name.clone(),
+                    expected: value.shape().to_vec(),
+                    found: other_value.shape().to_vec(),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Serialises the snapshot to its on-disk byte representation
     /// (magic, format version, then length-prefixed name / shape / `f32`
     /// little-endian data per tensor).
@@ -323,6 +379,36 @@ mod tests {
         replica.load_snapshot(&snapshot).unwrap();
         assert_eq!(replica.value(w).data(), snapshot.entries()[0].1.data());
         assert_eq!(replica.value(b).data(), &[0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn compatible_with_mirrors_load_strictness() {
+        let live = sample_store().snapshot();
+
+        // A same-architecture snapshot with different values is compatible.
+        let mut retrained = ParamStore::new();
+        retrained.register("layer.weight", Tensor::ones(&[2, 3]));
+        retrained.register("layer.bias", Tensor::ones(&[3]));
+        assert!(live.compatible_with(&retrained.snapshot()).is_ok());
+
+        // Count, name and shape divergences report the first mismatch.
+        let short = ParamSnapshot::new(vec![live.entries()[0].clone()]);
+        assert!(matches!(
+            live.compatible_with(&short),
+            Err(SnapshotError::CountMismatch { expected: 2, found: 1 })
+        ));
+
+        let renamed = ParamSnapshot::new(vec![
+            live.entries()[0].clone(),
+            ("other.bias".to_string(), Tensor::zeros(&[3])),
+        ]);
+        assert!(matches!(live.compatible_with(&renamed), Err(SnapshotError::NameMismatch { index: 1, .. })));
+
+        let reshaped = ParamSnapshot::new(vec![
+            ("layer.weight".to_string(), Tensor::zeros(&[3, 2])),
+            live.entries()[1].clone(),
+        ]);
+        assert!(matches!(live.compatible_with(&reshaped), Err(SnapshotError::ShapeMismatch { .. })));
     }
 
     #[test]

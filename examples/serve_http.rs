@@ -1,0 +1,110 @@
+//! The serving deployment end to end, over a real socket: bind the HTTP
+//! front end on an ephemeral port, drive it with the bundled client —
+//! optimise, hit the cache, read `/metrics`, hot-swap a checkpoint — and
+//! leave the server up for manual poking if asked.
+//!
+//! Run with: `cargo run --release --example serve_http`
+//!
+//! Knobs (all optional):
+//! * `XRLFLOW_HTTP_ADDR=host:port` — bind address (default `127.0.0.1:0`,
+//!   an ephemeral port printed at startup).
+//! * `XRLFLOW_HTTP_HOLD_SECS=N` — keep serving for N seconds after the
+//!   scripted walkthrough so you can curl it yourself.
+//! * `XRLFLOW_CACHE_MAX_ENTRIES` / `XRLFLOW_CACHE_MAX_BYTES` — result-cache
+//!   budgets (see docs/OPERATIONS.md).
+//! * `XRLFLOW_HTTP_MAX_BODY_BYTES` / `XRLFLOW_HTTP_MAX_HEADER_BYTES` /
+//!   `XRLFLOW_HTTP_IO_TIMEOUT_MS` — HTTP boundary bounds.
+
+use std::sync::Arc;
+
+use xrlflow::core::{XrlflowAgent, XrlflowConfig};
+use xrlflow::graph::models::{build_model, ModelKind, ModelScale};
+use xrlflow::graph::JsonValue;
+use xrlflow::serve::{http_call, CacheConfig, OptimizeServer, OptimizeService, ServerConfig};
+use xrlflow::XrlflowError;
+
+fn main() -> Result<(), XrlflowError> {
+    // 1. A service on a frozen policy replica, budgets from the environment.
+    let config = XrlflowConfig::smoke_test();
+    let snapshot = XrlflowAgent::new(&config, 42).snapshot();
+    let service = Arc::new(OptimizeService::from_snapshot(&config, &snapshot)?);
+    service.set_cache_config(CacheConfig::from_env()?);
+
+    // 2. On the network. Port 0 asks the OS for an ephemeral port; the real
+    //    address is printed so scripts (and the serve-smoke CI job) can
+    //    parse it.
+    let bind_addr = std::env::var("XRLFLOW_HTTP_ADDR").unwrap_or_else(|_| "127.0.0.1:0".to_string());
+    let server = OptimizeServer::bind_with_config(service, &bind_addr[..], ServerConfig::from_env()?)?;
+    let addr = server.local_addr();
+    println!("serving on http://{addr}");
+    println!("  POST /optimize     graph JSON in, optimised graph out");
+    println!("  GET  /metrics      telemetry snapshot");
+    println!("  GET  /healthz      liveness probe");
+    println!("  POST /admin/swap   hot checkpoint swap (XRLFSNAP bytes)\n");
+
+    // 3. The scripted walkthrough, via the bundled one-shot client.
+    let health = http_call(addr, "GET", "/healthz", &[])?;
+    assert_eq!(health.status, 200);
+    println!("GET /healthz       -> {} {}", health.status, health.body);
+
+    let graph = build_model(ModelKind::SqueezeNet, ModelScale::Bench)?;
+    let body = graph.to_json();
+    let field = |reply: &str, name: &str| {
+        JsonValue::parse(reply).ok().and_then(|v| v.get(name).and_then(JsonValue::as_f64)).unwrap_or(f64::NAN)
+    };
+    let first = http_call(addr, "POST", "/optimize", body.as_bytes())?;
+    assert_eq!(first.status, 200);
+    println!(
+        "POST /optimize     -> {} ({:.3} ms -> {:.3} ms, cold)",
+        first.status,
+        field(&first.body, "initial_latency_ms"),
+        field(&first.body, "final_latency_ms"),
+    );
+
+    let second = http_call(addr, "POST", "/optimize", body.as_bytes())?;
+    let hit = JsonValue::parse(&second.body)
+        .ok()
+        .and_then(|v| v.get("cache_hit").and_then(JsonValue::as_bool))
+        .unwrap_or(false);
+    assert!(hit, "repeat request must be a cache hit");
+    println!("POST /optimize     -> {} (repeat request: cache_hit={hit})", second.status);
+
+    // A malformed request is a typed 400, and the server shrugs it off.
+    let bad = http_call(addr, "POST", "/optimize", b"{\"format\": \"bogus\"}")?;
+    assert_eq!(bad.status, 400);
+    println!("POST /optimize     -> {} (malformed request, body {})", bad.status, bad.body);
+
+    // 4. Hot-swap a retrained checkpoint while the server is live.
+    let retrained = XrlflowAgent::new(&config, 1337).snapshot();
+    let swap = http_call(addr, "POST", "/admin/swap", &retrained.to_bytes())?;
+    assert_eq!(swap.status, 200);
+    println!("POST /admin/swap   -> {} {}", swap.status, swap.body);
+
+    // 5. The telemetry snapshot has seen all of it.
+    let metrics = http_call(addr, "GET", "/metrics", &[])?;
+    assert_eq!(metrics.status, 200);
+    let parsed = JsonValue::parse(&metrics.body).expect("metrics JSON parses");
+    let counter = |name: &str| {
+        parsed.get("counters").and_then(|c| c.get(name)).and_then(JsonValue::as_f64).unwrap_or(0.0)
+    };
+    println!(
+        "GET /metrics       -> {} (http_requests={}, cache_hit={}, policy_invocation={}, swaps={})",
+        metrics.status,
+        counter("serve/http_requests"),
+        counter("serve/cache_hit"),
+        counter("serve/policy_invocation"),
+        counter("serve/snapshot_swaps"),
+    );
+    assert!(counter("serve/http_requests") >= 5.0, "metrics must reflect the traffic");
+    assert!(counter("serve/cache_hit") >= 1.0);
+    assert!(counter("serve/policy_invocation") >= 1.0);
+    assert!(counter("serve/snapshot_swaps") >= 1.0);
+
+    let hold = std::env::var("XRLFLOW_HTTP_HOLD_SECS").ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+    if hold > 0 {
+        println!("\nholding the server open for {hold}s — try: curl http://{addr}/healthz");
+        std::thread::sleep(std::time::Duration::from_secs(hold));
+    }
+    println!("\nserve_http walkthrough complete: cache hit observed, metrics non-zero, checkpoint swapped");
+    Ok(())
+}

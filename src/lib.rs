@@ -25,6 +25,20 @@
 //! Fallible APIs across the stack surface their failures through
 //! [`XrlflowError`], the umbrella error type.
 //!
+//! ## Paper-to-code map
+//!
+//! Where each piece of the source paper (X-RLflow, MLSys 2023) lives in
+//! this tree:
+//!
+//! | Paper | Code |
+//! |---|---|
+//! | Figure 3 policy network — GAT encoder over the operator graph feeding actor/critic heads | `crates/gnn/src/encoder.rs` (message passing) + `crates/gnn/src/featurize.rs` (node features); assembled into the agent in `crates/core/src/agent.rs` (`XrlflowAgent`) |
+//! | §3 environment — graph transformation as an MDP: states are graphs, actions are rewrite-rule applications, episodes end on no-op | `crates/env/src/environment.rs` ([`mod@env`]'s `Environment`) over the rewrite-candidate generator in [`rewrite`] |
+//! | §3.3 cost model and reward — per-operator latency summed over the graph, reward shaped by relative improvement | `crates/cost/src/model.rs` (`CostModel`) and the end-to-end `InferenceSimulator` in [`cost`]; reward shaping in the environment's `step` |
+//! | §3 PPO training with GAE | `crates/rl/src/ppo.rs`, `gae.rs`, `buffer.rs` ([`rl`]) driven by the trainer in `crates/core/src/trainer.rs` |
+//! | §4 evaluation baselines — TASO greedy/backtracking, equality saturation | [`taso`] and [`egraph`] |
+//! | §1 deployment: offline optimisation amortised across inference — the trained policy served behind a result cache | [`serve`] (`OptimizeService` + the HTTP front end; see `docs/OPERATIONS.md`) |
+//!
 //! ## Quickstart
 //!
 //! ```
