@@ -132,7 +132,9 @@ pub fn write_results_json(bench: &str, path: &Path) -> std::io::Result<()> {
             std::fs::create_dir_all(parent)?;
         }
     }
-    std::fs::write(path, out)
+    // Atomic so an interrupted benchmark run cannot leave a torn JSON file
+    // for the CI diff gate to choke on.
+    xrlflow_tensor::atomic_write(path, out)
 }
 
 /// Called at the end of every benchmark binary: when `XRLFLOW_BENCH_JSON` is

@@ -26,14 +26,19 @@
 
 mod agent;
 mod config;
+pub mod fault;
 mod generalization;
 mod optimizer;
+mod train_state;
 mod trainer;
 
 pub use agent::{AgentDecision, PolicyEvaluation, XrlflowAgent};
 pub use config::{ConfigError, HyperParameterTable, XrlflowConfig, XrlflowConfigBuilder};
 pub use generalization::{run_generalization, GeneralizationPoint, GeneralizationReport};
 pub use optimizer::{greedy_optimize, XrlflowResult, XrlflowSystem};
+pub use train_state::{
+    latest_train_state, prune_train_states, train_state_path, TrainState, TRAIN_STATE_EXTENSION,
+};
 pub use trainer::{
     collect_episode_with_rng, collect_phase_breakdown_ns, minibatch_grads_serial, minibatch_shuffle_seed,
     transition_grad, transition_grad_into, MinibatchContext, MinibatchGrads, ModelBreakdown, TrainReport,

@@ -35,6 +35,8 @@ use xrlflow_tensor::{splitmix64, Adam, GradBuffer, ParamSnapshot, SnapshotError,
 
 use crate::agent::XrlflowAgent;
 use crate::config::XrlflowConfig;
+use crate::fault::WorkerFault;
+use crate::train_state::TrainState;
 
 /// Wall-clock breakdown of one collect-then-update round, so the speedup
 /// from parallel episode collection and the parallel PPO update is
@@ -425,7 +427,10 @@ impl Trainer {
         buffer: &mut RolloutBuffer<Observation>,
         segments: &[std::ops::Range<usize>],
     ) -> TrainingStats {
-        self.update_with_segments_via(agent, buffer, segments, &mut minibatch_grads_serial)
+        self.update_with_segments_via(agent, buffer, segments, &mut |agent, ctx| {
+            Ok(minibatch_grads_serial(agent, ctx))
+        })
+        .unwrap_or_else(|fault| unreachable!("serial evaluator is infallible: {fault}"))
     }
 
     /// [`Trainer::update_with_segments`] with a pluggable minibatch gradient
@@ -444,13 +449,25 @@ impl Trainer {
     /// The reported `grad_norm` is the **mean** pre-clip gradient norm
     /// across all minibatches of the update (the previous implementation
     /// reported only the last minibatch's norm).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`WorkerFault`] the evaluator reports (a work
+    /// item that exhausted its retry budget in a supervised pool). The
+    /// update stops immediately; because earlier minibatches may already
+    /// have stepped the optimiser, the agent's state after an error is
+    /// unspecified — recover by resuming from the last durable
+    /// `TrainState` checkpoint.
     pub fn update_with_segments_via(
         &mut self,
         agent: &mut XrlflowAgent,
         buffer: &mut RolloutBuffer<Observation>,
         segments: &[std::ops::Range<usize>],
-        minibatch_grads: &mut dyn FnMut(&XrlflowAgent, &MinibatchContext) -> MinibatchGrads,
-    ) -> TrainingStats {
+        minibatch_grads: &mut dyn FnMut(
+            &XrlflowAgent,
+            &MinibatchContext,
+        ) -> Result<MinibatchGrads, WorkerFault>,
+    ) -> Result<TrainingStats, WorkerFault> {
         let _span = xrlflow_obs::span!("core/ppo_update");
         let ppo = self.config.ppo;
         buffer.compute_advantages_segmented(ppo.gamma, ppo.gae_lambda, segments);
@@ -479,7 +496,7 @@ impl Trainer {
                     returns: &returns,
                     ppo,
                 };
-                let evaluated = minibatch_grads(agent, &ctx);
+                let evaluated = minibatch_grads(agent, &ctx)?;
                 assert_eq!(
                     evaluated.stats.len(),
                     batch.len(),
@@ -531,7 +548,7 @@ impl Trainer {
         xrlflow_obs::gauge!("core/clip_fraction").set(stats.clip_fraction as f64);
         xrlflow_obs::gauge!("core/explained_variance").set(stats.explained_variance as f64);
         buffer.clear();
-        stats
+        Ok(stats)
     }
 
     /// Runs the full serial training loop: collect `update_frequency`
@@ -602,6 +619,64 @@ impl Trainer {
     ) -> Result<(), SnapshotError> {
         let snapshot = ParamSnapshot::load(path)?;
         agent.store.load_snapshot(&snapshot)
+    }
+
+    /// Number of PPO updates performed so far. The counter seeds the
+    /// minibatch shuffle schedule ([`minibatch_shuffle_seed`]), so it is
+    /// part of the exact-resume state.
+    pub fn update_counter(&self) -> u64 {
+        self.update_counter
+    }
+
+    /// Captures the complete training state for exact resume: parameters,
+    /// Adam moments and step counter, the update counter, and the rollout
+    /// engine's seed-schedule position (`next_episode` under `base_seed`).
+    ///
+    /// A trainer restored from this state ([`Trainer::restore_train_state`])
+    /// continues training **bit-identically** to one that was never
+    /// interrupted.
+    pub fn train_state(&self, agent: &XrlflowAgent, next_episode: u64, base_seed: u64) -> TrainState {
+        let (adam_first, adam_second) = agent.store.adam_snapshot();
+        TrainState {
+            params: agent.store.snapshot(),
+            adam_first,
+            adam_second,
+            adam_steps: self.optimizer.steps() as u64,
+            update_counter: self.update_counter,
+            next_episode,
+            base_seed,
+        }
+    }
+
+    /// Restores trainer and agent from a [`TrainState`].
+    ///
+    /// Adoption is all-or-nothing: the moment sections are validated
+    /// against the parameter section and the parameters against the live
+    /// store *before* anything is written, so a failed restore leaves the
+    /// agent, the optimiser and the update counter untouched. The caller
+    /// owns the seed-schedule half of the state (`next_episode`,
+    /// `base_seed`) — the parallel trainer consumes those.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SnapshotError`] naming the first mismatch between the
+    /// checkpoint and the agent's architecture.
+    pub fn restore_train_state(
+        &mut self,
+        agent: &mut XrlflowAgent,
+        state: &TrainState,
+    ) -> Result<(), SnapshotError> {
+        // A hand-built state may not have mirrored sections; files already
+        // passed this in `TrainState::from_bytes`. With the sections proven
+        // congruent, a successful params load guarantees the moment load
+        // cannot fail — no window for partial adoption remains.
+        state.params.compatible_with(&state.adam_first)?;
+        state.params.compatible_with(&state.adam_second)?;
+        agent.store.load_snapshot(&state.params)?;
+        agent.store.load_adam_snapshot(&state.adam_first, &state.adam_second)?;
+        self.optimizer.set_steps(state.adam_steps as usize);
+        self.update_counter = state.update_counter;
+        Ok(())
     }
 }
 
@@ -705,11 +780,13 @@ mod tests {
         // trainer reads right after apply_grads).
         let mut norms = Vec::new();
         let mut trainer = Trainer::new(config.clone(), 7);
-        let stats = trainer.update_with_segments_via(&mut agent, &mut buffer, &[], &mut |agent, ctx| {
-            let out = minibatch_grads_serial(agent, ctx);
-            norms.push(out.grads.norm());
-            out
-        });
+        let stats = trainer
+            .update_with_segments_via(&mut agent, &mut buffer, &[], &mut |agent, ctx| {
+                let out = minibatch_grads_serial(agent, ctx);
+                norms.push(out.grads.norm());
+                Ok(out)
+            })
+            .expect("the wrapped serial evaluator never faults");
 
         assert!(norms.len() >= 2, "the update must have run several minibatches, got {}", norms.len());
         let mean = norms.iter().sum::<f32>() / norms.len() as f32;

@@ -502,7 +502,9 @@ impl MetricsSnapshot {
         self.to_json_value().to_json()
     }
 
-    /// Writes the snapshot to a file, creating parent directories.
+    /// Writes the snapshot to a file atomically (temp file → fsync →
+    /// rename), creating parent directories. A crash mid-save never leaves
+    /// a torn document under the final name.
     ///
     /// # Errors
     ///
@@ -514,7 +516,7 @@ impl MetricsSnapshot {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        std::fs::write(path, self.to_json())
+        xrlflow_tensor::atomic_write(path, self.to_json())
     }
 }
 

@@ -37,17 +37,20 @@
 //! differential-tested below.
 
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
 
+use xrlflow_core::fault::{self, FaultPhase, WorkerFault};
 use xrlflow_core::{collect_episode_with_rng, XrlflowAgent, XrlflowConfig};
 use xrlflow_cost::DeviceProfile;
-use xrlflow_env::{EnvConfig, EpisodeStats, Observation};
+use xrlflow_env::{EnvConfig, Environment, EpisodeStats, Observation};
 use xrlflow_graph::models::{build_model, ModelKind, ModelScale};
 use xrlflow_graph::GraphError;
 use xrlflow_rewrite::RuleSet;
 use xrlflow_rl::RolloutBuffer;
 use xrlflow_tensor::{ParamSnapshot, SnapshotError, XorShiftRng};
 
-use crate::{splitmix64, EnvSpec};
+use crate::{splitmix64, EnvSpec, ItemFailure, RolloutError};
 
 /// One named model of a curriculum: a display name (usually the model-zoo
 /// name) plus the shared-component environment spec built from it.
@@ -156,6 +159,18 @@ pub fn curriculum_rng_seed(base_seed: u64, spec: usize, episode: u64) -> u64 {
     crate::episode_rng_seed(spec_base, episode)
 }
 
+/// The fault-injection work-item id of episode `episode` of curriculum spec
+/// `spec` — what a [`xrlflow_core::fault::FaultPlan`] targets in the
+/// [`FaultPhase::CurriculumCollect`] phase, and what a
+/// `RolloutError::WorkerFault` reports back.
+///
+/// The round-local flattened item index is ambiguous across rounds (item 0
+/// means a different episode every round), so the id packs the globally
+/// unique `(spec, episode)` pair instead: `spec << 32 | episode`.
+pub fn curriculum_fault_item(spec: usize, episode: u64) -> u64 {
+    ((spec as u64) << 32) | (episode & 0xFFFF_FFFF)
+}
+
 /// One collected episode of a curriculum round: which spec it belongs to,
 /// its episode index, and the usual per-episode statistics.
 #[derive(Debug, Clone)]
@@ -190,7 +205,9 @@ pub struct CurriculumRollouts {
 /// episodes_per_spec` collected one after another against the live agent.
 ///
 /// This is the differential-testing oracle for
-/// [`collect_curriculum_parallel`] and its degenerate one-worker fast path.
+/// [`collect_curriculum_parallel`] — deliberately free of the supervised
+/// pool's catch/retry machinery, so the differential suites compare the
+/// fault-tolerant engine against a path that cannot mask a panic.
 pub fn collect_curriculum_serial(
     agent: &XrlflowAgent,
     curriculum: &Curriculum,
@@ -212,9 +229,104 @@ pub fn collect_curriculum_serial(
     out
 }
 
+/// Runs one supervised curriculum work item: trips the fault-injection hook
+/// (item id = [`curriculum_fault_item`]), then collects episode
+/// `first_episode + item % episodes_per_spec` of spec
+/// `item / episodes_per_spec` under `catch_unwind` so a panic becomes a
+/// queueable [`ItemFailure`] instead of tearing down the pool. On failure
+/// the spec's cached environment is dropped (a panic leaves its state
+/// unspecified; a rebuilt one is bit-identical because episodes reset
+/// first).
+#[allow(clippy::too_many_arguments)]
+fn run_curriculum_item(
+    replica: &XrlflowAgent,
+    curriculum: &Curriculum,
+    envs: &mut [Option<Environment>],
+    item: usize,
+    episodes_per_spec: usize,
+    first_episode: u64,
+    base_seed: u64,
+    attempt: u32,
+) -> Result<(usize, RolloutBuffer<Observation>, CurriculumEpisode), ItemFailure> {
+    let spec = item / episodes_per_spec;
+    let episode = first_episode + (item % episodes_per_spec) as u64;
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        fault::trip(FaultPhase::CurriculumCollect, curriculum_fault_item(spec, episode), attempt);
+        // One lazily-built environment per spec; reset() makes reuse across
+        // episodes bit-identical to a fresh environment.
+        let env = envs[spec].get_or_insert_with(|| curriculum.entries()[spec].spec.build_env());
+        let mut buffer = RolloutBuffer::new();
+        let mut rng = XorShiftRng::new(curriculum_rng_seed(base_seed, spec, episode));
+        let stats = collect_episode_with_rng(replica, env, &mut rng, &mut buffer, episode);
+        (item, buffer, CurriculumEpisode { spec, episode, stats })
+    }));
+    result.map_err(|payload| {
+        xrlflow_obs::counter!("rollout/worker_panics").inc();
+        envs[spec] = None;
+        ItemFailure { item: item as u64, payload: fault::panic_payload_text(payload.as_ref()) }
+    })
+}
+
+/// Re-runs failed curriculum items on the calling thread, in item order,
+/// until each succeeds or the retry budget is exhausted. Seeds depend only
+/// on `(base_seed, spec, episode)`, so a retried item is bit-identical to a
+/// first-attempt success on any worker.
+fn retry_curriculum_failures(
+    replica: &XrlflowAgent,
+    curriculum: &Curriculum,
+    episodes_per_spec: usize,
+    first_episode: u64,
+    base_seed: u64,
+    mut failures: Vec<ItemFailure>,
+    out: &mut Vec<(usize, RolloutBuffer<Observation>, CurriculumEpisode)>,
+) -> Result<(), RolloutError> {
+    failures.sort_by_key(|f| f.item);
+    let budget = crate::retry_budget();
+    let mut envs: Vec<Option<Environment>> = (0..curriculum.len()).map(|_| None).collect();
+    for failure in failures {
+        let item = failure.item as usize;
+        let spec = item / episodes_per_spec;
+        let episode = first_episode + (item % episodes_per_spec) as u64;
+        let mut last = failure;
+        let mut attempt = 1u32;
+        loop {
+            if attempt > budget {
+                return Err(WorkerFault {
+                    phase: FaultPhase::CurriculumCollect,
+                    item: curriculum_fault_item(spec, episode),
+                    attempts: attempt,
+                    payload: last.payload,
+                }
+                .into());
+            }
+            xrlflow_obs::counter!("rollout/item_retries").inc();
+            match run_curriculum_item(
+                replica,
+                curriculum,
+                &mut envs,
+                item,
+                episodes_per_spec,
+                first_episode,
+                base_seed,
+                attempt,
+            ) {
+                Ok(done) => {
+                    out.push(done);
+                    break;
+                }
+                Err(f) => {
+                    last = f;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Collects one curriculum round — `episodes_per_spec` episodes for every
-/// spec — with a pool of `num_workers` threads sharded across the flattened
-/// `(spec, episode)` work items.
+/// spec — with a supervised pool of `num_workers` threads sharded across the
+/// flattened `(spec, episode)` work items.
 ///
 /// Each worker builds a read-only agent replica from `snapshot` and one
 /// environment per spec it touches (lazily, over the spec's shared `Arc`s),
@@ -222,16 +334,20 @@ pub fn collect_curriculum_serial(
 /// Results are merged **by item index** (spec-then-episode), so the output
 /// is transition-for-transition bit-identical to
 /// [`collect_curriculum_serial`] over the same range and base seed, for any
-/// worker count.
+/// worker count — one worker runs the same supervised path serially.
+///
+/// The pool is fault-tolerant: each item runs under `catch_unwind`, a
+/// panicking item is re-queued and deterministically retried on the calling
+/// thread (identical seeds → identical transitions), and a worker panic
+/// never aborts the process.
 ///
 /// # Errors
 ///
-/// Returns a [`SnapshotError`] when `snapshot` does not match the
-/// architecture described by `config`.
-///
-/// # Panics
-///
-/// Propagates panics from worker threads.
+/// * [`RolloutError::Snapshot`] when `snapshot` does not match the
+///   architecture described by `config`.
+/// * [`RolloutError::WorkerFault`] when an item kept panicking past the
+///   retry budget (`XRLFLOW_ROLLOUT_RETRIES`, default 2); the reported item
+///   id is [`curriculum_fault_item`]`(spec, episode)`.
 pub fn collect_curriculum_parallel(
     config: &XrlflowConfig,
     snapshot: &ParamSnapshot,
@@ -240,59 +356,97 @@ pub fn collect_curriculum_parallel(
     episodes_per_spec: usize,
     base_seed: u64,
     num_workers: usize,
-) -> Result<CurriculumRollouts, SnapshotError> {
+) -> Result<CurriculumRollouts, RolloutError> {
     let num_specs = curriculum.len();
     let total_items = num_specs * episodes_per_spec;
     let num_workers = num_workers.clamp(1, total_items.max(1));
+    type WorkerOutput = Vec<(usize, RolloutBuffer<Observation>, CurriculumEpisode)>;
+    let mut per_item: WorkerOutput;
+    let failures: Vec<ItemFailure>;
+    let replica = XrlflowAgent::from_snapshot(config, snapshot)?;
+
     if num_workers <= 1 {
-        let replica = XrlflowAgent::from_snapshot(config, snapshot)?;
-        return Ok(collect_curriculum_serial(
-            &replica,
-            curriculum,
-            first_episode,
-            episodes_per_spec,
-            base_seed,
-        ));
+        // Degenerate pool: the same supervised loop, serially in the calling
+        // thread — no thread spawn, but identical fault semantics.
+        let mut envs: Vec<Option<Environment>> = (0..num_specs).map(|_| None).collect();
+        per_item = Vec::with_capacity(total_items);
+        let mut failed = Vec::new();
+        for item in 0..total_items {
+            match run_curriculum_item(
+                &replica,
+                curriculum,
+                &mut envs,
+                item,
+                episodes_per_spec,
+                first_episode,
+                base_seed,
+                0,
+            ) {
+                Ok(done) => per_item.push(done),
+                Err(failure) => failed.push(failure),
+            }
+        }
+        failures = failed;
+    } else {
+        let meter = crate::PoolMeter::start(num_workers);
+        let shared_failures: Mutex<Vec<ItemFailure>> = Mutex::new(Vec::new());
+        per_item = std::thread::scope(|scope| -> Result<WorkerOutput, SnapshotError> {
+            let mut handles = Vec::with_capacity(num_workers);
+            for worker in 0..num_workers {
+                let shared_failures = &shared_failures;
+                handles.push(scope.spawn(move || -> Result<WorkerOutput, SnapshotError> {
+                    let _busy = xrlflow_obs::span!("rollout/worker_busy");
+                    let replica = XrlflowAgent::from_snapshot(config, snapshot)?;
+                    let mut envs: Vec<Option<Environment>> = (0..num_specs).map(|_| None).collect();
+                    let mut out = Vec::new();
+                    let mut item = worker;
+                    while item < total_items {
+                        match run_curriculum_item(
+                            &replica,
+                            curriculum,
+                            &mut envs,
+                            item,
+                            episodes_per_spec,
+                            first_episode,
+                            base_seed,
+                            0,
+                        ) {
+                            Ok(done) => out.push(done),
+                            Err(failure) => {
+                                shared_failures.lock().unwrap_or_else(PoisonError::into_inner).push(failure)
+                            }
+                        }
+                        item += num_workers;
+                    }
+                    Ok(out)
+                }));
+            }
+            let mut merged = Vec::with_capacity(total_items);
+            for handle in handles {
+                merged
+                    .extend(handle.join().expect("curriculum rollout worker panicked outside a work item")?);
+            }
+            Ok(merged)
+        })?;
+        meter.finish();
+        failures = shared_failures.into_inner().unwrap_or_else(PoisonError::into_inner);
     }
 
-    let meter = crate::PoolMeter::start(num_workers);
-    type WorkerOutput = Vec<(usize, RolloutBuffer<Observation>, CurriculumEpisode)>;
-    let mut per_item: WorkerOutput = std::thread::scope(|scope| -> Result<WorkerOutput, SnapshotError> {
-        let mut handles = Vec::with_capacity(num_workers);
-        for worker in 0..num_workers {
-            handles.push(scope.spawn(move || -> Result<WorkerOutput, SnapshotError> {
-                let _busy = xrlflow_obs::span!("rollout/worker_busy");
-                let replica = XrlflowAgent::from_snapshot(config, snapshot)?;
-                // One lazily-built environment per spec this worker touches;
-                // reset() makes reuse across episodes bit-identical to a
-                // fresh environment.
-                let mut envs: Vec<Option<xrlflow_env::Environment>> = (0..num_specs).map(|_| None).collect();
-                let mut out = Vec::new();
-                let mut item = worker;
-                while item < total_items {
-                    let spec = item / episodes_per_spec;
-                    let episode = first_episode + (item % episodes_per_spec) as u64;
-                    let env = envs[spec].get_or_insert_with(|| curriculum.entries()[spec].spec.build_env());
-                    let mut buffer = RolloutBuffer::new();
-                    let mut rng = XorShiftRng::new(curriculum_rng_seed(base_seed, spec, episode));
-                    let stats = collect_episode_with_rng(&replica, env, &mut rng, &mut buffer, episode);
-                    out.push((item, buffer, CurriculumEpisode { spec, episode, stats }));
-                    item += num_workers;
-                }
-                Ok(out)
-            }));
-        }
-        let mut merged = Vec::with_capacity(total_items);
-        for handle in handles {
-            merged.extend(handle.join().expect("curriculum rollout worker panicked")?);
-        }
-        Ok(merged)
-    })?;
+    if !failures.is_empty() {
+        retry_curriculum_failures(
+            &replica,
+            curriculum,
+            episodes_per_spec,
+            first_episode,
+            base_seed,
+            failures,
+            &mut per_item,
+        )?;
+    }
 
     // Ordered merge: item index == spec-then-episode order, the curriculum
     // half of the determinism contract.
     per_item.sort_by_key(|(item, _, _)| *item);
-    meter.finish();
     let mut out = CurriculumRollouts::default();
     let mut next_item = 0;
     for spec in 0..num_specs {

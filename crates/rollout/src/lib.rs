@@ -35,6 +35,17 @@
 //! [`collect_serial`] — asserted by differential tests in the same spirit
 //! as `policy_logits_serial`.
 //!
+//! The pools are **supervised**: every work item runs under `catch_unwind`
+//! with the `xrlflow_core::fault` injection hook at its top, a panicking
+//! item is queued and deterministically retried on the calling thread (up to
+//! `XRLFLOW_ROLLOUT_RETRIES` extra attempts, default 2), and only budget
+//! exhaustion surfaces — as the typed [`RolloutError::WorkerFault`], never a
+//! process abort. Because every seed is a pure function of the item id, a
+//! retried item is bit-identical to a first-attempt success, so the
+//! differential suites hold even under injected faults. [`ParallelTrainer`]
+//! additionally writes durable exact-resume [`TrainState`] checkpoints
+//! ([`CheckpointConfig`]) so a killed run continues bit-identically.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -56,20 +67,26 @@
 #![warn(missing_docs)]
 
 mod curriculum;
+mod error;
 mod update;
 
 pub use curriculum::{
-    collect_curriculum_parallel, collect_curriculum_serial, curriculum_rng_seed, evaluate_curriculum,
-    Curriculum, CurriculumEntry, CurriculumEpisode, CurriculumRollouts, ModelEvaluation,
+    collect_curriculum_parallel, collect_curriculum_serial, curriculum_fault_item, curriculum_rng_seed,
+    evaluate_curriculum, Curriculum, CurriculumEntry, CurriculumEpisode, CurriculumRollouts, ModelEvaluation,
 };
+pub use error::RolloutError;
 pub use update::{minibatch_grads_parallel, update_parallel};
 
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
+use xrlflow_core::fault::{self, FaultPhase, WorkerFault};
 use xrlflow_core::{
-    collect_episode_with_rng, collect_phase_breakdown_ns, ModelBreakdown, TrainReport, Trainer, UpdateTiming,
-    XrlflowAgent, XrlflowConfig,
+    collect_episode_with_rng, collect_phase_breakdown_ns, latest_train_state, prune_train_states,
+    train_state_path, ModelBreakdown, TrainReport, TrainState, Trainer, UpdateTiming, XrlflowAgent,
+    XrlflowConfig,
 };
 use xrlflow_cost::{DeviceProfile, InferenceSimulator};
 use xrlflow_env::{EnvConfig, Environment, EpisodeStats, Observation};
@@ -77,6 +94,23 @@ use xrlflow_graph::Graph;
 use xrlflow_rewrite::RuleSet;
 use xrlflow_rl::RolloutBuffer;
 use xrlflow_tensor::{ParamSnapshot, SnapshotError, XorShiftRng};
+
+/// The supervised pools' retry budget: how many times a failed work item is
+/// re-executed (beyond its first attempt) before the round gives up with
+/// [`RolloutError::WorkerFault`]. `XRLFLOW_ROLLOUT_RETRIES` overrides the
+/// default of 2; unparseable values fall back to the default, matching the
+/// leniency of `XRLFLOW_WORKERS`.
+pub(crate) fn retry_budget() -> u32 {
+    std::env::var("XRLFLOW_ROLLOUT_RETRIES").ok().and_then(|v| v.trim().parse().ok()).unwrap_or(2)
+}
+
+/// A work item whose execution panicked: the item id (numbered as in
+/// [`xrlflow_core::fault::FaultSpec`]) plus the panic payload text. Queued
+/// by workers, drained by the caller-thread retry loop.
+pub(crate) struct ItemFailure {
+    pub(crate) item: u64,
+    pub(crate) payload: String,
+}
 
 /// Busy/idle accounting for one parallel collection: each worker wraps its
 /// whole closure in a `rollout/worker_busy` span, and the meter turns the
@@ -205,8 +239,9 @@ pub fn collect_episode_seeded(
 /// thread, against the live agent.
 ///
 /// This is the differential-testing oracle for [`collect_parallel`] (same
-/// spirit as `policy_logits_serial`) and the degenerate one-worker fast path
-/// — no snapshot, no replica, no thread spawn.
+/// spirit as `policy_logits_serial`) — deliberately free of the supervised
+/// pool's catch/retry machinery, so the differential suites compare the
+/// fault-tolerant engine against a path that cannot mask a panic.
 pub fn collect_serial(
     agent: &XrlflowAgent,
     spec: &EnvSpec,
@@ -223,8 +258,78 @@ pub fn collect_serial(
     out
 }
 
+/// Runs one supervised collection work item: trips the fault-injection hook
+/// ([`fault::trip`] with the episode index as item id), then collects the
+/// episode under `catch_unwind` so an injected — or real — panic becomes a
+/// queueable [`ItemFailure`] instead of tearing down the pool. The caller
+/// must rebuild `env` after a failure (a panic leaves its state unspecified;
+/// a fresh environment is bit-identical because every episode resets first).
+fn run_collect_item(
+    replica: &XrlflowAgent,
+    env: &mut Environment,
+    episode: u64,
+    base_seed: u64,
+    attempt: u32,
+) -> Result<(u64, RolloutBuffer<Observation>, EpisodeStats), ItemFailure> {
+    catch_unwind(AssertUnwindSafe(|| {
+        fault::trip(FaultPhase::Collect, episode, attempt);
+        let mut buffer = RolloutBuffer::new();
+        let stats = collect_episode_seeded(replica, env, episode, base_seed, &mut buffer);
+        (episode, buffer, stats)
+    }))
+    .map_err(|payload| {
+        xrlflow_obs::counter!("rollout/worker_panics").inc();
+        ItemFailure { item: episode, payload: fault::panic_payload_text(payload.as_ref()) }
+    })
+}
+
+/// Re-runs failed collection items on the calling thread, in episode order,
+/// until each succeeds or the retry budget is exhausted. The seeds depend
+/// only on the episode index, so a retried episode is bit-identical to a
+/// first-attempt success on any worker.
+fn retry_collect_failures(
+    replica: &XrlflowAgent,
+    spec: &EnvSpec,
+    base_seed: u64,
+    mut failures: Vec<ItemFailure>,
+    out: &mut Vec<(u64, RolloutBuffer<Observation>, EpisodeStats)>,
+) -> Result<(), RolloutError> {
+    failures.sort_by_key(|f| f.item);
+    let budget = retry_budget();
+    let mut env = spec.build_env();
+    for failure in failures {
+        let episode = failure.item;
+        let mut last = failure;
+        let mut attempt = 1u32;
+        loop {
+            if attempt > budget {
+                return Err(WorkerFault {
+                    phase: FaultPhase::Collect,
+                    item: episode,
+                    attempts: attempt,
+                    payload: last.payload,
+                }
+                .into());
+            }
+            xrlflow_obs::counter!("rollout/item_retries").inc();
+            match run_collect_item(replica, &mut env, episode, base_seed, attempt) {
+                Ok(item) => {
+                    out.push(item);
+                    break;
+                }
+                Err(f) => {
+                    env = spec.build_env();
+                    last = f;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Collects episodes `first_episode .. first_episode + num_episodes` with a
-/// pool of `num_workers` threads.
+/// supervised pool of `num_workers` threads.
 ///
 /// Each worker builds a read-only agent replica from `snapshot` (broadcast —
 /// workers never touch a live `ParamStore`) and its own environment from
@@ -232,17 +337,19 @@ pub fn collect_serial(
 /// (`episode % num_workers == worker`). Results are merged **by episode
 /// index**, so the output is transition-for-transition bit-identical to
 /// [`collect_serial`] over the same range and base seed, for any worker
-/// count.
+/// count — one worker runs the same supervised path serially.
+///
+/// The pool is fault-tolerant: each episode runs under `catch_unwind`, a
+/// panicking item is re-queued and deterministically retried on the calling
+/// thread (identical seeds → identical transitions), and a worker panic
+/// never aborts the process.
 ///
 /// # Errors
 ///
-/// Returns a [`SnapshotError`] when `snapshot` does not match the
-/// architecture described by `config`.
-///
-/// # Panics
-///
-/// Propagates panics from worker threads (a worker panicking mid-episode is
-/// a bug, not a recoverable condition).
+/// * [`RolloutError::Snapshot`] when `snapshot` does not match the
+///   architecture described by `config`.
+/// * [`RolloutError::WorkerFault`] when an episode kept panicking past the
+///   retry budget (`XRLFLOW_ROLLOUT_RETRIES`, default 2).
 pub fn collect_parallel(
     config: &XrlflowConfig,
     snapshot: &ParamSnapshot,
@@ -251,19 +358,37 @@ pub fn collect_parallel(
     num_episodes: usize,
     base_seed: u64,
     num_workers: usize,
-) -> Result<CollectedRollouts, SnapshotError> {
+) -> Result<CollectedRollouts, RolloutError> {
     let num_workers = num_workers.clamp(1, num_episodes.max(1));
-    if num_workers <= 1 {
-        let replica = XrlflowAgent::from_snapshot(config, snapshot)?;
-        return Ok(collect_serial(&replica, spec, first_episode, num_episodes, base_seed));
-    }
-
-    let meter = PoolMeter::start(num_workers);
+    let end = first_episode + num_episodes as u64;
     type WorkerOutput = Vec<(u64, RolloutBuffer<Observation>, EpisodeStats)>;
-    let mut per_episode: Vec<(u64, RolloutBuffer<Observation>, EpisodeStats)> =
-        std::thread::scope(|scope| -> Result<WorkerOutput, SnapshotError> {
+    let mut per_episode: WorkerOutput;
+    let failures: Vec<ItemFailure>;
+    let replica = XrlflowAgent::from_snapshot(config, snapshot)?;
+
+    if num_workers <= 1 {
+        // Degenerate pool: the same supervised loop, serially in the calling
+        // thread — no thread spawn, but identical fault semantics.
+        let mut env = spec.build_env();
+        per_episode = Vec::with_capacity(num_episodes);
+        let mut failed = Vec::new();
+        for episode in first_episode..end {
+            match run_collect_item(&replica, &mut env, episode, base_seed, 0) {
+                Ok(item) => per_episode.push(item),
+                Err(failure) => {
+                    env = spec.build_env();
+                    failed.push(failure);
+                }
+            }
+        }
+        failures = failed;
+    } else {
+        let meter = PoolMeter::start(num_workers);
+        let shared_failures: Mutex<Vec<ItemFailure>> = Mutex::new(Vec::new());
+        per_episode = std::thread::scope(|scope| -> Result<WorkerOutput, SnapshotError> {
             let mut handles = Vec::with_capacity(num_workers);
             for worker in 0..num_workers {
+                let shared_failures = &shared_failures;
                 handles.push(scope.spawn(move || -> Result<WorkerOutput, SnapshotError> {
                     let _busy = xrlflow_obs::span!("rollout/worker_busy");
                     // Broadcast: a private replica per worker, built once per
@@ -272,12 +397,14 @@ pub fn collect_parallel(
                     let mut env = spec.build_env();
                     let mut out = Vec::new();
                     let mut episode = first_episode + worker as u64;
-                    let end = first_episode + num_episodes as u64;
                     while episode < end {
-                        let mut buffer = RolloutBuffer::new();
-                        let stats =
-                            collect_episode_seeded(&replica, &mut env, episode, base_seed, &mut buffer);
-                        out.push((episode, buffer, stats));
+                        match run_collect_item(&replica, &mut env, episode, base_seed, 0) {
+                            Ok(item) => out.push(item),
+                            Err(failure) => {
+                                env = spec.build_env();
+                                shared_failures.lock().unwrap_or_else(PoisonError::into_inner).push(failure);
+                            }
+                        }
                         episode += num_workers as u64;
                     }
                     Ok(out)
@@ -285,21 +412,88 @@ pub fn collect_parallel(
             }
             let mut merged = Vec::with_capacity(num_episodes);
             for handle in handles {
-                merged.extend(handle.join().expect("rollout worker panicked")?);
+                merged.extend(handle.join().expect("rollout worker panicked outside a work item")?);
             }
             Ok(merged)
         })?;
+        meter.finish();
+        failures = shared_failures.into_inner().unwrap_or_else(PoisonError::into_inner);
+    }
+
+    if !failures.is_empty() {
+        retry_collect_failures(&replica, spec, base_seed, failures, &mut per_episode)?;
+    }
 
     // Merge is ordered by episode index, not completion order — the last
     // piece of the determinism contract.
     per_episode.sort_by_key(|(episode, _, _)| *episode);
-    meter.finish();
     let mut out = CollectedRollouts::default();
     for (_, mut buffer, stats) in per_episode {
         out.buffer.append(&mut buffer);
         out.episodes.push(stats);
     }
     Ok(out)
+}
+
+/// Durable-checkpoint policy for [`ParallelTrainer`]: where to write
+/// versioned [`TrainState`]s, how often (in update rounds), and how many to
+/// retain.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory the `state-<episode>.xrlftrst` files are written into
+    /// (created on first write).
+    pub dir: PathBuf,
+    /// Write a checkpoint every this many update rounds; the final round of
+    /// a run always checkpoints. Clamp to ≥ 1 via [`CheckpointConfig::every`].
+    pub every: usize,
+    /// Keep the newest `keep_last` states, pruning older ones after each
+    /// write. Clamp to ≥ 1 via [`CheckpointConfig::keep_last`].
+    pub keep_last: usize,
+}
+
+impl CheckpointConfig {
+    /// A policy checkpointing after every update round into `dir`, retaining
+    /// the newest 3 states.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into(), every: 1, keep_last: 3 }
+    }
+
+    /// Builder: checkpoint every `every` update rounds (clamped to ≥ 1).
+    #[must_use]
+    pub fn every(mut self, every: usize) -> Self {
+        self.every = every.max(1);
+        self
+    }
+
+    /// Builder: retain the newest `keep_last` states (clamped to ≥ 1).
+    #[must_use]
+    pub fn keep_last(mut self, keep_last: usize) -> Self {
+        self.keep_last = keep_last.max(1);
+        self
+    }
+
+    /// Reads the policy from the environment: enabled iff
+    /// `XRLFLOW_CHECKPOINT_DIR` is set and non-empty, with
+    /// `XRLFLOW_CHECKPOINT_EVERY` (default 1) and `XRLFLOW_CHECKPOINT_KEEP`
+    /// (default 3) tuning cadence and retention. Zero or unparseable values
+    /// fall back to the defaults, matching the leniency of `XRLFLOW_WORKERS`.
+    pub fn from_env() -> Option<Self> {
+        let dir = std::env::var("XRLFLOW_CHECKPOINT_DIR").ok()?;
+        if dir.trim().is_empty() {
+            return None;
+        }
+        let knob = |var: &str| -> Option<usize> {
+            std::env::var(var).ok().and_then(|v| v.trim().parse().ok()).filter(|&n| n > 0)
+        };
+        let mut config = Self::new(dir);
+        if let Some(every) = knob("XRLFLOW_CHECKPOINT_EVERY") {
+            config.every = every;
+        }
+        if let Some(keep_last) = knob("XRLFLOW_CHECKPOINT_KEEP") {
+            config.keep_last = keep_last;
+        }
+        Some(config)
+    }
 }
 
 /// A PPO trainer whose collection **and update** phases run on the worker
@@ -311,20 +505,93 @@ pub fn collect_parallel(
 /// index-ordered gradient merge ([`minibatch_grads_parallel`]). Both phases
 /// are bit-identical to their serial oracles, so the worker count changes
 /// wall-clock time only, never a learned number.
+///
+/// With a [`CheckpointConfig`] installed (explicitly or via
+/// `XRLFLOW_CHECKPOINT_DIR`), the trainer writes a durable [`TrainState`]
+/// after every `every`-th update round — parameters, Adam moments, step and
+/// update counters, base seed and the episode schedule position, written
+/// atomically — and [`ParallelTrainer::resume_from`] continues a killed run
+/// bit-identically to one that never stopped.
 #[derive(Debug)]
 pub struct ParallelTrainer {
     trainer: Trainer,
     num_workers: usize,
     base_seed: u64,
+    checkpointing: Option<CheckpointConfig>,
+    resume_episode: u64,
 }
 
 impl ParallelTrainer {
     /// Creates a parallel trainer; the worker count comes from
     /// [`XrlflowConfig::effective_num_workers`] (the `num_workers` field,
-    /// overridable via `XRLFLOW_WORKERS`).
+    /// overridable via `XRLFLOW_WORKERS`), and checkpointing is enabled when
+    /// `XRLFLOW_CHECKPOINT_DIR` is set ([`CheckpointConfig::from_env`]).
     pub fn new(config: XrlflowConfig, seed: u64) -> Self {
         let num_workers = config.effective_num_workers();
-        Self { trainer: Trainer::new(config, seed), num_workers, base_seed: seed }
+        Self {
+            trainer: Trainer::new(config, seed),
+            num_workers,
+            base_seed: seed,
+            checkpointing: CheckpointConfig::from_env(),
+            resume_episode: 0,
+        }
+    }
+
+    /// Installs (or, with `None`, disables) the durable-checkpoint policy.
+    pub fn set_checkpointing(&mut self, checkpointing: Option<CheckpointConfig>) {
+        self.checkpointing = checkpointing;
+    }
+
+    /// The active durable-checkpoint policy, if any.
+    pub fn checkpointing(&self) -> Option<&CheckpointConfig> {
+        self.checkpointing.as_ref()
+    }
+
+    /// Restores trainer and agent to a durable [`TrainState`]: parameters,
+    /// Adam moments and step count, the update counter (which drives the
+    /// minibatch shuffle schedule), the run's base seed and the episode
+    /// schedule position. The next [`ParallelTrainer::train`] or
+    /// [`ParallelTrainer::train_curriculum`] call continues collecting at
+    /// `state.next_episode` — bit-identical to a run that never stopped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] when the state does not match the agent's
+    /// architecture; neither trainer nor agent is modified on error.
+    pub fn resume_from(&mut self, agent: &mut XrlflowAgent, state: &TrainState) -> Result<(), SnapshotError> {
+        self.trainer.restore_train_state(agent, state)?;
+        self.base_seed = state.base_seed;
+        self.resume_episode = state.next_episode;
+        Ok(())
+    }
+
+    /// [`ParallelTrainer::resume_from`] the newest [`TrainState`] in `dir`.
+    /// Returns the resumed schedule position, or `None` when the directory
+    /// holds no state (including when it does not exist) — the caller then
+    /// starts fresh.
+    ///
+    /// # Errors
+    ///
+    /// * [`RolloutError::Checkpoint`] when the directory cannot be scanned.
+    /// * [`RolloutError::Snapshot`] when the newest state is corrupt or does
+    ///   not match the agent's architecture.
+    pub fn resume_from_latest(
+        &mut self,
+        agent: &mut XrlflowAgent,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<Option<u64>, RolloutError> {
+        let Some(path) = latest_train_state(dir.as_ref()).map_err(RolloutError::Checkpoint)? else {
+            return Ok(None);
+        };
+        let state = TrainState::load(&path)?;
+        self.resume_from(agent, &state)?;
+        Ok(Some(state.next_episode))
+    }
+
+    /// The episode-schedule position the next training run starts from
+    /// (non-zero only after [`ParallelTrainer::resume_from`]).
+    pub fn resume_episode(&self) -> u64 {
+        self.resume_episode
     }
 
     /// The number of rollout workers in use.
@@ -359,9 +626,9 @@ impl ParallelTrainer {
 
     /// Checks that `agent` matches the trainer's architecture configuration
     /// by round-tripping a snapshot into a config-built replica — the same
-    /// check every worker performs, applied up front so the error behaviour
-    /// of the training loops does not depend on the worker count (the
-    /// 1-worker fast path never builds a replica of its own).
+    /// check every worker performs, applied up front so a mismatch is
+    /// reported before any episode is collected or any optimiser state
+    /// advances, independent of the worker count.
     fn validate_agent(&self, agent: &XrlflowAgent) -> Result<(), SnapshotError> {
         XrlflowAgent::from_snapshot(self.trainer.config(), &agent.snapshot()).map(|_| ())
     }
@@ -380,8 +647,11 @@ impl ParallelTrainer {
     }
 
     /// Runs the full training loop: broadcast a parameter snapshot, collect
-    /// `update_frequency` episodes across the worker pool, merge in episode
-    /// order, update, repeat until `episodes` episodes have been collected.
+    /// `update_frequency` episodes across the supervised worker pool, merge
+    /// in episode order, update, repeat until `episodes` episodes have been
+    /// collected. After a [`ParallelTrainer::resume_from`], collection
+    /// continues at the restored schedule position instead of episode 0
+    /// (`episodes` still names the run's total).
     ///
     /// With the same seed this produces bit-identical episodes, updates and
     /// final parameters for any worker count; [`TrainReport::timings`]
@@ -390,25 +660,28 @@ impl ParallelTrainer {
     ///
     /// # Errors
     ///
-    /// Returns a [`SnapshotError`] when the agent does not match the
-    /// trainer's architecture configuration.
+    /// * [`RolloutError::Snapshot`] when the agent does not match the
+    ///   trainer's architecture configuration.
+    /// * [`RolloutError::WorkerFault`] when a work item kept panicking past
+    ///   the retry budget.
+    /// * [`RolloutError::Checkpoint`] when a durable checkpoint write fails.
     pub fn train(
         &mut self,
         agent: &mut XrlflowAgent,
         spec: &EnvSpec,
         episodes: usize,
-    ) -> Result<TrainReport, SnapshotError> {
+    ) -> Result<TrainReport, RolloutError> {
         self.validate_agent(agent)?;
         let (num_workers, base_seed) = (self.num_workers, self.base_seed);
+        let start_episode = (std::mem::take(&mut self.resume_episode) as usize).min(episodes);
         let config = self.trainer.config().clone();
+        let loop_ctx = RoundLoop { start_episode, base_seed, checkpoint: self.checkpointing.as_ref() };
         let (report, _) =
-            run_rounds(&mut self.trainer, agent, episodes, num_workers, |agent, first, batch| {
-                let rollouts = if num_workers <= 1 {
-                    collect_serial(agent, spec, first, batch, base_seed)
-                } else {
-                    // Broadcast the current parameters once per update round.
-                    collect_parallel(&config, &agent.snapshot(), spec, first, batch, base_seed, num_workers)?
-                };
+            run_rounds(&mut self.trainer, agent, episodes, num_workers, loop_ctx, |agent, first, batch| {
+                // Broadcast the current parameters once per update round; the
+                // supervised pool covers every worker count, including 1.
+                let rollouts =
+                    collect_parallel(&config, &agent.snapshot(), spec, first, batch, base_seed, num_workers)?;
                 Ok(Round {
                     buffer: rollouts.buffer,
                     episodes: rollouts.episodes.into_iter().map(|stats| (0, stats)).collect(),
@@ -431,46 +704,55 @@ impl ParallelTrainer {
     /// final parameters for any worker count. The returned report carries
     /// the usual episode/update/timing series plus
     /// [`TrainReport::per_model`] breakdowns, one per curriculum entry in
-    /// curriculum order.
+    /// curriculum order. After a [`ParallelTrainer::resume_from`], rounds
+    /// continue at the restored per-spec schedule position.
     ///
     /// # Errors
     ///
-    /// Returns a [`SnapshotError`] when the agent does not match the
-    /// trainer's architecture configuration.
+    /// * [`RolloutError::Snapshot`] when the agent does not match the
+    ///   trainer's architecture configuration.
+    /// * [`RolloutError::WorkerFault`] when a work item kept panicking past
+    ///   the retry budget.
+    /// * [`RolloutError::Checkpoint`] when a durable checkpoint write fails.
     pub fn train_curriculum(
         &mut self,
         agent: &mut XrlflowAgent,
         curriculum: &Curriculum,
         episodes_per_spec: usize,
-    ) -> Result<TrainReport, SnapshotError> {
+    ) -> Result<TrainReport, RolloutError> {
         self.validate_agent(agent)?;
         if curriculum.is_empty() || episodes_per_spec == 0 {
             return Ok(TrainReport::default());
         }
         let (num_workers, base_seed) = (self.num_workers, self.base_seed);
+        let start_episode = (std::mem::take(&mut self.resume_episode) as usize).min(episodes_per_spec);
         let config = self.trainer.config().clone();
-        let (mut report, spec_tags) =
-            run_rounds(&mut self.trainer, agent, episodes_per_spec, num_workers, |agent, first, batch| {
-                let rollouts = if num_workers <= 1 {
-                    collect_curriculum_serial(agent, curriculum, first, batch, base_seed)
-                } else {
-                    // Broadcast the current parameters once per update round.
-                    collect_curriculum_parallel(
-                        &config,
-                        &agent.snapshot(),
-                        curriculum,
-                        first,
-                        batch,
-                        base_seed,
-                        num_workers,
-                    )?
-                };
+        let loop_ctx = RoundLoop { start_episode, base_seed, checkpoint: self.checkpointing.as_ref() };
+        let (mut report, spec_tags) = run_rounds(
+            &mut self.trainer,
+            agent,
+            episodes_per_spec,
+            num_workers,
+            loop_ctx,
+            |agent, first, batch| {
+                // Broadcast the current parameters once per update round; the
+                // supervised pool covers every worker count, including 1.
+                let rollouts = collect_curriculum_parallel(
+                    &config,
+                    &agent.snapshot(),
+                    curriculum,
+                    first,
+                    batch,
+                    base_seed,
+                    num_workers,
+                )?;
                 Ok(Round {
                     buffer: rollouts.buffer,
                     episodes: rollouts.episodes.into_iter().map(|e| (e.spec, e.stats)).collect(),
                     segments: rollouts.spec_ranges,
                 })
-            })?;
+            },
+        )?;
         let mut per_spec_stats: Vec<Vec<EpisodeStats>> = vec![Vec::new(); curriculum.len()];
         for (&spec, stats) in spec_tags.iter().zip(&report.episodes) {
             per_spec_stats[spec].push(stats.clone());
@@ -494,27 +776,56 @@ struct Round {
     segments: Vec<std::ops::Range<usize>>,
 }
 
+/// Checkpoint/resume context of one [`run_rounds`] invocation: where the
+/// episode schedule starts (non-zero after a resume), the base seed recorded
+/// into checkpoints, and the optional durable-checkpoint policy.
+struct RoundLoop<'a> {
+    start_episode: usize,
+    base_seed: u64,
+    checkpoint: Option<&'a CheckpointConfig>,
+}
+
+/// Writes one durable [`TrainState`] checkpoint (atomically — crash-safe by
+/// construction) and applies the retention policy.
+fn write_train_state(
+    trainer: &Trainer,
+    agent: &XrlflowAgent,
+    next_episode: u64,
+    base_seed: u64,
+    checkpoint: &CheckpointConfig,
+) -> Result<(), RolloutError> {
+    let _span = xrlflow_obs::span!("rollout/checkpoint");
+    let state = trainer.train_state(agent, next_episode, base_seed);
+    state.save(train_state_path(&checkpoint.dir, next_episode)).map_err(RolloutError::Checkpoint)?;
+    prune_train_states(&checkpoint.dir, checkpoint.keep_last).map_err(RolloutError::Checkpoint)?;
+    xrlflow_obs::counter!("train/checkpoints_written").inc();
+    Ok(())
+}
+
 /// The PPO round loop shared by [`ParallelTrainer::train`] and
 /// [`ParallelTrainer::train_curriculum`]: size each batch by the update
-/// frequency, collect it through `collect` (which owns the serial/parallel
-/// branch and the snapshot broadcast), drive one update over the merged
-/// buffer with the round's segments — through [`update_parallel`] when more
-/// than one worker is configured (bit-identical to the serial path) — and
-/// record the wall-clock collect/update split with the update's worker
-/// count. Returns the report plus each episode's spec tag, aligned with
+/// frequency, collect it through `collect` (which owns the snapshot
+/// broadcast), drive one update over the merged buffer with the round's
+/// segments through [`update_parallel`] (bit-identical to the serial path at
+/// every worker count), record the wall-clock collect/update split with the
+/// update's worker count, and — when a checkpoint policy is installed —
+/// write a durable [`TrainState`] every `every`-th round and after the final
+/// one. Returns the report plus each episode's spec tag, aligned with
 /// `report.episodes`.
 fn run_rounds(
     trainer: &mut Trainer,
     agent: &mut XrlflowAgent,
     episodes: usize,
     num_workers: usize,
-    mut collect: impl FnMut(&XrlflowAgent, u64, usize) -> Result<Round, SnapshotError>,
-) -> Result<(TrainReport, Vec<usize>), SnapshotError> {
+    loop_ctx: RoundLoop<'_>,
+    mut collect: impl FnMut(&XrlflowAgent, u64, usize) -> Result<Round, RolloutError>,
+) -> Result<(TrainReport, Vec<usize>), RolloutError> {
     let mut report = TrainReport::default();
     let mut spec_tags = Vec::new();
     let num_workers = num_workers.max(1);
     let frequency = trainer.config().ppo.update_frequency.max(1);
-    let mut next_episode = 0usize;
+    let mut next_episode = loop_ctx.start_episode.min(episodes);
+    let mut rounds = 0usize;
     while next_episode < episodes {
         let batch = frequency.min(episodes - next_episode);
         let (sim_before_ns, candgen_before_ns) = collect_phase_breakdown_ns();
@@ -533,11 +844,7 @@ fn run_rounds(
         let update_start = Instant::now();
         let stats = {
             let _span = xrlflow_obs::span!("rollout/update");
-            if num_workers <= 1 {
-                trainer.update_with_segments(agent, &mut round.buffer, &round.segments)
-            } else {
-                update_parallel(trainer, agent, &mut round.buffer, &round.segments, num_workers)?
-            }
+            update_parallel(trainer, agent, &mut round.buffer, &round.segments, num_workers)?
         };
         report.updates.push(stats);
         let update_ms = update_start.elapsed().as_secs_f64() * 1e3;
@@ -549,6 +856,12 @@ fn run_rounds(
             update_workers: num_workers,
         });
         next_episode += batch;
+        rounds += 1;
+        if let Some(checkpoint) = loop_ctx.checkpoint {
+            if rounds.is_multiple_of(checkpoint.every.max(1)) || next_episode >= episodes {
+                write_train_state(trainer, agent, next_episode as u64, loop_ctx.base_seed, checkpoint)?;
+            }
+        }
     }
     Ok((report, spec_tags))
 }

@@ -31,7 +31,10 @@
 //! below, same spirit as `collect_serial` / `policy_logits_serial`.
 
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
 
+use xrlflow_core::fault::{self, FaultPhase, WorkerFault};
 use xrlflow_core::{
     transition_grad_into, MinibatchContext, MinibatchGrads, Trainer, TransitionLossStats, XrlflowAgent,
     XrlflowConfig,
@@ -40,8 +43,46 @@ use xrlflow_env::Observation;
 use xrlflow_rl::{shard_minibatch, RolloutBuffer, TrainingStats};
 use xrlflow_tensor::{GradBuffer, SnapshotError, Tape};
 
-/// Evaluates one minibatch's per-transition gradients on a pool of
-/// `num_workers` threads and merges them in minibatch-position order.
+use crate::{retry_budget, ItemFailure, RolloutError};
+
+/// Runs one supervised update work item: trips the fault-injection hook
+/// (item id = minibatch position), then back-propagates transition
+/// `ctx.batch[position]` into a fresh zero-initialised [`GradBuffer`] under
+/// `catch_unwind` so a panic becomes a queueable [`ItemFailure`] instead of
+/// tearing down the pool. The caller must replace `tape` after a failure (a
+/// panic leaves the arena's contents unspecified).
+fn run_update_item(
+    agent: &XrlflowAgent,
+    ctx: &MinibatchContext,
+    position: usize,
+    index: usize,
+    inv: f32,
+    tape: &mut Tape,
+    attempt: u32,
+) -> Result<(usize, GradBuffer, TransitionLossStats), ItemFailure> {
+    catch_unwind(AssertUnwindSafe(|| {
+        fault::trip(FaultPhase::Update, position as u64, attempt);
+        let mut grads = GradBuffer::zeros_like(&agent.store);
+        let stats = transition_grad_into(
+            agent,
+            &ctx.transitions[index],
+            ctx.advantages[index],
+            ctx.returns[index],
+            &ctx.ppo,
+            inv,
+            tape,
+            &mut grads,
+        );
+        (position, grads, stats)
+    }))
+    .map_err(|payload| {
+        xrlflow_obs::counter!("rollout/worker_panics").inc();
+        ItemFailure { item: position as u64, payload: fault::panic_payload_text(payload.as_ref()) }
+    })
+}
+
+/// Evaluates one minibatch's per-transition gradients on a supervised pool
+/// of `num_workers` threads and merges them in minibatch-position order.
 ///
 /// Captures one [`xrlflow_tensor::ParamSnapshot`] of `agent` (the update
 /// analogue of the collection engine's per-round broadcast — here the
@@ -51,34 +92,61 @@ use xrlflow_tensor::{GradBuffer, SnapshotError, Tape};
 /// returns `(position, GradBuffer, stats)` triples. The merge sorts by
 /// position, so the output is bit-identical to
 /// [`xrlflow_core::minibatch_grads_serial`] over the same context, for any
-/// worker count.
+/// worker count. With one effective worker the same supervised loop runs
+/// serially against the live agent — no snapshot, no replica, no spawn.
+///
+/// The pool is fault-tolerant: each transition runs under `catch_unwind`, a
+/// panicking item is retried on the calling thread against the live agent —
+/// whose parameters are exactly what the snapshot broadcast, so a retried
+/// gradient is bit-identical — and a worker panic never aborts the process.
 ///
 /// # Errors
 ///
-/// Returns a [`SnapshotError`] when `agent` does not match the architecture
-/// described by `config`.
-///
-/// # Panics
-///
-/// Propagates panics from worker threads.
+/// * [`RolloutError::Snapshot`] when `agent` does not match the
+///   architecture described by `config` (only detectable when a replica is
+///   built, i.e. with more than one effective worker).
+/// * [`RolloutError::WorkerFault`] when a transition kept panicking past the
+///   retry budget (`XRLFLOW_ROLLOUT_RETRIES`, default 2); the reported item
+///   id is the minibatch position.
 pub fn minibatch_grads_parallel(
     config: &XrlflowConfig,
     agent: &XrlflowAgent,
     ctx: &MinibatchContext,
     num_workers: usize,
-) -> Result<MinibatchGrads, SnapshotError> {
+) -> Result<MinibatchGrads, RolloutError> {
     let num_workers = num_workers.clamp(1, ctx.batch.len().max(1));
-    // Broadcast: the parameters the optimiser has stepped to so far.
-    let snapshot = agent.snapshot();
     let inv = 1.0 / ctx.batch.len() as f32;
-    let shards = shard_minibatch(ctx.batch, num_workers);
 
     type WorkerOutput = Vec<(usize, GradBuffer, TransitionLossStats)>;
-    let mut per_position: WorkerOutput =
-        std::thread::scope(|scope| -> Result<WorkerOutput, SnapshotError> {
+    let mut per_position: WorkerOutput;
+    let failures: Vec<ItemFailure>;
+
+    if num_workers <= 1 {
+        // Degenerate pool: the supervised loop runs serially against the
+        // live agent — same fault semantics, no broadcast cost.
+        per_position = Vec::with_capacity(ctx.batch.len());
+        let mut failed = Vec::new();
+        let mut tape = Tape::new();
+        for (position, &index) in ctx.batch.iter().enumerate() {
+            match run_update_item(agent, ctx, position, index, inv, &mut tape, 0) {
+                Ok(item) => per_position.push(item),
+                Err(failure) => {
+                    tape = Tape::new();
+                    failed.push(failure);
+                }
+            }
+        }
+        failures = failed;
+    } else {
+        // Broadcast: the parameters the optimiser has stepped to so far.
+        let snapshot = agent.snapshot();
+        let shards = shard_minibatch(ctx.batch, num_workers);
+        let shared_failures: Mutex<Vec<ItemFailure>> = Mutex::new(Vec::new());
+        per_position = std::thread::scope(|scope| -> Result<WorkerOutput, SnapshotError> {
             let mut handles = Vec::with_capacity(num_workers);
             for shard in &shards {
                 let snapshot = &snapshot;
+                let shared_failures = &shared_failures;
                 handles.push(scope.spawn(move || -> Result<WorkerOutput, SnapshotError> {
                     let replica = XrlflowAgent::from_snapshot(config, snapshot)?;
                     // One recycled tape arena per worker for its whole shard;
@@ -87,28 +155,65 @@ pub fn minibatch_grads_parallel(
                     let mut tape = Tape::new();
                     let mut out = Vec::with_capacity(shard.len());
                     for &(position, index) in shard {
-                        let mut grads = GradBuffer::zeros_like(&replica.store);
-                        let stats = transition_grad_into(
-                            &replica,
-                            &ctx.transitions[index],
-                            ctx.advantages[index],
-                            ctx.returns[index],
-                            &ctx.ppo,
-                            inv,
-                            &mut tape,
-                            &mut grads,
-                        );
-                        out.push((position, grads, stats));
+                        match run_update_item(&replica, ctx, position, index, inv, &mut tape, 0) {
+                            Ok(item) => out.push(item),
+                            Err(failure) => {
+                                tape = Tape::new();
+                                shared_failures.lock().unwrap_or_else(PoisonError::into_inner).push(failure);
+                            }
+                        }
                     }
                     Ok(out)
                 }));
             }
             let mut merged = Vec::with_capacity(ctx.batch.len());
             for handle in handles {
-                merged.extend(handle.join().expect("update worker panicked")?);
+                merged.extend(handle.join().expect("update worker panicked outside a work item")?);
             }
             Ok(merged)
         })?;
+        failures = shared_failures.into_inner().unwrap_or_else(PoisonError::into_inner);
+    }
+
+    // Caller-thread retries, in position order, against the live agent — its
+    // parameters are exactly what the snapshot broadcast (the optimiser only
+    // steps between minibatches), so a retried item's gradient is
+    // bit-identical to a first-attempt success.
+    if !failures.is_empty() {
+        let mut failures = failures;
+        failures.sort_by_key(|f| f.item);
+        let budget = retry_budget();
+        let mut tape = Tape::new();
+        for failure in failures {
+            let position = failure.item as usize;
+            let index = ctx.batch[position];
+            let mut last = failure;
+            let mut attempt = 1u32;
+            loop {
+                if attempt > budget {
+                    return Err(WorkerFault {
+                        phase: FaultPhase::Update,
+                        item: last.item,
+                        attempts: attempt,
+                        payload: last.payload,
+                    }
+                    .into());
+                }
+                xrlflow_obs::counter!("rollout/item_retries").inc();
+                match run_update_item(agent, ctx, position, index, inv, &mut tape, attempt) {
+                    Ok(item) => {
+                        per_position.push(item);
+                        break;
+                    }
+                    Err(f) => {
+                        tape = Tape::new();
+                        last = f;
+                        attempt += 1;
+                    }
+                }
+            }
+        }
+    }
 
     // Merge is ordered by minibatch position, not completion order — the
     // update half of the determinism contract.
@@ -128,29 +233,40 @@ pub fn minibatch_grads_parallel(
 ///
 /// The clip + optimiser step stay on the calling thread, and the result —
 /// post-update parameters, optimiser state and [`TrainingStats`] — is
-/// bit-identical to `Trainer::update_with_segments` for any worker count
-/// (including 1, which still exercises the snapshot/replica machinery).
+/// bit-identical to `Trainer::update_with_segments` for any worker count.
 ///
 /// # Errors
 ///
-/// Returns a [`SnapshotError`] when `agent` does not match the trainer's
-/// architecture configuration; the check runs before any optimiser state
-/// advances, so a failed update leaves trainer and agent untouched.
+/// * [`RolloutError::Snapshot`] when `agent` does not match the trainer's
+///   architecture configuration and `num_workers > 1` (the supervised
+///   serial path never builds a replica, so there is nothing to validate);
+///   the check runs before any optimiser state advances, so a failed
+///   validation leaves trainer and agent untouched.
+/// * [`RolloutError::WorkerFault`] when a transition kept panicking past
+///   the retry budget. Earlier minibatches may already have stepped the
+///   optimiser, so the agent's state after this error is unspecified —
+///   recover by resuming from the last durable `TrainState` checkpoint.
 pub fn update_parallel(
     trainer: &mut Trainer,
     agent: &mut XrlflowAgent,
     buffer: &mut RolloutBuffer<Observation>,
     segments: &[Range<usize>],
     num_workers: usize,
-) -> Result<TrainingStats, SnapshotError> {
+) -> Result<TrainingStats, RolloutError> {
     // Validate up front: the per-minibatch broadcasts inside the update
     // cannot be allowed to fail after the optimiser has started stepping.
-    XrlflowAgent::from_snapshot(trainer.config(), &agent.snapshot())?;
+    if num_workers > 1 {
+        XrlflowAgent::from_snapshot(trainer.config(), &agent.snapshot())?;
+    }
     let config = trainer.config().clone();
-    Ok(trainer.update_with_segments_via(agent, buffer, segments, &mut |agent, ctx| {
-        minibatch_grads_parallel(&config, agent, ctx, num_workers)
-            .expect("agent architecture validated before the update")
-    }))
+    trainer
+        .update_with_segments_via(agent, buffer, segments, &mut |agent, ctx| {
+            minibatch_grads_parallel(&config, agent, ctx, num_workers).map_err(|e| match e {
+                RolloutError::WorkerFault(fault) => fault,
+                other => unreachable!("agent architecture validated before the update: {other}"),
+            })
+        })
+        .map_err(RolloutError::WorkerFault)
 }
 
 #[cfg(test)]

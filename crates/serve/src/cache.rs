@@ -436,14 +436,18 @@ impl ResultCache {
         Ok(cache)
     }
 
-    /// Writes a JSON snapshot of the cache to `path`.
+    /// Writes a JSON snapshot of the cache to `path`, atomically: the
+    /// document is staged into a temp file, fsynced and renamed over the
+    /// target, so a crash mid-save can never leave a torn snapshot under the
+    /// final name (a warm restart either sees the old snapshot or the new
+    /// one, never garbage).
     ///
     /// # Errors
     ///
     /// [`ServeError::Io`] when the file cannot be written.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ServeError> {
         let path = path.as_ref();
-        std::fs::write(path, self.to_json())
+        xrlflow_tensor::atomic_write(path, self.to_json().as_bytes())
             .map_err(|e| ServeError::Io(format!("writing {}: {e}", path.display())))
     }
 

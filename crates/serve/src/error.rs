@@ -28,6 +28,14 @@ pub enum ServeError {
     /// The HTTP front end could not bind, accept, or (client-side) speak
     /// the protocol.
     Http(String),
+    /// The request coalesced onto another request optimising the same graph
+    /// (single-flight admission) and that leader panicked before publishing
+    /// a result. The flight has been cleared — retrying the request runs a
+    /// fresh optimisation.
+    FlightFailed {
+        /// Canonical hash of the graph whose optimisation failed.
+        key: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -39,6 +47,9 @@ impl fmt::Display for ServeError {
             ServeError::Io(message) => write!(f, "cache i/o failed: {message}"),
             ServeError::Cache(message) => write!(f, "malformed cache snapshot: {message}"),
             ServeError::Http(message) => write!(f, "http error: {message}"),
+            ServeError::FlightFailed { key } => {
+                write!(f, "optimisation of graph {key:#018x} panicked upstream; retry the request")
+            }
         }
     }
 }
@@ -49,7 +60,10 @@ impl std::error::Error for ServeError {
             ServeError::Graph(e) => Some(e),
             ServeError::Snapshot(e) => Some(e),
             ServeError::Config(e) => Some(e),
-            ServeError::Io(_) | ServeError::Cache(_) | ServeError::Http(_) => None,
+            ServeError::Io(_)
+            | ServeError::Cache(_)
+            | ServeError::Http(_)
+            | ServeError::FlightFailed { .. } => None,
         }
     }
 }

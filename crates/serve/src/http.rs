@@ -44,9 +44,9 @@ use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use xrlflow_core::ConfigError;
 use xrlflow_graph::JsonValue;
@@ -67,6 +67,10 @@ pub struct ServerConfig {
     /// Per-socket read/write timeout; a stalled client gets `408` (or a
     /// dropped connection) instead of a wedged thread. Default 30 s.
     pub io_timeout: Duration,
+    /// How long [`OptimizeServer::shutdown`] waits for in-flight connection
+    /// threads to write their responses before giving up on them. Default
+    /// 5 s.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -75,14 +79,16 @@ impl Default for ServerConfig {
             max_body_bytes: 16 * 1024 * 1024,
             max_header_bytes: 16 * 1024,
             io_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
 
 impl ServerConfig {
     /// Builds a configuration from the environment, falling back to the
-    /// defaults: `XRLFLOW_HTTP_MAX_BODY_BYTES`, `XRLFLOW_HTTP_MAX_HEADER_BYTES`
-    /// and `XRLFLOW_HTTP_IO_TIMEOUT_MS` (all positive integers).
+    /// defaults: `XRLFLOW_HTTP_MAX_BODY_BYTES`, `XRLFLOW_HTTP_MAX_HEADER_BYTES`,
+    /// `XRLFLOW_HTTP_IO_TIMEOUT_MS` and `XRLFLOW_HTTP_DRAIN_MS` (all
+    /// positive integers).
     ///
     /// # Errors
     ///
@@ -98,6 +104,9 @@ impl ServerConfig {
         }
         if let Some(v) = env_usize("XRLFLOW_HTTP_IO_TIMEOUT_MS", "http.io_timeout_ms")? {
             config.io_timeout = Duration::from_millis(v as u64);
+        }
+        if let Some(v) = env_usize("XRLFLOW_HTTP_DRAIN_MS", "http.drain_timeout_ms")? {
+            config.drain_timeout = Duration::from_millis(v as u64);
         }
         Ok(config)
     }
@@ -115,18 +124,73 @@ fn env_usize(var: &str, field: &'static str) -> Result<Option<usize>, ConfigErro
     }
 }
 
+/// Counts live connection threads so a shutdown can wait for their
+/// responses to reach the wire instead of racing them to process exit.
+#[derive(Debug)]
+struct ConnTracker {
+    live: Mutex<usize>,
+    idle: Condvar,
+}
+
+impl ConnTracker {
+    fn new() -> Self {
+        Self { live: Mutex::new(0), idle: Condvar::new() }
+    }
+
+    /// Registers a connection. Called on the accept thread *before* the
+    /// connection thread is spawned, so a shutdown that starts draining an
+    /// instant later can never miss an accepted connection.
+    fn enter(self: &Arc<Self>) -> ConnGuard {
+        *self.live.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+        ConnGuard { tracker: Arc::clone(self) }
+    }
+
+    /// Waits until every live connection has finished, bounded by
+    /// `timeout`. Returns `false` when connections were still running at
+    /// the deadline.
+    fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut live = self.live.lock().unwrap_or_else(PoisonError::into_inner);
+        while *live > 0 {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            live = self.idle.wait_timeout(live, remaining).unwrap_or_else(PoisonError::into_inner).0;
+        }
+        true
+    }
+}
+
+/// Decrements the live-connection count when a connection thread finishes —
+/// including when the thread unwinds, so a panicking handler can never
+/// wedge a draining shutdown.
+struct ConnGuard {
+    tracker: Arc<ConnTracker>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        *self.tracker.live.lock().unwrap_or_else(PoisonError::into_inner) -= 1;
+        self.tracker.idle.notify_all();
+    }
+}
+
 /// A running HTTP server wrapped around an [`OptimizeService`].
 ///
 /// Binding spawns the accept loop; dropping the server (or calling
-/// [`OptimizeServer::shutdown`]) stops accepting new connections.
-/// Connections already being served run to completion on their own
-/// threads — a shutdown never drops an in-flight request.
+/// [`OptimizeServer::shutdown`]) stops accepting new connections and then
+/// **drains**: it waits up to [`ServerConfig::drain_timeout`]
+/// (`XRLFLOW_HTTP_DRAIN_MS`) for in-flight connection threads to write
+/// their responses, so a graceful shutdown never drops an accepted
+/// request.
 #[derive(Debug)]
 pub struct OptimizeServer {
     service: Arc<OptimizeService>,
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    tracker: Arc<ConnTracker>,
+    drain_timeout: Duration,
 }
 
 impl OptimizeServer {
@@ -153,12 +217,21 @@ impl OptimizeServer {
         let listener = TcpListener::bind(addr).map_err(|e| ServeError::Http(format!("bind failed: {e}")))?;
         let local = listener.local_addr().map_err(|e| ServeError::Http(format!("local_addr failed: {e}")))?;
         let stop = Arc::new(AtomicBool::new(false));
+        let tracker = Arc::new(ConnTracker::new());
         let accept_thread = {
             let service = Arc::clone(&service);
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || accept_loop(&listener, &service, &stop, config))
+            let tracker = Arc::clone(&tracker);
+            std::thread::spawn(move || accept_loop(&listener, &service, &stop, &tracker, config))
         };
-        Ok(Self { service, addr: local, stop, accept_thread: Some(accept_thread) })
+        Ok(Self {
+            service,
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+            tracker,
+            drain_timeout: config.drain_timeout,
+        })
     }
 
     /// The bound address — read this after binding port `0` to learn the
@@ -172,8 +245,13 @@ impl OptimizeServer {
         &self.service
     }
 
-    /// Stops accepting new connections and joins the accept thread.
-    /// Connections already in flight finish on their own threads.
+    /// Stops accepting new connections, joins the accept thread, then
+    /// waits up to [`ServerConfig::drain_timeout`] for in-flight connection
+    /// threads to finish writing their responses — a graceful shutdown
+    /// never drops a request the server already accepted. Connections
+    /// still running at the deadline (e.g. a client stalling inside its
+    /// [`ServerConfig::io_timeout`]) are abandoned to their threads, with
+    /// the give-up visible in the `serve/http_drain_timeouts` counter.
     /// Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         if self.stop.swap(true, Ordering::SeqCst) {
@@ -184,6 +262,10 @@ impl OptimizeServer {
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
+        }
+        // With the accept loop joined, the live count can only fall.
+        if !self.tracker.wait_idle(self.drain_timeout) {
+            xrlflow_obs::counter!("serve/http_drain_timeouts").inc();
         }
     }
 }
@@ -198,6 +280,7 @@ fn accept_loop(
     listener: &TcpListener,
     service: &Arc<OptimizeService>,
     stop: &Arc<AtomicBool>,
+    tracker: &Arc<ConnTracker>,
     config: ServerConfig,
 ) {
     for stream in listener.incoming() {
@@ -206,7 +289,13 @@ fn accept_loop(
         }
         let Ok(stream) = stream else { continue };
         let service = Arc::clone(service);
-        std::thread::spawn(move || serve_connection(stream, &service, config));
+        // Registered here, on the accept thread, so by the time shutdown
+        // joins this loop every accepted connection is already counted.
+        let guard = tracker.enter();
+        std::thread::spawn(move || {
+            let _guard = guard;
+            serve_connection(stream, &service, config);
+        });
     }
 }
 
@@ -510,12 +599,15 @@ mod tests {
         assert!(ServerConfig::from_env().is_err());
         std::env::set_var("XRLFLOW_HTTP_MAX_HEADER_BYTES", "4096");
         std::env::set_var("XRLFLOW_HTTP_IO_TIMEOUT_MS", "250");
+        std::env::set_var("XRLFLOW_HTTP_DRAIN_MS", "750");
         let config = ServerConfig::from_env().unwrap();
         assert_eq!(config.max_body_bytes, 12345);
         assert_eq!(config.max_header_bytes, 4096);
         assert_eq!(config.io_timeout, Duration::from_millis(250));
+        assert_eq!(config.drain_timeout, Duration::from_millis(750));
         std::env::remove_var("XRLFLOW_HTTP_MAX_BODY_BYTES");
         std::env::remove_var("XRLFLOW_HTTP_MAX_HEADER_BYTES");
         std::env::remove_var("XRLFLOW_HTTP_IO_TIMEOUT_MS");
+        std::env::remove_var("XRLFLOW_HTTP_DRAIN_MS");
     }
 }

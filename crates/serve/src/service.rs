@@ -5,6 +5,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
+use xrlflow_core::fault;
 use xrlflow_core::{greedy_optimize, XrlflowAgent, XrlflowConfig};
 use xrlflow_cost::{DeviceProfile, InferenceSimulator};
 use xrlflow_env::Environment;
@@ -66,31 +67,52 @@ pub struct ServeStats {
     pub coalesced: usize,
 }
 
+/// How one in-flight optimisation ended, from a waiter's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlightOutcome {
+    /// The leader is still optimising.
+    Pending,
+    /// The leader finished and published its result to the cache.
+    Complete,
+    /// The leader panicked mid-episode; no result was published.
+    LeaderFailed,
+}
+
 /// One in-flight optimisation a racing miss can wait on instead of running
 /// its own episode.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Flight {
-    done: Mutex<bool>,
+    state: Mutex<FlightOutcome>,
     condvar: Condvar,
 }
 
+impl Default for Flight {
+    fn default() -> Self {
+        Self { state: Mutex::new(FlightOutcome::Pending), condvar: Condvar::new() }
+    }
+}
+
 impl Flight {
-    fn wait(&self) {
-        let mut done = self.done.lock().expect("flight lock");
-        while !*done {
-            done = self.condvar.wait(done).expect("flight lock");
+    fn wait(&self) -> FlightOutcome {
+        let mut state = self.state.lock().expect("flight lock");
+        while *state == FlightOutcome::Pending {
+            state = self.condvar.wait(state).expect("flight lock");
         }
+        *state
     }
 
-    fn complete(&self) {
-        *self.done.lock().expect("flight lock") = true;
+    fn finish(&self, outcome: FlightOutcome) {
+        *self.state.lock().expect("flight lock") = outcome;
         self.condvar.notify_all();
     }
 }
 
 /// Removes the flight from the table and wakes every waiter when the leader
 /// is done — including when it unwinds, so waiters can never deadlock on a
-/// flight whose leader died.
+/// flight whose leader died. A leader that unwinds is detected with
+/// [`std::thread::panicking`] and reported to its waiters as
+/// [`FlightOutcome::LeaderFailed`], which they surface as the typed
+/// [`ServeError::FlightFailed`] instead of hanging or silently re-running.
 struct FlightGuard<'a> {
     service: &'a OptimizeService,
     key: u64,
@@ -100,7 +122,13 @@ impl Drop for FlightGuard<'_> {
     fn drop(&mut self) {
         let flight = self.service.flights.lock().expect("flights lock").remove(&self.key);
         if let Some(flight) = flight {
-            flight.complete();
+            let outcome = if std::thread::panicking() {
+                xrlflow_obs::counter!("serve/flight_leader_panics").inc();
+                FlightOutcome::LeaderFailed
+            } else {
+                FlightOutcome::Complete
+            };
+            flight.finish(outcome);
         }
     }
 }
@@ -274,9 +302,12 @@ impl OptimizeService {
         let mut coalesced = false;
         // Single-flight admission: check the cache, and on a miss either
         // become the leader for this key or wait for the request already
-        // optimising it. Waiters loop back to the cache check; they may find
-        // the entry, or (if it was evicted in between, or the leader
-        // unwound) become the new leader themselves.
+        // optimising it. Waiters of a *completed* flight loop back to the
+        // cache check; they may find the entry, or (if it was evicted in
+        // between) become the new leader themselves. Waiters of a flight
+        // whose leader panicked get the typed [`ServeError::FlightFailed`]
+        // instead — one fault fails its coalesced cohort loudly rather than
+        // stampeding the policy with silent re-runs.
         loop {
             if let Some(entry) = self.cache.lock().expect("cache lock").get(key) {
                 self.record_request(true, coalesced);
@@ -294,7 +325,9 @@ impl OptimizeService {
             };
             match existing {
                 Some(flight) => {
-                    flight.wait();
+                    if flight.wait() == FlightOutcome::LeaderFailed {
+                        return Err(ServeError::FlightFailed { key });
+                    }
                     coalesced = true;
                 }
                 None => break,
@@ -307,6 +340,9 @@ impl OptimizeService {
         let _flight_guard = FlightGuard { service: self, key };
         let policy = self.current_policy();
         self.record_request(false, false);
+        // Fault-injection hook (inert unless a plan is installed): lets the
+        // suites kill a single-flight leader mid-episode deterministically.
+        fault::trip(fault::FaultPhase::Serve, key, 0);
         let mut env = Environment::from_shared(
             Arc::new(graph),
             Arc::clone(&self.rules),
@@ -417,5 +453,51 @@ fn response_from(entry: &CacheEntry, cache_hit: bool) -> OptimizeResponse {
         final_latency_ms: entry.final_latency_ms,
         steps: entry.steps,
         cache_hit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrlflow_graph::{OpAttributes, OpKind, TensorShape};
+
+    fn tiny_graph() -> Graph {
+        let mut g = Graph::new();
+        let input = g.add_input(TensorShape::new(vec![1, 8]));
+        let relu = g.add_node(OpKind::Relu, OpAttributes::default(), vec![input.into()]).unwrap();
+        g.mark_output(relu.into());
+        g
+    }
+
+    #[test]
+    fn waiters_on_a_failed_leader_get_a_typed_error_and_the_service_recovers() {
+        let service = Arc::new(OptimizeService::untrained(&XrlflowConfig::smoke_test(), 1).unwrap());
+        let graph = tiny_graph();
+        let key = graph.canonical_hash();
+
+        // Simulate an in-flight leader, then have it die: remove the
+        // flight and report LeaderFailed — exactly what FlightGuard does
+        // when the leader thread unwinds.
+        service.flights.lock().unwrap().insert(key, Arc::new(Flight::default()));
+        let reaper = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                let flight = service.flights.lock().unwrap().remove(&key).unwrap();
+                flight.finish(FlightOutcome::LeaderFailed);
+            })
+        };
+        let err = service.optimize(&graph).unwrap_err();
+        assert!(
+            matches!(err, ServeError::FlightFailed { key: k } if k == key),
+            "coalesced request must fail with the typed flight error, got: {err}"
+        );
+        reaper.join().unwrap();
+
+        // The flight table is clear — the next request leads and succeeds.
+        let response = service.optimize(&graph).unwrap();
+        assert!(!response.cache_hit);
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits + stats.policy_invocations, stats.requests);
     }
 }

@@ -317,3 +317,27 @@ fn hand_built_graphs_serve_like_zoo_graphs() {
     assert!(response.graph.validate().is_ok());
     assert!(service.optimize(&g).unwrap().cache_hit);
 }
+
+#[test]
+fn a_panicking_leader_clears_its_flight_and_the_service_survives() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use xrlflow_core::fault::{FaultPhase, FaultPlan};
+
+    let service = service();
+    let graph = zoo_graph();
+    let key = graph.canonical_hash();
+
+    // Kill the single-flight leader mid-episode via the deterministic
+    // fault hook (serve trips on the graph's canonical hash).
+    let guard = FaultPlan::new().panic_on(FaultPhase::Serve, key, 0).install();
+    let result = catch_unwind(AssertUnwindSafe(|| service.optimize(&graph)));
+    assert!(result.is_err(), "the injected fault must unwind the leader");
+    drop(guard);
+
+    // The flight was cleared by the leader's guard and no lock was
+    // poisoned: the retry runs a fresh episode and succeeds.
+    let response = service.optimize(&graph).unwrap();
+    assert!(!response.cache_hit, "the failed leader must not have published a result");
+    let stats = service.stats();
+    assert_eq!(stats.cache_hits + stats.policy_invocations, stats.requests);
+}

@@ -1,0 +1,143 @@
+//! Crash-safe file persistence.
+//!
+//! Every artifact this workspace writes to disk — `XRLFSNAP` parameter
+//! checkpoints, `TrainState` resume bundles, result-cache snapshots, metrics
+//! and bench JSON — goes through [`atomic_write`]. The contract is simple: a
+//! reader never observes a half-written file. Either the previous contents
+//! are still there, or the complete new contents are. A process killed at any
+//! instant mid-save can therefore at worst leave a stray temp file behind,
+//! never a truncated artifact.
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide nonce so concurrent writers to the same target never share a
+/// temp file.
+static TEMP_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// Returns `true` when `name` looks like an [`atomic_write`] temp file.
+///
+/// Directory scans (checkpoint retention, latest-checkpoint discovery) use
+/// this to skip the debris a killed writer may leave behind.
+pub fn is_atomic_temp_file(name: &str) -> bool {
+    name.starts_with('.') && name.ends_with(".tmp")
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the target directory →
+/// flush → fsync → rename over the target.
+///
+/// The rename is the commit point. A crash before it leaves the previous
+/// file (if any) untouched; a crash after it leaves the complete new file.
+/// Because the temp file lives in the same directory as the target, the
+/// rename never crosses a filesystem boundary. Missing parent directories
+/// are created first, and a failed attempt cleans its temp file up.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error (directory creation, temp-file
+/// write, fsync or rename). `path` must name a file, not a directory.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: impl AsRef<[u8]>) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let file_name = path.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("atomic_write target must name a file: {}", path.display()),
+        )
+    })?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let nonce = TEMP_NONCE.fetch_add(1, Ordering::Relaxed);
+    let tmp = path.with_file_name(format!(".{file_name}.{}.{nonce}.tmp", std::process::id()));
+    let committed = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes.as_ref())?;
+        // Durability point: the data must be on stable storage *before* the
+        // rename publishes it, otherwise a power cut could commit an empty
+        // file under the target name.
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if committed.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    committed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "xrlflow-fsio-{tag}-{}-{}",
+            std::process::id(),
+            TEMP_NONCE.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces_contents() {
+        let dir = temp_dir("replace");
+        let path = dir.join("artifact.bin");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer contents");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn creates_missing_parent_directories() {
+        let dir = temp_dir("parents");
+        let path = dir.join("a/b/c/artifact.bin");
+        atomic_write(&path, b"nested").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"nested");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn leaves_no_temp_files_behind_on_success() {
+        let dir = temp_dir("clean");
+        let path = dir.join("artifact.bin");
+        atomic_write(&path, b"contents").unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["artifact.bin".to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_crashed_writers_temp_file_does_not_clobber_the_previous_artifact() {
+        // Emulate a writer killed after creating its temp file but before the
+        // rename: the previous artifact must still read back intact, and a
+        // later complete write must still succeed.
+        let dir = temp_dir("crash");
+        let path = dir.join("artifact.bin");
+        atomic_write(&path, b"previous good contents").unwrap();
+        std::fs::write(dir.join(".artifact.bin.0.99.tmp"), b"half-writ").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"previous good contents");
+        atomic_write(&path, b"next good contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"next good contents");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn temp_file_names_are_recognised() {
+        assert!(is_atomic_temp_file(".artifact.bin.123.0.tmp"));
+        assert!(!is_atomic_temp_file("artifact.bin"));
+        assert!(!is_atomic_temp_file("state-00000004.xrlftrst"));
+    }
+
+    #[test]
+    fn rejects_paths_without_a_file_name() {
+        assert!(atomic_write("/", b"x").is_err());
+    }
+}

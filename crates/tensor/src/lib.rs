@@ -30,12 +30,14 @@
 
 #![warn(missing_docs)]
 
+mod fsio;
 mod nn;
 mod rng;
 mod snapshot;
 mod tape;
 mod tensor;
 
+pub use fsio::{atomic_write, is_atomic_temp_file};
 pub use nn::{xavier_uniform, Activation, Linear, Mlp};
 pub use rng::{splitmix64, XorShiftRng};
 pub use snapshot::{ParamSnapshot, SnapshotError};

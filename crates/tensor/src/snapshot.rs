@@ -224,17 +224,14 @@ impl ParamSnapshot {
 
     /// Writes the snapshot to `path` (creating parent directories).
     ///
+    /// The write goes through [`crate::atomic_write`], so a crash mid-save
+    /// never truncates a previously saved checkpoint at the same path.
+    ///
     /// # Errors
     ///
     /// Returns any I/O error from creating directories or writing the file.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        let path = path.as_ref();
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        std::fs::write(path, self.to_bytes())
+        crate::fsio::atomic_write(path, self.to_bytes())
     }
 
     /// Reads a snapshot from `path`.

@@ -346,6 +346,72 @@ impl ParamStore {
         }
         Ok(())
     }
+
+    /// Captures the Adam moment buffers as a pair of snapshots — first
+    /// moments, then second moments — named and ordered exactly like
+    /// [`ParamStore::snapshot`].
+    ///
+    /// Together with the parameter snapshot and [`Adam::steps`] this is the
+    /// complete optimiser state: a store restored from all three continues
+    /// training bit-identically to one that was never interrupted, which is
+    /// what the `TrainState` exact-resume checkpoint relies on.
+    pub fn adam_snapshot(&self) -> (ParamSnapshot, ParamSnapshot) {
+        let first = ParamSnapshot::new(self.entries.iter().map(|e| (e.name.clone(), e.m.clone())).collect());
+        let second = ParamSnapshot::new(self.entries.iter().map(|e| (e.name.clone(), e.v.clone())).collect());
+        (first, second)
+    }
+
+    /// Overwrites the Adam moment buffers from snapshots captured by
+    /// [`ParamStore::adam_snapshot`] on a store with the identical
+    /// architecture.
+    ///
+    /// Validation is strict and happens for **both** snapshots before either
+    /// is adopted — same count, names and shapes as the live store — so a
+    /// failed load leaves every moment buffer untouched. There is no partial
+    /// adoption: optimiser state is restored completely or not at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::CountMismatch`], [`SnapshotError::NameMismatch`]
+    /// or [`SnapshotError::ShapeMismatch`] describing the first difference.
+    pub fn load_adam_snapshot(
+        &mut self,
+        first: &ParamSnapshot,
+        second: &ParamSnapshot,
+    ) -> Result<(), SnapshotError> {
+        for snapshot in [first, second] {
+            let entries = snapshot.entries();
+            if entries.len() != self.entries.len() {
+                return Err(SnapshotError::CountMismatch {
+                    expected: self.entries.len(),
+                    found: entries.len(),
+                });
+            }
+            for (index, (own, (name, value))) in self.entries.iter().zip(entries).enumerate() {
+                if own.name != *name {
+                    return Err(SnapshotError::NameMismatch {
+                        index,
+                        expected: own.name.clone(),
+                        found: name.clone(),
+                    });
+                }
+                if own.value.shape() != value.shape() {
+                    return Err(SnapshotError::ShapeMismatch {
+                        name: name.clone(),
+                        expected: own.value.shape().to_vec(),
+                        found: value.shape().to_vec(),
+                    });
+                }
+            }
+        }
+        for (own, (_, m)) in self.entries.iter_mut().zip(first.entries()) {
+            own.m = m.clone();
+        }
+        for (own, (_, v)) in self.entries.iter_mut().zip(second.entries()) {
+            own.v = v.clone();
+        }
+        Ok(())
+    }
 }
 
 /// Adam optimiser over a [`ParamStore`].
@@ -411,6 +477,17 @@ impl Adam {
     /// Number of optimisation steps performed so far.
     pub fn steps(&self) -> usize {
         self.t
+    }
+
+    /// Restores the step counter from a checkpoint.
+    ///
+    /// The counter drives Adam's bias correction, so an exact resume must
+    /// restore it together with the moment buffers
+    /// ([`ParamStore::load_adam_snapshot`]) — a resumed run with `t` reset
+    /// to zero would re-apply the early-step correction and diverge from the
+    /// uninterrupted run.
+    pub fn set_steps(&mut self, steps: usize) {
+        self.t = steps;
     }
 }
 
@@ -1619,6 +1696,83 @@ mod tests {
                 numeric
             );
         }
+    }
+
+    /// One Adam-driven training step on a tiny store, used by the
+    /// exact-resume tests below.
+    fn adam_step_on(store: &mut ParamStore, adam: &mut Adam, pid: ParamId, grad: f32) {
+        store.zero_grad();
+        store.accumulate(pid, &Tensor::from_vec(vec![grad], &[1]));
+        adam.step(store);
+    }
+
+    #[test]
+    fn adam_snapshot_round_trip_resumes_bit_identically() {
+        let mut store = ParamStore::new();
+        let mut adam = Adam::new(0.1);
+        let pid = store.register("w", Tensor::from_vec(vec![1.0], &[1]));
+        adam_step_on(&mut store, &mut adam, pid, 0.5);
+        adam_step_on(&mut store, &mut adam, pid, -0.25);
+
+        // Capture the complete optimiser state mid-run.
+        let params = store.snapshot();
+        let (m, v) = store.adam_snapshot();
+        let steps = adam.steps();
+
+        // Continue the original run two more steps.
+        adam_step_on(&mut store, &mut adam, pid, 0.125);
+        adam_step_on(&mut store, &mut adam, pid, 0.0625);
+        let uninterrupted = store.value(pid).data().to_vec();
+
+        // Restore into a fresh store and replay the same two steps.
+        let mut resumed = ParamStore::new();
+        let mut resumed_adam = Adam::new(0.1);
+        let rid = resumed.register("w", Tensor::from_vec(vec![0.0], &[1]));
+        resumed.load_snapshot(&params).unwrap();
+        resumed.load_adam_snapshot(&m, &v).unwrap();
+        resumed_adam.set_steps(steps);
+        adam_step_on(&mut resumed, &mut resumed_adam, rid, 0.125);
+        adam_step_on(&mut resumed, &mut resumed_adam, rid, 0.0625);
+
+        assert_eq!(
+            uninterrupted.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            resumed.value(rid).data().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            "resumed Adam state must continue bit-identically"
+        );
+    }
+
+    #[test]
+    fn load_adam_snapshot_is_all_or_nothing() {
+        let mut store = ParamStore::new();
+        let mut adam = Adam::new(0.1);
+        let pid = store.register("w", Tensor::from_vec(vec![1.0], &[1]));
+        adam_step_on(&mut store, &mut adam, pid, 0.5);
+        let (good_m, good_v) = store.adam_snapshot();
+
+        // Second moments from a different architecture: nothing may be
+        // adopted, not even the (valid) first moments.
+        let bad_v = ParamSnapshot::new(vec![("w".into(), Tensor::zeros(&[2]))]);
+        let before = store.adam_snapshot();
+        assert!(matches!(
+            store.load_adam_snapshot(&good_m, &bad_v),
+            Err(SnapshotError::ShapeMismatch { .. })
+        ));
+        let after = store.adam_snapshot();
+        assert_eq!(before.0.entries()[0].1.data(), after.0.entries()[0].1.data());
+        assert_eq!(before.1.entries()[0].1.data(), after.1.entries()[0].1.data());
+
+        // Wrong name errors too.
+        let bad_name = ParamSnapshot::new(vec![("b".into(), Tensor::zeros(&[1]))]);
+        assert!(matches!(
+            store.load_adam_snapshot(&bad_name, &good_v),
+            Err(SnapshotError::NameMismatch { .. })
+        ));
+        // Wrong count errors.
+        let empty = ParamSnapshot::new(vec![]);
+        assert!(matches!(
+            store.load_adam_snapshot(&empty, &good_v),
+            Err(SnapshotError::CountMismatch { .. })
+        ));
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * `XRLFLOW_METRICS_JSON=path` — write the end-of-run telemetry snapshot
 //!   (every counter, gauge and span histogram the run recorded) as a
 //!   metrics JSON document to `path`.
+//! * `XRLFLOW_CHECKPOINT_DIR=dir` — write durable `TrainState` checkpoints
+//!   (parameters + optimiser state + schedule position) after each training
+//!   round; the example then proves the newest one resumes bit-identically.
 
 use xrlflow::core::{XrlflowAgent, XrlflowConfig, XrlflowSystem};
 use xrlflow::cost::DeviceProfile;
@@ -93,6 +96,29 @@ fn main() {
     let checkpoint = std::env::temp_dir().join("xrlflow-quickstart").join("agent.snap");
     trainer.save_checkpoint(&agent, &checkpoint).expect("checkpoint writes");
     println!("\ncheckpointed {} parameters to {}", agent.num_parameters(), checkpoint.display());
+
+    // 5b. Durable exact-resume: when `XRLFLOW_CHECKPOINT_DIR` is set, the
+    //     training above also wrote versioned `TrainState` checkpoints —
+    //     parameters, Adam moments and the episode-schedule position, each
+    //     written atomically. Prove the newest one resumes: a fresh trainer
+    //     and agent restored from it match the live agent bit for bit.
+    if let Some(dir) = trainer.checkpointing().map(|c| c.dir.clone()) {
+        let mut resumed_trainer = ParallelTrainer::new(config.clone(), 0);
+        let mut resumed_agent = XrlflowAgent::new(&config, 0);
+        let resumed_at = resumed_trainer
+            .resume_from_latest(&mut resumed_agent, &dir)
+            .expect("train state scans and loads")
+            .expect("training above wrote at least one train state");
+        assert_eq!(
+            resumed_agent.snapshot().to_bytes(),
+            agent.snapshot().to_bytes(),
+            "resumed parameters must match the live agent bit for bit"
+        );
+        println!(
+            "durable resume: restored TrainState at episode {resumed_at} from {} — parameters bit-identical",
+            dir.display()
+        );
+    }
 
     // 6. Reload the checkpoint into a fresh system and optimise the held-out
     //    model's graph with the restored policy acting greedily.
